@@ -1,0 +1,39 @@
+"""Fig 2: evolution of NPU hardware resources (FLOPS and SRAM, 2017-24).
+
+Paper shape: both metrics grow 1-2 orders of magnitude over the period,
+and inter-core connected NPUs carry far more on-chip SRAM than GPUs/TPUs
+of the same era.
+"""
+
+from benchmarks.common import Table, once
+from repro.analysis.catalog import (
+    growth_factor,
+    intercore_sram_advantage,
+    series,
+)
+
+
+def build_series():
+    return series("tflops"), series("sram_mb")
+
+
+def test_fig02_catalog(benchmark):
+    tflops, sram = benchmark(build_series)
+    if once("fig02"):
+        table = Table("Fig 2 — NPU hardware evolution",
+                      ["family", "device-year", "TFLOPS", "SRAM (MB)"])
+        for family in sorted(tflops):
+            for (year, tf), (_, mb) in zip(tflops[family], sram[family]):
+                table.add(family, year, tf, mb)
+        table.show()
+        summary = Table("Fig 2 — trend summary (paper vs measured)",
+                        ["quantity", "paper", "measured"])
+        summary.add("FLOPS growth span", ">=10x (log axis)",
+                    f"{growth_factor('tflops'):.0f}x")
+        summary.add("SRAM growth span", ">=10x (log axis)",
+                    f"{growth_factor('sram_mb'):.0f}x")
+        summary.add("inter-core SRAM advantage", ">1 order visible",
+                    f"{intercore_sram_advantage():.1f}x median")
+        summary.show()
+    assert growth_factor("tflops") > 10
+    assert intercore_sram_advantage() > 2

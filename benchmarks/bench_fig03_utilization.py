@@ -1,0 +1,51 @@
+"""Fig 3: FLOPS utilization of classic ML models on a cloud NPU (TPU).
+
+Paper shape: the majority of traditional models use < 50 % of the TPU
+core's FLOPS, and even batch 32 does not reach peak.
+"""
+
+from benchmarks.common import Table, once
+from repro.analysis.roofline import utilization_table
+from repro.workloads import (
+    alexnet,
+    bert_base,
+    dlrm,
+    efficientnet_b0,
+    resnet,
+    resnet_rs,
+    retinanet,
+)
+
+MODELS = {
+    "Bert": bert_base(),
+    "DLRM": dlrm(),
+    "EfficientNet": efficientnet_b0(),
+    "AlexNet": alexnet(),
+    "Resnet": resnet(50),
+    "RetinaNet": retinanet(),
+    "Resnet-RS": resnet_rs(),
+}
+
+
+def compute_grid():
+    return utilization_table(MODELS, batches=(1, 8, 32))
+
+
+def test_fig03_utilization(benchmark):
+    grid = benchmark(compute_grid)
+    if once("fig03"):
+        table = Table("Fig 3 — TPU FLOPS utilization (%)",
+                      ["model", "batch 1", "batch 8", "batch 32"])
+        for name, per_batch in grid.items():
+            table.add(name, *(100 * per_batch[b] for b in (1, 8, 32)))
+        table.show()
+    # Paper: the majority of models sit below 50 % FLOPS. Our roofline
+    # reproduces that for memory/latency-bound models (Bert, DLRM,
+    # AlexNet, EfficientNet); the ResNet family lands higher because
+    # per-layer systolic-array fill is not modelled (see EXPERIMENTS.md).
+    under_half_b1 = sum(1 for g in grid.values() if g[1] < 0.5)
+    assert under_half_b1 >= 3
+    # Even batch 32 does not reach peak on any model.
+    assert all(g[32] < 1.0 for g in grid.values())
+    # Batching never hurts utilization in the roofline model.
+    assert all(g[32] >= g[1] for g in grid.values())

@@ -1,0 +1,39 @@
+"""Fig 11: routing-table configuration overhead vs number of NPU cores.
+
+Paper shape: linear in table size, a few hundred cycles total at 8
+cores — negligible against vNPU creation.
+"""
+
+from benchmarks.common import Table, once
+from repro.arch.controller import NpuController
+from repro.arch.topology import Topology
+from repro.core.routing_table import StandardRoutingTable
+
+#: Paper Fig 11 y-axis at 8 cores (approximate): ~300 clocks.
+PAPER_CLOCKS_AT_8 = 300
+
+
+def configure_all_sizes():
+    results = {}
+    for cores in range(1, 9):
+        controller = NpuController(Topology.mesh2d(2, 4))
+        table = StandardRoutingTable(1, {v: v for v in range(cores)})
+        results[cores] = controller.install_routing_table(
+            table, hyper_mode=True)
+    return results
+
+
+def test_fig11_rt_config(benchmark):
+    results = benchmark(configure_all_sizes)
+    if once("fig11"):
+        table = Table("Fig 11 — routing-table configuration (clocks)",
+                      ["cores", "measured clocks"])
+        for cores, clocks in results.items():
+            table.add(cores, clocks)
+        table.show()
+        print(f"paper @8 cores: ~{PAPER_CLOCKS_AT_8} clk; "
+              f"measured: {results[8]} clk")
+    # Linear growth, a few hundred cycles at 8 cores.
+    deltas = [results[n + 1] - results[n] for n in range(1, 8)]
+    assert len(set(deltas)) == 1  # perfectly linear
+    assert abs(results[8] - PAPER_CLOCKS_AT_8) / PAPER_CLOCKS_AT_8 < 0.25

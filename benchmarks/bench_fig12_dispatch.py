@@ -1,0 +1,52 @@
+"""Fig 12: instruction-dispatch latency (IBUS vs instruction NoC) against
+kernel execution time.
+
+Paper shape: IBUS is fixed and shortest; iNoC latency grows with hop
+distance; Conv/Matmul execution is 2-3 orders of magnitude longer, so
+routing latency is negligible.
+"""
+
+from benchmarks.common import Table, once
+from repro.arch.compute import ComputeModel
+from repro.arch.config import fpga_config
+from repro.arch.controller import NpuController
+from repro.arch.topology import Topology
+from repro.core.routing_table import StandardRoutingTable
+
+
+def measure():
+    topo = Topology.mesh2d(2, 4)
+    inoc = NpuController(topo, dispatch_mode="inoc")
+    ibus = NpuController(topo, dispatch_mode="ibus")
+    table = StandardRoutingTable(1, {v: v for v in range(8)})
+    inoc.install_routing_table(table, hyper_mode=True)
+    ibus.install_routing_table(table, hyper_mode=True)
+    dispatch = {
+        "IBUS": ibus.transport_cycles(0),
+        **{f"NoC#{core + 1}": inoc.transport_cycles(core)
+           for core in range(8)},
+    }
+    compute = ComputeModel(fpga_config().core)
+    kernels = {
+        "Conv": compute.conv2d(32, 32, 16, 16, 3).cycles,
+        "Matmul": compute.matmul(128, 128, 128).cycles,
+    }
+    return dispatch, kernels
+
+
+def test_fig12_dispatch(benchmark):
+    dispatch, kernels = benchmark(measure)
+    if once("fig12"):
+        table = Table("Fig 12 — dispatch latency vs kernel execution (clocks)",
+                      ["path", "clocks"])
+        for name, clocks in {**dispatch, **kernels}.items():
+            table.add(name, clocks)
+        table.show()
+    noc_latencies = [v for k, v in dispatch.items() if k.startswith("NoC")]
+    # IBUS fixed and minimal; NoC grows with distance.
+    assert dispatch["IBUS"] <= min(noc_latencies)
+    assert max(noc_latencies) > min(noc_latencies)
+    # Kernels are 2-3 orders of magnitude above dispatch.
+    worst_dispatch = max(noc_latencies)
+    assert kernels["Conv"] > 100 * worst_dispatch
+    assert kernels["Matmul"] > 50 * worst_dispatch

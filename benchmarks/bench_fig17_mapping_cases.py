@@ -1,0 +1,104 @@
+"""Figs 8, 9 and 17: topology-mapping case studies.
+
+- Fig 8: two 3x3 requests on a 5x5 chip — exact mapping locks in after
+  the first; similar mapping recovers the second from the L-shaped rest.
+- Fig 9: a concrete topology-edit-distance computation.
+- Fig 17: straightforward vs similar mapping on a partially occupied
+  chip (corner blocks already allocated).
+"""
+
+import pytest
+
+from benchmarks.common import Table, once
+from repro.arch.topology import Topology
+from repro.core.ged import exact_ged
+from repro.core.topology_mapping import TopologyMapper
+from repro.errors import TopologyLockIn
+
+
+def fig8_scenario():
+    chip = Topology.mesh2d(5, 5)
+    mapper = TopologyMapper(chip)
+    request = Topology.mesh2d(3, 3)
+    first = mapper.map_exact(request)
+    allocated = set(first.physical_cores)
+    try:
+        mapper.map_exact(request, allocated=allocated)
+        locked_in = False
+    except TopologyLockIn:
+        locked_in = True
+    second = mapper.map_similar(request, allocated=allocated)
+    return first, locked_in, second
+
+
+def fig17_scenario():
+    """Corners pre-occupied; place a 3x3 tenant both ways."""
+    chip = Topology.mesh2d(5, 5)
+    mapper = TopologyMapper(chip)
+    occupied = {0, 1, 5, 6, 18, 19, 23, 24}  # upper-left + bottom-right
+    request = Topology.mesh2d(3, 3)
+    similar = mapper.map_similar(request, allocated=occupied)
+    straightforward = mapper.map_straightforward(request, allocated=occupied)
+
+    def mean_hops(result):
+        hops = [
+            chip.hop_distance(result.vmap[u], result.vmap[v])
+            for u, v in request.edges
+        ]
+        return sum(hops) / len(hops)
+
+    return {
+        "similar": (similar, mean_hops(similar)),
+        "straightforward": (straightforward, mean_hops(straightforward)),
+    }
+
+
+def test_fig8_lock_in_and_recovery(benchmark):
+    first, locked_in, second = benchmark.pedantic(
+        fig8_scenario, rounds=1, iterations=1)
+    if once("fig8"):
+        table = Table("Fig 8 — two 3x3 vNPUs on a 5x5 chip",
+                      ["vNPU", "strategy", "physical cores", "TED"])
+        table.add("vNPU1", first.strategy, str(first.physical_cores),
+                  first.distance)
+        table.add("vNPU2", second.strategy, str(second.physical_cores),
+                  second.distance)
+        table.show()
+        print("exact mapping for vNPU2: TopologyLockIn "
+              f"(paper: ~64% of cores wasted) -> {locked_in}")
+    assert first.is_exact
+    assert locked_in  # the paper's topology lock-in
+    assert second.connected and len(second.vmap) == 9
+    assert 0 < second.distance <= 8
+
+
+def test_fig9_edit_distance_example(benchmark):
+    """A 4-operation edit: 2 edge deletions, 1 insertion, 1 substitution."""
+    t1 = Topology(range(5), [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4)],
+                  node_attrs={4: "sa"})
+    t2 = Topology(range(5), [(0, 1), (0, 2), (0, 3), (0, 4)],
+                  node_attrs={4: "vu"})
+    distance = benchmark(lambda: exact_ged(t1, t2))
+    if once("fig9"):
+        print(f"\nFig 9 — TED(T1, T2) = {distance} (paper example: 4)")
+    assert distance == 4.0
+
+
+def test_fig17_strategies(benchmark):
+    results = benchmark.pedantic(fig17_scenario, rounds=1, iterations=1)
+    if once("fig17"):
+        table = Table("Fig 17 — mapping strategies on an occupied 5x5 chip",
+                      ["strategy", "TED", "mean edge hops", "cores"])
+        for name, (result, hops) in results.items():
+            table.add(name, result.distance, hops,
+                      str(result.physical_cores))
+        table.show()
+    similar, similar_hops = results["similar"]
+    straightforward, zz_hops = results["straightforward"]
+    assert similar.distance <= straightforward.distance
+    assert similar_hops <= zz_hops
+    # Both respect R-1 and avoid occupied cores.
+    occupied = {0, 1, 5, 6, 18, 19, 23, 24}
+    for result, _ in results.values():
+        assert len(result.vmap) == 9
+        assert not set(result.physical_cores) & occupied

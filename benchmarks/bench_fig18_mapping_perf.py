@@ -1,0 +1,94 @@
+"""Fig 18: end-to-end performance of straightforward vs similar topology
+mapping across virtual-NPU sizes.
+
+The chip starts partially occupied (the paper's red nodes). Paper shapes:
+
+- the mapping strategy matters more as the vNPU grows (ResNet34: ~40 %
+  better at 28 cores, ~6 % at 11);
+- graph-heavy models (ResNet) are more sensitive than uniform chains
+  (GPT: zig-zag still reaches ~89 % of the similar mapping).
+"""
+
+from benchmarks.common import Table, once
+from repro.arch.chip import Chip
+from repro.arch.config import MB, sim_config
+from repro.arch.topology import MeshShape
+from repro.core.hypervisor import Hypervisor
+from repro.core.vnpu import VNpuSpec
+from repro.runtime.session import compile_model, estimate_together
+from repro.workloads import gpt2, resnet
+
+#: Pre-occupied cores on the 6x6 chip: opposite corner blocks.
+OCCUPIED_SHAPE = MeshShape(2, 2)
+
+SIZES = {9: MeshShape(3, 3), 12: MeshShape(3, 4), 16: MeshShape(4, 4),
+         24: MeshShape(4, 6), 28: MeshShape(4, 7)}
+
+MODELS = {
+    "resnet18": lambda: resnet(18),
+    "resnet34": lambda: resnet(34),
+    "gpt2-medium": lambda: gpt2("medium", 256),
+}
+
+
+def fps_for(model_builder, cores: int, strategy: str) -> float:
+    chip = Chip(sim_config(36))
+    hv = Hypervisor(chip)
+    # Occupy two opposite corners first (the paper's non-empty start).
+    hv.create_vnpu(VNpuSpec("blk1", OCCUPIED_SHAPE, 16 * MB),
+                   strategy="straightforward")
+    model = model_builder()
+    vnpu = hv.create_vnpu(
+        VNpuSpec("tenant", SIZES[cores], 512 * MB), strategy=strategy)
+    placed = compile_model(model, vnpu, chip)
+    return estimate_together(chip, [placed])[model.name].fps
+
+
+def sweep():
+    grid = {}
+    for model_name, builder in MODELS.items():
+        for cores in SIZES:
+            similar = fps_for(builder, cores, "similar")
+            zigzag = fps_for(builder, cores, "straightforward")
+            grid[(model_name, cores)] = (similar, zigzag)
+    return grid
+
+
+def test_fig18_mapping_performance(benchmark):
+    grid = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    if once("fig18"):
+        table = Table("Fig 18 — fps under similar vs straightforward mapping",
+                      ["model", "cores", "similar", "zig-zag",
+                       "similar/zig-zag"])
+        for (model_name, cores), (similar, zigzag) in grid.items():
+            table.add(model_name, cores, similar, zigzag,
+                      f"{similar / zigzag:.2f}x")
+        table.show()
+
+    # Trend 1: similar mapping never loses to zig-zag.
+    for key, (similar, zigzag) in grid.items():
+        assert similar >= 0.99 * zigzag, key
+
+    # Trend 2: for graph-heavy ResNet the strategy changes throughput by
+    # double digits at several sizes (paper: up to ~40 %; our peak gain
+    # appears at small/mid vNPU sizes — at 28 cores a single fat
+    # activation flow bounds both mappings; see EXPERIMENTS.md).
+    resnet_gains = [
+        grid[(m, c)][0] / grid[(m, c)][1]
+        for m in ("resnet18", "resnet34") for c in SIZES
+    ]
+    assert max(resnet_gains) > 1.2
+
+    # Trend 3: uniform GPT chains are far less sensitive (paper: zig-zag
+    # reaches ~89 % of the similar mapping on average; ours ~100 %).
+    gpt_ratio = sum(
+        grid[("gpt2-medium", c)][1] / grid[("gpt2-medium", c)][0]
+        for c in SIZES) / len(SIZES)
+    resnet_mean = sum(
+        grid[("resnet18", c)][0] / grid[("resnet18", c)][1]
+        for c in SIZES) / len(SIZES)
+    gpt_mean_gain = sum(
+        grid[("gpt2-medium", c)][0] / grid[("gpt2-medium", c)][1]
+        for c in SIZES) / len(SIZES)
+    assert gpt_ratio > 0.8
+    assert resnet_mean > gpt_mean_gain  # ResNet more mapping-sensitive

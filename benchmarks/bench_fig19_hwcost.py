@@ -1,0 +1,32 @@
+"""Fig 19: additional FPGA resources of the virtualization hardware.
+
+Paper shape: both vNPU (vChunk + vRouter) and Kim's UVM scheme add only
+~2 % Total LUTs and FFs over the baseline NPU; a 128-entry routing table
+needs almost no logic because it sits in (LUT)RAM.
+"""
+
+from benchmarks.common import Table, once
+from repro.analysis.hwcost import figure19_table
+
+
+def test_fig19_hardware_cost(benchmark):
+    table_data = benchmark(figure19_table)
+    if once("fig19"):
+        table = Table("Fig 19 — added FPGA resources (% of baseline)",
+                      ["structure", "Total LUTs", "Logic LUTs", "LUTRAMs",
+                       "FFs"])
+        for name, row in table_data.items():
+            table.add(name, row["total_luts"], row["logic_luts"],
+                      row["lutrams"], row["ffs"])
+        table.show()
+    for name, row in table_data.items():
+        assert row["total_luts"] < 10, name
+        assert row["ffs"] < 10, name
+    # vNPU and Kim's are in the same small band (~2 %).
+    vnpu_core = table_data["NPU core (vNPU)"]["total_luts"]
+    kims_core = table_data["NPU core (Kim's)"]["total_luts"]
+    assert vnpu_core < 5 and kims_core < 5
+    # Routing table: LUTRAM-resident, no flip-flops.
+    rt = table_data["Routing table (128 entries)"]
+    assert rt["ffs"] == 0.0
+    assert rt["logic_luts"] < 0.1

@@ -1,0 +1,22 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Every bench prints a paper-vs-measured table (captured into
+EXPERIMENTS.md) and times its core computation with pytest-benchmark.
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import Table
+
+__all__ = ["Table", "once"]
+
+_printed: set[str] = set()
+
+
+def once(key: str) -> bool:
+    """True the first time ``key`` is seen (print tables once per run)."""
+    if key in _printed:
+        return False
+    _printed.add(key)
+    return True

@@ -1,0 +1,86 @@
+"""vChunk memory virtualization demo: ranges vs pages, caps in action.
+
+Streams BERT's weights through the three translation schemes of Fig 14,
+dumps the live Range Translation Table, and shows the per-vNPU bandwidth
+cap throttling a noisy neighbour.
+
+Run:  python examples/memory_virtualization_demo.py
+"""
+
+from repro.arch.dma import DmaEngine, TensorAccess
+from repro.core.vchunk import AccessCounter, RangeTranslator
+from repro.mem.address_space import PhysicalTranslator
+from repro.mem.page_table import PageTableTranslator
+from repro.workloads import bert_base
+
+MB = 1 << 20
+
+
+def tensors_for(model, cap=1 * MB):
+    out, va = [], 0x1_0000
+    for layer in model.layers:
+        if layer.weight_bytes:
+            nbytes = min(layer.weight_bytes, cap)
+            out.append(TensorAccess(va, nbytes))
+            va += (nbytes + 0xFFF) & ~0xFFF
+    return out
+
+
+def main() -> None:
+    model = bert_base()
+    tensors = tensors_for(model)
+    total = sum(t.nbytes for t in tensors)
+    print(f"streaming {total / MB:.1f} MB of {model.name} weights "
+          f"({len(tensors)} tensors)\n")
+
+    # --- translation schemes -------------------------------------------------
+    span = tensors[-1].virtual_address + tensors[-1].nbytes
+    span = (span + 0xFFF) & ~0xFFF
+
+    schemes = {}
+    vchunk = RangeTranslator(tlb_entries=4)
+    for tensor in tensors:
+        vchunk.map_range(tensor.virtual_address, tensor.virtual_address,
+                         tensor.nbytes)
+    schemes["vChunk (range)"] = vchunk
+    for entries in (32, 4):
+        pages = PageTableTranslator(tlb_entries=entries)
+        pages.map_range(0, 0, span)
+        schemes[f"IOTLB{entries} (pages)"] = pages
+    schemes["physical"] = PhysicalTranslator()
+
+    print(f"{'scheme':16s} {'entries':>8s} {'cycles':>12s} {'stall %':>8s}")
+    baseline = None
+    for name, translator in schemes.items():
+        engine = DmaEngine(0, translator, bytes_per_cycle=4.0)
+        result = engine.stream_weights(tensors, streams=6)
+        if name == "physical":
+            baseline = result.total_cycles
+        entries = getattr(translator, "entry_count", 0)
+        stall = 100 * result.translation_stall_cycles / result.total_cycles
+        print(f"{name:16s} {entries:8d} {result.total_cycles:12,} "
+              f"{stall:7.1f}%")
+    print(f"\n(1 RTT entry per tensor vs "
+          f"{span // 4096:,} page-table entries for the same span)")
+
+    # --- peek at the RTT walker state ---------------------------------------
+    print("\nfirst RTT entries (after streaming, last_v hints learned):")
+    for index, entry in enumerate(vchunk.table.entries[:5]):
+        print(f"  [{index}] VA {entry.virtual_address:#9x} size "
+              f"{entry.size:>9,} last_v={entry.last_v}")
+    print(f"  range-TLB hit rate: {vchunk.hit_rate:.1%}, "
+          f"last_v refills: {vchunk.last_v_hits}")
+
+    # --- bandwidth cap --------------------------------------------------------
+    print("\nbandwidth cap (Access Counter): 64 KB per 10k-cycle window")
+    counter = AccessCounter(window_cycles=10_000,
+                            max_bytes_per_window=64 * 1024)
+    capped = DmaEngine(0, PhysicalTranslator(), bytes_per_cycle=4.0,
+                       access_counter=counter)
+    result = capped.stream_weights(tensors[:8], streams=4)
+    print(f"  throttle stalls: {result.throttle_stall_cycles:,} cycles "
+          f"on a {result.payload_bytes / MB:.1f} MB stream")
+
+
+if __name__ == "__main__":
+    main()

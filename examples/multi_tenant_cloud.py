@@ -1,0 +1,74 @@
+"""Multi-tenant cloud scenario: vNPU vs MIG on one 48-core chip.
+
+Two tenants share the chip: GPT2-small (needs 12 cores) and GPT2-large
+(needs 36). vNPU allocates exactly what each asked for; MIG hands each a
+fixed 24-core half — stranding cores under the small tenant and forcing
+time-division multiplexing on the large one.
+
+Run:  python examples/multi_tenant_cloud.py
+"""
+
+from repro import Chip, Hypervisor, MeshShape, VNpuSpec, sim_config
+from repro.arch.topology import Topology
+from repro.baselines.mig import mig_partitions, place_on_mig
+from repro.compiler.mapper import map_stages
+from repro.compiler.partitioner import partition
+from repro.runtime.session import compile_model, estimate_together
+from repro.workloads import gpt2
+
+MB = 1 << 20
+SEQ = 256
+
+
+def run_vnpu(config):
+    chip = Chip(config)
+    hypervisor = Hypervisor(chip)
+    small = hypervisor.create_vnpu(
+        VNpuSpec("gpt2-small", MeshShape(3, 4), 256 * MB))
+    large = hypervisor.create_vnpu(
+        VNpuSpec("gpt2-large", MeshShape(6, 6), 1024 * MB))
+    placed = [
+        compile_model(gpt2("small", SEQ), small, chip),
+        compile_model(gpt2("large", SEQ), large, chip),
+    ]
+    return estimate_together(chip, placed), hypervisor.core_utilization()
+
+
+def run_mig(config):
+    chip = Chip(config)
+    halves = mig_partitions(config, count=2)
+    weight_zone = config.core.weight_zone_bytes
+    small = map_stages(
+        partition(gpt2("small", SEQ), 12, weight_zone_bytes=weight_zone),
+        Topology.mesh2d(3, 4))
+    large = map_stages(
+        partition(gpt2("large", SEQ), 36, weight_zone_bytes=weight_zone),
+        Topology.mesh2d(6, 6))
+    placed = [
+        place_on_mig(small, halves[0], chip.topology),
+        place_on_mig(large, halves[1], chip.topology),
+    ]
+    used = {core for task in placed for core in task.core_macs}
+    return estimate_together(chip, placed), len(used) / config.core_count
+
+
+def main() -> None:
+    config = sim_config(48)
+    vnpu_reports, vnpu_util = run_vnpu(config)
+    mig_reports, mig_util = run_mig(config)
+
+    print(f"{'tenant':12s} {'vNPU fps':>10s} {'MIG fps':>10s} {'speedup':>8s}")
+    for tenant in ("gpt2-small", "gpt2-large"):
+        v = vnpu_reports[tenant].fps
+        m = mig_reports[tenant].fps
+        print(f"{tenant:12s} {v:10,.0f} {m:10,.0f} {v / m:7.2f}x")
+
+    print(f"\nactive-core utilization: vNPU {vnpu_util:.0%} vs MIG {mig_util:.0%}")
+    print("\nwarm-up (cycles):")
+    for tenant in ("gpt2-small", "gpt2-large"):
+        print(f"  {tenant:12s} vNPU {vnpu_reports[tenant].warmup_cycles:>10,} "
+              f"MIG {mig_reports[tenant].warmup_cycles:>10,}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""One-shot driver: regenerate the paper's headline results in a minute.
+
+Runs condensed versions of the Fig 14 / 15 / 16 experiments and prints a
+single paper-vs-measured summary. The full per-figure harness lives in
+``benchmarks/`` (pytest benchmarks with assertions); this script is the
+human-readable tour.
+
+Run:  python examples/paper_reproduction.py
+"""
+
+from repro import Chip, Hypervisor, MeshShape, VNpuSpec, sim_config
+from repro.arch.config import fpga_config
+from repro.arch.dma import DmaEngine, TensorAccess
+from repro.arch.topology import Topology
+from repro.baselines.mig import mig_partitions, place_on_mig
+from repro.compiler.mapper import map_stages
+from repro.compiler.partitioner import partition
+from repro.core.vchunk import RangeTranslator
+from repro.mem.address_space import PhysicalTranslator
+from repro.mem.page_table import PageTableTranslator
+from repro.runtime.session import compile_model, estimate_together
+from repro.workloads import gpt2, resnet, transformer_block
+
+MB = 1 << 20
+
+
+def fig14_headline() -> tuple[float, float]:
+    """vChunk vs IOTLB4 overhead on a ResNet-50 weight stream."""
+    tensors, va = [], 0x1_0000
+    for layer in resnet(50).layers:
+        if layer.weight_bytes:
+            nbytes = min(layer.weight_bytes, 1 * MB)
+            tensors.append(TensorAccess(va, nbytes))
+            va += (nbytes + 0xFFF) & ~0xFFF
+    span = (va + 0xFFF) & ~0xFFF
+
+    vchunk = RangeTranslator(tlb_entries=4)
+    for tensor in tensors:
+        vchunk.map_range(tensor.virtual_address, tensor.virtual_address,
+                         tensor.nbytes)
+    pages = PageTableTranslator(tlb_entries=4)
+    pages.map_range(0, 0, span)
+
+    def cycles(translator):
+        return DmaEngine(0, translator, bytes_per_cycle=4.0).stream_weights(
+            tensors, streams=6).total_cycles
+
+    baseline = cycles(PhysicalTranslator())
+    return (cycles(vchunk) / baseline - 1, cycles(pages) / baseline - 1)
+
+
+def fig15_headline() -> float:
+    """Single-instance transformer: UVM time over vNPU time."""
+    chip = Chip(fpga_config())
+    hv = Hypervisor(chip, min_block=1 << 16)
+    vnpu = hv.create_vnpu(VNpuSpec("t", MeshShape(2, 2), 2 * MB))
+    model = transformer_block(64, 16)
+    placed = compile_model(model, vnpu, chip)
+    noc = estimate_together(chip, [placed])[model.name]
+    uvm = estimate_together(chip, [placed], uvm_tasks={model.name})[model.name]
+    return uvm.iteration_cycles / noc.iteration_cycles
+
+
+def fig16_headline() -> float:
+    """GPT2-large: vNPU fps over MIG fps on a 48-core chip."""
+    config = sim_config(48)
+    model = gpt2("large", 256)
+
+    chip = Chip(config)
+    hv = Hypervisor(chip)
+    hv.create_vnpu(VNpuSpec("gpt2-small", MeshShape(3, 4), 256 * MB))
+    large = hv.create_vnpu(VNpuSpec("gpt2-large", MeshShape(6, 6), 1024 * MB))
+    vnpu_fps = estimate_together(
+        chip, [compile_model(model, large, chip)])[model.name].fps
+
+    mig_chip = Chip(config)
+    halves = mig_partitions(config, 2)
+    mapped = map_stages(
+        partition(model, 36, weight_zone_bytes=config.core.weight_zone_bytes),
+        Topology.mesh2d(6, 6))
+    mig_fps = estimate_together(
+        mig_chip,
+        [place_on_mig(mapped, halves[1], mig_chip.topology)])[model.name].fps
+    return vnpu_fps / mig_fps
+
+
+def main() -> None:
+    print("reproducing headline results (full harness: pytest benchmarks/)\n")
+    vchunk, iotlb4 = fig14_headline()
+    rows = [
+        ("Fig 14: vChunk translation overhead", "< 4.3%", f"{vchunk:.1%}"),
+        ("Fig 14: IOTLB4 translation overhead", "~20%", f"{iotlb4:.1%}"),
+        ("Fig 15: transformer, UVM / vNPU time", "2.29x",
+         f"{fig15_headline():.2f}x"),
+        ("Fig 16: GPT2-large, vNPU / MIG fps", "up to 1.92x",
+         f"{fig16_headline():.2f}x"),
+    ]
+    width = max(len(r[0]) for r in rows)
+    print(f"{'experiment'.ljust(width)}  {'paper':>12s}  {'measured':>9s}")
+    for name, paper, measured in rows:
+        print(f"{name.ljust(width)}  {paper:>12s}  {measured:>9s}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Quickstart: carve a virtual NPU out of a 36-core chip and deploy a model.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Chip, Hypervisor, MeshShape, VNpuSpec, deploy, sim_config
+from repro.workloads import resnet
+
+MB = 1 << 20
+
+
+def main() -> None:
+    # A 6x6 inter-core connected NPU (Table 2's SIM configuration).
+    chip = Chip(sim_config(36))
+    hypervisor = Hypervisor(chip)
+
+    # Request a 4x6 virtual topology with 256 MB of HBM.
+    vnpu = hypervisor.create_vnpu(
+        VNpuSpec("tenant-a", MeshShape(4, 6), memory_bytes=256 * MB))
+    print(f"vNPU {vnpu.vmid} ({vnpu.name!r})")
+    print(f"  physical cores : {vnpu.physical_cores}")
+    print(f"  routing table  : {type(vnpu.routing_table).__name__} "
+          f"({vnpu.routing_table.entry_count} entries)")
+    print(f"  RTT entries    : {vnpu.translator.entry_count} "
+          f"(buddy blocks mapped as ranges)")
+    print(f"  mapping        : {vnpu.mapping.strategy}, "
+          f"edit distance {vnpu.mapping.distance}")
+
+    # Compile and deploy ResNet-34 onto the virtual topology.
+    report = deploy(resnet(34), vnpu, chip)
+    print(f"\nResNet-34 on {vnpu.core_count} cores:")
+    print(f"  throughput : {report.fps:,.0f} inferences/s")
+    print(f"  iteration  : {report.iteration_cycles:,} cycles")
+    print(f"  warm-up    : {report.warmup_cycles:,} cycles "
+          f"({chip.seconds(report.warmup_cycles) * 1e3:.2f} ms)")
+    print(f"  bottleneck : {report.bottleneck}")
+
+    print(f"\nchip utilization: {hypervisor.core_utilization():.0%}")
+
+
+if __name__ == "__main__":
+    main()

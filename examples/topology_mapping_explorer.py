@@ -1,0 +1,75 @@
+"""Topology-mapping explorer: watch allocation strategies carve a chip.
+
+Renders the 6x6 mesh as ASCII after each allocation and compares the
+exact / similar / straightforward strategies on a fragmented chip —
+including the paper's "topology lock-in" failure.
+
+Run:  python examples/topology_mapping_explorer.py
+"""
+
+from repro import Chip, Hypervisor, MeshShape, VNpuSpec, sim_config
+from repro.errors import TopologyLockIn
+
+MB = 1 << 20
+GLYPHS = "ABCDEFGH"
+
+
+def render(chip, hypervisor) -> str:
+    owner = {}
+    for index, vnpu in enumerate(hypervisor.vnpus):
+        for core in vnpu.physical_cores:
+            owner[core] = GLYPHS[index % len(GLYPHS)]
+    rows = []
+    for row in range(chip.config.mesh_rows):
+        cells = []
+        for col in range(chip.config.mesh_cols):
+            core = row * chip.config.mesh_cols + col
+            cells.append(owner.get(core, "."))
+        rows.append(" ".join(cells))
+    return "\n".join(rows)
+
+
+def main() -> None:
+    chip = Chip(sim_config(36))
+    hypervisor = Hypervisor(chip)
+
+    print("empty 6x6 chip:")
+    print(render(chip, hypervisor))
+
+    a = hypervisor.create_vnpu(
+        VNpuSpec("A", MeshShape(3, 3), 64 * MB), strategy="exact")
+    print(f"\nA: exact 3x3 -> cores {a.physical_cores}")
+    print(render(chip, hypervisor))
+
+    b = hypervisor.create_vnpu(
+        VNpuSpec("B", MeshShape(2, 5), 64 * MB), strategy="exact")
+    print(f"\nB: exact 2x5 -> cores {b.physical_cores}")
+    print(render(chip, hypervisor))
+
+    # A 4x4 cannot fit exactly any more: the paper's topology lock-in.
+    try:
+        hypervisor.create_vnpu(
+            VNpuSpec("C", MeshShape(4, 4), 64 * MB), strategy="exact")
+    except TopologyLockIn as exc:
+        print(f"\nC: exact 4x4 -> TopologyLockIn: {exc}")
+
+    c = hypervisor.create_vnpu(
+        VNpuSpec("C", MeshShape(4, 4), 64 * MB), strategy="similar")
+    print(f"\nC: similar 4x4 -> cores {c.physical_cores} "
+          f"(edit distance {c.mapping.distance})")
+    print(render(chip, hypervisor))
+
+    leftover = hypervisor.free_core_count()
+    d = hypervisor.create_vnpu(
+        VNpuSpec("D", MeshShape(1, leftover), 16 * MB, noc_isolation=False),
+        strategy="fragmented")
+    print(f"\nD: fragmented 1x{leftover} -> cores {d.physical_cores} "
+          f"(connected: {d.mapping.connected})")
+    print(render(chip, hypervisor))
+
+    print(f"\nfinal utilization: {hypervisor.core_utilization():.0%} "
+          f"({36 - hypervisor.free_core_count()}/36 cores)")
+
+
+if __name__ == "__main__":
+    main()

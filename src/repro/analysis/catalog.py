@@ -1,0 +1,91 @@
+"""NPU hardware-evolution catalog (Fig 2).
+
+Public (approximate) peak-compute and on-chip-SRAM figures for the
+accelerator families the paper plots over 2017-2024. Values are the
+vendor-quoted dense peak for the device's preferred inference datatype;
+they reproduce Fig 2's log-scale trend — compute and SRAM growing one to
+two orders of magnitude over the period, inter-core connected NPUs (IPU,
+Groq, Tesla D1, Tenstorrent) holding 1-2 orders more SRAM than GPUs of
+the same year.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Device:
+    family: str
+    name: str
+    year: int
+    tflops: float
+    sram_mb: float
+    #: Inter-core connected dataflow NPU (the paper's focus class)?
+    inter_core: bool
+
+
+DEVICES: tuple[Device, ...] = (
+    # Graphcore IPU
+    Device("IPU", "GC2", 2018, 125, 300, True),
+    Device("IPU", "GC200", 2020, 250, 900, True),
+    Device("IPU", "Bow", 2022, 350, 900, True),
+    # Nvidia GPUs
+    Device("Nvidia GPU", "V100", 2017, 125, 20, False),
+    Device("Nvidia GPU", "A100", 2020, 312, 40, False),
+    Device("Nvidia GPU", "H100", 2022, 990, 50, False),
+    Device("Nvidia GPU", "B200", 2024, 2250, 126, False),
+    # Google TPUs
+    Device("TPU", "TPUv2", 2017, 45, 24, False),
+    Device("TPU", "TPUv3", 2018, 123, 32, False),
+    Device("TPU", "TPUv4", 2021, 275, 128, False),
+    Device("TPU", "TPUv5p", 2023, 459, 128, False),
+    # Tenstorrent
+    Device("Tenstorrent", "Grayskull", 2020, 92, 120, True),
+    Device("Tenstorrent", "Wormhole", 2021, 110, 192, True),
+    Device("Tenstorrent", "Blackhole", 2024, 745, 210, True),
+    # Tesla
+    Device("Tesla D1", "D1", 2021, 362, 440, True),
+    # Groq
+    Device("Groq", "LPU", 2020, 750, 230, True),
+)
+
+
+def devices_by_family() -> dict[str, list[Device]]:
+    families: dict[str, list[Device]] = {}
+    for device in DEVICES:
+        families.setdefault(device.family, []).append(device)
+    for members in families.values():
+        members.sort(key=lambda d: d.year)
+    return families
+
+
+def series(metric: str) -> dict[str, list[tuple[int, float]]]:
+    """Per-family (year, value) series for ``metric`` in
+    {"tflops", "sram_mb"} — the two panels of Fig 2."""
+    if metric not in ("tflops", "sram_mb"):
+        raise ValueError(f"unknown metric {metric!r}")
+    return {
+        family: [(d.year, getattr(d, metric)) for d in members]
+        for family, members in devices_by_family().items()
+    }
+
+
+def growth_factor(metric: str) -> float:
+    """Max/min value across the catalog — the orders-of-magnitude spread."""
+    values = [getattr(d, metric) for d in DEVICES]
+    return max(values) / min(values)
+
+
+def intercore_sram_advantage(year_window: int = 2) -> float:
+    """Median SRAM ratio of inter-core NPUs vs same-era GPUs/TPUs."""
+    ratios = []
+    for npu in (d for d in DEVICES if d.inter_core):
+        peers = [
+            d.sram_mb for d in DEVICES
+            if not d.inter_core and abs(d.year - npu.year) <= year_window
+        ]
+        if peers:
+            ratios.append(npu.sram_mb / (sum(peers) / len(peers)))
+    ratios.sort()
+    return ratios[len(ratios) // 2]

@@ -1,0 +1,136 @@
+"""FPGA hardware-cost model for the virtualization extensions (Fig 19).
+
+Fig 19 synthesizes two virtualization schemes and reports the *additional*
+FPGA resources relative to the baseline NPU: Kim's (AuRORA-style unified
+virtual memory) and vNPU (vChunk + vRouter). We reproduce the comparison
+structurally: every added hardware structure is priced from its
+architectural state (register bits -> FFs, comparators/muxes -> LUTs,
+small tables -> LUTRAM), then reported as a percentage of a
+Gemmini-class baseline. The paper's claim to match: both schemes add on
+the order of 2 % Total LUTs/FFs, and a 128-entry routing table is almost
+free because it lives in (LUT)RAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.routing_table import STANDARD_ENTRY_BITS
+from repro.core.vchunk import RTT_ENTRY_BITS
+
+#: Gemmini-class baseline synthesis footprint (order-of-magnitude figures
+#: from the Chipyard flow; only *ratios* matter for Fig 19).
+BASELINE_CONTROLLER = {"total_luts": 24_000, "logic_luts": 22_000,
+                       "lutrams": 900, "ffs": 18_000}
+BASELINE_CORE = {"total_luts": 65_000, "logic_luts": 60_000,
+                 "lutrams": 2_600, "ffs": 48_000}
+
+#: Conversion factors: 1 FF per state bit; 1 LUT per 2 compared bits;
+#: LUTRAM stores 64 bits per LUT (distributed RAM).
+LUT_PER_COMPARE_BIT = 0.5
+LUTRAM_BITS_PER_LUT = 64
+
+
+@dataclass
+class ResourceCost:
+    """Added FPGA resources of one hardware structure."""
+
+    name: str
+    total_luts: float = 0.0
+    logic_luts: float = 0.0
+    lutrams: float = 0.0
+    ffs: float = 0.0
+
+    def __iadd__(self, other: "ResourceCost") -> "ResourceCost":
+        self.total_luts += other.total_luts
+        self.logic_luts += other.logic_luts
+        self.lutrams += other.lutrams
+        self.ffs += other.ffs
+        return self
+
+    def percent_of(self, baseline: dict[str, float]) -> dict[str, float]:
+        return {
+            "total_luts": 100 * self.total_luts / baseline["total_luts"],
+            "logic_luts": 100 * self.logic_luts / baseline["logic_luts"],
+            "lutrams": 100 * self.lutrams / baseline["lutrams"],
+            "ffs": 100 * self.ffs / baseline["ffs"],
+        }
+
+
+def _register_bank(name: str, bits: int, compare_bits: int = 0,
+                   in_lutram: bool = False) -> ResourceCost:
+    """Price a structure holding ``bits`` of state with some comparators."""
+    logic = compare_bits * LUT_PER_COMPARE_BIT
+    lutram = bits / LUTRAM_BITS_PER_LUT if in_lutram else 0.0
+    ffs = 0.0 if in_lutram else bits
+    return ResourceCost(
+        name=name,
+        total_luts=logic + lutram,
+        logic_luts=logic,
+        lutrams=lutram,
+        ffs=ffs,
+    )
+
+
+def vnpu_controller_cost(routing_table_entries: int = 128) -> ResourceCost:
+    """vRouter additions in the NPU controller."""
+    cost = ResourceCost("vNPU controller")
+    # Routing table in controller SRAM/LUTRAM.
+    cost += _register_bank("routing table",
+                           routing_table_entries * STANDARD_ENTRY_BITS,
+                           compare_bits=16, in_lutram=True)
+    # VMID match + v_CoreID comparators, last-translation cache, hyper-REGs.
+    cost += _register_bank("lookup pipeline", bits=220, compare_bits=64)
+    cost += _register_bank("hyper registers", bits=4 * 64)
+    return cost
+
+
+def vnpu_core_cost(range_tlb_entries: int = 4) -> ResourceCost:
+    """vChunk + NoC-vRouter additions in each NPU core."""
+    cost = ResourceCost("vNPU core")
+    # Range TLB: 4 entries x 144 bits, fully associative comparators.
+    cost += _register_bank("range TLB",
+                           bits=range_tlb_entries * RTT_ENTRY_BITS,
+                           compare_bits=range_tlb_entries * 48)
+    # RTT walker state (RTT_BASE / RTT_CUR / RTT_END + adders).
+    cost += _register_bank("rtt walker", bits=3 * 16 + 48, compare_bits=48)
+    # NoC vRouter: destination rewrite + direction lookup in meta-zone.
+    cost += _register_bank("noc rewrite", bits=96, compare_bits=32)
+    # Access counter (bytes within window + threshold compare).
+    cost += _register_bank("access counter", bits=64, compare_bits=32)
+    return cost
+
+
+def kims_controller_cost() -> ResourceCost:
+    """AuRORA-style UVM additions in the controller (comparison system)."""
+    cost = ResourceCost("Kim's controller")
+    cost += _register_bank("address claim table", bits=128 * 40,
+                           compare_bits=40, in_lutram=True)
+    cost += _register_bank("rerouting logic", bits=180, compare_bits=80)
+    return cost
+
+
+def kims_core_cost(iotlb_entries: int = 32) -> ResourceCost:
+    """AuRORA-style UVM additions per core: IOTLB + page walker."""
+    cost = ResourceCost("Kim's core")
+    entry_bits = 36 + 28 + 4  # vpn + ppn + flags
+    cost += _register_bank("iotlb", bits=iotlb_entries * entry_bits,
+                           compare_bits=iotlb_entries * 36)
+    cost += _register_bank("page walker", bits=220, compare_bits=64)
+    return cost
+
+
+def figure19_table() -> dict[str, dict[str, float]]:
+    """All four bars of Fig 19 plus the standalone routing table."""
+    rt = _register_bank("routing table", 128 * STANDARD_ENTRY_BITS,
+                        compare_bits=16, in_lutram=True)
+    rt_pct = rt.percent_of(BASELINE_CONTROLLER)
+    return {
+        "NPU controller (Kim's)": kims_controller_cost().percent_of(
+            BASELINE_CONTROLLER),
+        "NPU controller (vNPU)": vnpu_controller_cost().percent_of(
+            BASELINE_CONTROLLER),
+        "NPU core (Kim's)": kims_core_cost().percent_of(BASELINE_CORE),
+        "NPU core (vNPU)": vnpu_core_cost().percent_of(BASELINE_CORE),
+        "Routing table (128 entries)": rt_pct,
+    }

@@ -1,0 +1,62 @@
+"""Table formatting shared by the benchmark harness.
+
+Every bench prints a paper-vs-measured table through these helpers so
+EXPERIMENTS.md and ``pytest benchmarks/`` output stay consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Table:
+    """A printable fixed-width table."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add(self, *cells) -> None:
+        self.rows.append([_fmt(cell) for cell in cells])
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.headers[i]),
+                *(len(row[i]) for row in self.rows)) if self.rows
+            else len(self.headers[i])
+            for i in range(len(self.headers))
+        ]
+        lines = [f"== {self.title} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print()
+        print(self.render())
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def ratio(a: float, b: float) -> str:
+    """'a/b' as an 'N.NNx' string (guarding zero)."""
+    if b == 0:
+        return "inf"
+    return f"{a / b:.2f}x"
+
+
+def percent(fraction: float) -> str:
+    return f"{100 * fraction:.1f}%"

@@ -1,0 +1,84 @@
+"""Roofline FLOPS-utilization model for cloud NPUs (Fig 3).
+
+Fig 3 measures how much of a TPU's peak FLOPS classic ML models achieve
+at batch sizes 1 / 8 / 32. The effect is a roofline fact: per layer, the
+achievable rate is capped both by arithmetic intensity (weight traffic
+does not batch away) and by how well the layer's dimensions fill the
+systolic array. We reproduce it by walking each model's layer graph on a
+TPU-like device model and reporting achieved-FLOPS / peak-FLOPS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.compute import ComputeModel
+from repro.arch.config import CoreConfig
+from repro.errors import ConfigError
+from repro.workloads.graph import ModelGraph
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """A TPU-core-like roofline device."""
+
+    name: str = "tpu-like"
+    peak_tflops: float = 123.0          # TPUv3 core pair, bf16
+    memory_bandwidth_gbs: float = 900.0  # HBM
+    frequency_ghz: float = 0.94
+    systolic_dim: int = 128
+
+    @property
+    def macs_per_cycle(self) -> float:
+        return self.peak_tflops * 1e12 / 2 / (self.frequency_ghz * 1e9)
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        return (self.memory_bandwidth_gbs * 1e9) / (self.frequency_ghz * 1e9)
+
+
+def layer_cycles(device: DeviceModel, compute: ComputeModel,
+                 macs: int, mem_bytes: int) -> float:
+    """Max of compute occupancy and memory streaming for one layer."""
+    compute_cycles = compute.cycles_for_macs(macs)
+    # Rescale from the CoreConfig grid to the device's true peak.
+    scale = compute.core.macs_per_cycle / device.macs_per_cycle
+    compute_cycles = compute_cycles * scale
+    memory_cycles = mem_bytes / device.bytes_per_cycle
+    return max(compute_cycles, memory_cycles)
+
+
+def flops_utilization(model: ModelGraph, batch: int = 1,
+                      device: DeviceModel | None = None) -> float:
+    """Achieved / peak FLOPS for one model at one batch size."""
+    if batch < 1:
+        raise ConfigError(f"batch must be >= 1, got {batch}")
+    device = device or DeviceModel()
+    scaled = model.scaled(batch)
+    compute = ComputeModel(CoreConfig(
+        systolic_dim=device.systolic_dim,
+        scratchpad_bytes=1 << 30, meta_zone_bytes=1 << 10,
+    ))
+    total_cycles = 0.0
+    for layer in scaled.layers:
+        # Weights stream once per batch; activations scale with batch.
+        mem_bytes = layer.weight_bytes + layer.output_bytes
+        total_cycles += layer_cycles(device, compute, layer.macs, mem_bytes)
+    if total_cycles == 0:
+        return 0.0
+    achieved_macs_per_cycle = scaled.total_macs / total_cycles
+    return min(1.0, achieved_macs_per_cycle / device.macs_per_cycle)
+
+
+def utilization_table(models: dict[str, ModelGraph],
+                      batches: tuple[int, ...] = (1, 8, 32),
+                      device: DeviceModel | None = None
+                      ) -> dict[str, dict[int, float]]:
+    """Fig 3's full grid: model x batch -> utilization fraction."""
+    return {
+        name: {
+            batch: flops_utilization(graph, batch, device)
+            for batch in batches
+        }
+        for name, graph in models.items()
+    }

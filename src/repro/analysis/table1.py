@@ -1,0 +1,55 @@
+"""Table 1: qualitative comparison of accelerator virtualization schemes.
+
+Structured form of the paper's mechanism-comparison table, so programs
+(and the README) can query it. ``vNPU`` is the only row virtualizing all
+three resource dimensions — instruction, memory *and* interconnection —
+with full virtualization and unlimited instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Mechanism:
+    accelerator: str
+    method: str
+    full_virtualization: bool  # False -> para-virtualization
+    threat_model: str          # component responsible for isolation
+    virtualizes_instruction: bool
+    virtualizes_memory: bool
+    virtualizes_interconnect: bool
+    instance_limit: int | None  # None -> unlimited
+
+
+MECHANISMS: tuple[Mechanism, ...] = (
+    Mechanism("GPU", "API Forwarding", False, "API server",
+              True, True, False, None),
+    Mechanism("GPU", "MPS", False, "MPS server", True, True, False, None),
+    Mechanism("GPU", "MIG", True, "Hypervisor", True, True, False, 7),
+    Mechanism("GPU", "Time-sliced", True, "Scheduler",
+              False, False, False, None),
+    Mechanism("NPU", "AuRORA", False, "Runtime", True, True, False, None),
+    Mechanism("NPU", "V10", False, "Hypervisor", True, True, False, None),
+    Mechanism("NPU", "vNPU", True, "Hypervisor", True, True, True, None),
+)
+
+
+def vnpu_row() -> Mechanism:
+    return next(m for m in MECHANISMS if m.method == "vNPU")
+
+
+def only_interconnect_virtualizer() -> Mechanism:
+    """The paper's claim: exactly one mechanism virtualizes the NoC."""
+    rows = [m for m in MECHANISMS if m.virtualizes_interconnect]
+    if len(rows) != 1:
+        raise AssertionError(
+            f"expected exactly one interconnect virtualizer, got {rows}"
+        )
+    return rows[0]
+
+
+def hypervisor_isolated() -> list[Mechanism]:
+    """Mechanisms with the strongest (hypervisor) threat model."""
+    return [m for m in MECHANISMS if m.threat_model == "Hypervisor"]

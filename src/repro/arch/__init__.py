@@ -1,0 +1,22 @@
+"""Hardware substrate: chip, cores, NoC, memory system, timing models."""
+
+from repro.arch.config import (
+    CoreConfig,
+    MemoryConfig,
+    NoCConfig,
+    SoCConfig,
+    fpga_config,
+    sim_config,
+)
+from repro.arch.topology import MeshShape, Topology
+
+__all__ = [
+    "CoreConfig",
+    "MemoryConfig",
+    "MeshShape",
+    "NoCConfig",
+    "SoCConfig",
+    "Topology",
+    "fpga_config",
+    "sim_config",
+]

@@ -1,0 +1,136 @@
+"""Latency calibration constants for the cycle-accounting models.
+
+Every constant is fitted against a specific datum reported in the paper
+(section / figure noted inline). The micro-benchmarks in ``benchmarks/``
+re-measure these paths and EXPERIMENTS.md records paper-vs-measured.
+
+Constants are module-level and intentionally plain so that experiments can
+monkeypatch them for ablations; the chip model reads them once per
+construction via :class:`repro.arch.config.SoCConfig`.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# NoC (Table 3: 2 packets of 2048 B -> 309 clk send; 30 packets -> 4236 clk;
+# fitted slope ~140 clk/packet, intercept ~29 clk).
+# --------------------------------------------------------------------------
+
+#: Payload bytes a NoC link moves per cycle (2048-byte packet -> 128 cycles
+#: of link serialization, the dominant part of the ~140 clk/packet slope).
+NOC_LINK_BYTES_PER_CYCLE = 16
+
+#: Per-hop router pipeline latency (arbitration + crossbar), cycles.
+NOC_ROUTER_LATENCY = 6
+
+#: Per-packet protocol overhead at the send/receive engines (handshake).
+#: Link occupancy per packet = serialization (128) + handshake (12) = 140,
+#: matching Table 3's fitted 140.3 clk/packet slope.
+NOC_PACKET_HANDSHAKE = 12
+
+#: One-time cost of initiating a send/receive transfer (descriptor setup).
+#: With one router hop (6) this gives Table 3's ~29 clk intercept.
+NOC_TRANSFER_SETUP = 23
+
+#: Default routing-packet payload used by the paper's micro-test (bytes).
+NOC_DEFAULT_PACKET_BYTES = 2048
+
+# --------------------------------------------------------------------------
+# vRouter (Table 3 virtualized rows: vSend ~ +33 clk once; vReceive ~ +65).
+# --------------------------------------------------------------------------
+
+#: Cycles to look up a routing-table entry in controller SRAM (first use;
+#: subsequent packets to the same core hit a cached translation).
+VROUTER_RT_LOOKUP = 30
+
+#: Cycles for a core's NoC engine to fetch routing metadata from its
+#: meta-zone on the receive path (once per transfer).
+VROUTER_META_FETCH = 60
+
+#: Per-packet destination-ID rewrite cost. Fully overlapped with link
+#: serialization in hardware; kept non-zero so the path is exercised.
+VROUTER_REWRITE = 1
+
+# --------------------------------------------------------------------------
+# Instruction dispatch (Fig 12: IBUS fixed ~10 clk; iNoC 20-60 by distance;
+# Conv/Matmul execution 5e3-1e5 clk).
+# --------------------------------------------------------------------------
+
+#: Fixed instruction-bus broadcast latency (cycles).
+IBUS_LATENCY = 10
+
+#: Base latency for dispatching an instruction over the instruction NoC.
+INOC_DISPATCH_BASE = 18
+
+#: Additional latency per mesh hop on the instruction NoC.
+INOC_DISPATCH_PER_HOP = 5
+
+# --------------------------------------------------------------------------
+# Routing-table configuration (Fig 11: ~300 clk total at 8 cores, linear).
+# --------------------------------------------------------------------------
+
+#: Fixed cost of a routing-table configuration command (hyper-mode entry).
+RT_CONFIG_BASE = 20
+
+#: Per-core cost: availability query + entry write into controller SRAM.
+RT_CONFIG_PER_CORE = 35
+
+# --------------------------------------------------------------------------
+# Memory translation (Fig 14: IOTLB4 ~20 % slowdown, IOTLB32 ~9 %,
+# vChunk (4 range entries) < 4.3 %).
+# --------------------------------------------------------------------------
+
+#: Page-table walk latency on an IOTLB miss (cycles, blocks the DMA queue).
+PAGE_WALK_LATENCY = 120
+
+#: Page size used by the page-based baseline (bytes).
+PAGE_SIZE = 4096
+
+#: Cycles to fetch + compare one RTT entry during a range-TLB miss walk.
+RTT_ENTRY_SCAN = 8
+
+#: Cycles for a range-TLB refill when the ``last_v`` loop hint is correct.
+RTT_LAST_V_HIT = 12
+
+#: Cycles for a range-TLB hit / page-TLB hit (pipelined, effectively free
+#: but non-zero to keep the path honest).
+TLB_HIT_LATENCY = 1
+
+#: Interval between successive DMA burst issues during weight streaming
+#: (the paper's "every few cycles" burst phenomenon, §4.2).
+DMA_ISSUE_INTERVAL = 4
+
+#: Bytes moved per DMA burst request.
+DMA_BURST_BYTES = 512
+
+# --------------------------------------------------------------------------
+# UVM baseline (Fig 13: vRouter ~4.24x cheaper broadcast than global-memory
+# synchronization; Fig 15: multi-instance UVM degrades ~24 %).
+# --------------------------------------------------------------------------
+
+#: Extra latency for a global-memory synchronization round trip (flush +
+#: flag update) per transfer, cycles.
+UVM_SYNC_LATENCY = 400
+
+#: Effective bytes/cycle per core when staging intermediate results through
+#: the shared L2 + DRAM path (much lower than the NoC's 16 B/cyc).
+UVM_MEMORY_BYTES_PER_CYCLE = 4
+
+#: Aggregate bytes/cycle the shared L2 + memory system sustains for UVM
+#: staging traffic across *all* cores (bank conflicts + coherence traffic
+#: make it far below raw DRAM bandwidth; fitted to Fig 15's ~24 %
+#: multi-instance degradation).
+UVM_AGGREGATE_BYTES_PER_CYCLE = 15
+
+# --------------------------------------------------------------------------
+# Compute (Fig 12 / Fig 13 kernel times; systolic-array occupancy model).
+# --------------------------------------------------------------------------
+
+#: Fraction of peak MACs the systolic array sustains on dense kernels.
+SYSTOLIC_EFFICIENCY = 0.75
+
+#: Pipeline fill/drain cycles per systolic-array pass.
+SYSTOLIC_FILL_DRAIN = 32
+
+#: Elements per cycle each vector-unit lane retires.
+VECTOR_LANE_THROUGHPUT = 1.0

@@ -1,0 +1,70 @@
+"""Whole-chip assembly: topology + NoC + memory + cores + controller.
+
+:class:`Chip` wires one :class:`~repro.arch.config.SoCConfig` into a live
+simulation: the 2D-mesh topology, the packet NoC, the HBM model, one
+:class:`~repro.arch.core.NpuCore` per mesh node and the hyper-mode NPU
+controller. The hypervisor (:mod:`repro.core.hypervisor`) and the runtime
+executor both operate on a ``Chip``.
+"""
+
+from __future__ import annotations
+
+from repro.arch.config import SoCConfig
+from repro.arch.controller import NpuController
+from repro.arch.core import NpuCore
+from repro.arch.hbm import GlobalMemory
+from repro.arch.noc import NoC
+from repro.errors import ConfigError
+from repro.sim import Simulator
+
+
+class Chip:
+    """A simulated inter-core connected NPU chip."""
+
+    def __init__(self, config: SoCConfig, sim: Simulator | None = None,
+                 dispatch_mode: str = "inoc") -> None:
+        self.config = config
+        self.sim = sim or Simulator()
+        self.topology = config.topology()
+        self.noc = NoC(self.sim, self.topology, config.noc)
+        self.memory = GlobalMemory(self.sim, config.memory, config.frequency_hz)
+        self.cores = {
+            core_id: NpuCore(self.sim, core_id, config.core)
+            for core_id in self.topology.nodes
+        }
+        self.controller = NpuController(self.topology,
+                                        dispatch_mode=dispatch_mode)
+
+    @property
+    def core_count(self) -> int:
+        return len(self.cores)
+
+    def core(self, core_id: int) -> NpuCore:
+        try:
+            return self.cores[core_id]
+        except KeyError:
+            raise ConfigError(f"no core {core_id} on chip "
+                              f"{self.config.name!r}") from None
+
+    def memory_interfaces_spanned(self, p_cores) -> int:
+        """How many memory-interface cores a core set contains (>= 1).
+
+        Warm-up bandwidth is proportional to this count (§6.3.4); a block
+        with no interface core still reaches memory through the mesh, so
+        the floor is one interface.
+        """
+        owned = set(p_cores)
+        count = sum(
+            1 for core in self.config.memory_interface_cores if core in owned
+        )
+        return max(1, count)
+
+    def seconds(self, cycles: int) -> float:
+        """Convert a cycle count to wall-clock seconds at chip frequency."""
+        return cycles / self.config.frequency_hz
+
+    def fps(self, cycles_per_inference: int) -> float:
+        """Inferences per second for a steady-state per-iteration latency."""
+        if cycles_per_inference <= 0:
+            raise ConfigError("cycles per inference must be positive")
+        return self.config.frequency_hz / cycles_per_inference

@@ -1,0 +1,111 @@
+"""Kernel timing models for the NPU core's compute units.
+
+The systolic array is modelled as an ``A x A`` MAC grid sustaining
+``SYSTOLIC_EFFICIENCY`` of peak on dense kernels, plus a fill/drain cost
+per tile pass; the vector unit retires ``vector_lanes`` elements per cycle.
+This is a first-order occupancy model — the paper's point that kernel
+execution time is 2-3 orders of magnitude above instruction-routing
+latency (Fig 12) and usually well above broadcast cost (Fig 13) only needs
+MAC counts to be right.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch import calibration
+from repro.arch.config import CoreConfig
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Cycles and operation counts for one kernel invocation on one core."""
+
+    name: str
+    cycles: int
+    macs: int
+
+    @property
+    def flops(self) -> int:
+        return 2 * self.macs
+
+
+class ComputeModel:
+    """Timing model bound to one core configuration."""
+
+    def __init__(self, core: CoreConfig,
+                 efficiency: float = calibration.SYSTOLIC_EFFICIENCY,
+                 fill_drain: int = calibration.SYSTOLIC_FILL_DRAIN) -> None:
+        if not 0.0 < efficiency <= 1.0:
+            raise ConfigError(f"efficiency must be in (0, 1], got {efficiency}")
+        self.core = core
+        self.efficiency = efficiency
+        self.fill_drain = fill_drain
+
+    # -- dense kernels ---------------------------------------------------------
+    def matmul(self, m: int, k: int, n: int) -> KernelCost:
+        """C[m,n] = A[m,k] @ B[k,n] on the systolic array."""
+        self._check_positive(m=m, k=k, n=n)
+        dim = self.core.systolic_dim
+        macs = m * k * n
+        tile_passes = math.ceil(m / dim) * math.ceil(n / dim)
+        steady = macs / (self.core.macs_per_cycle * self.efficiency)
+        cycles = math.ceil(steady) + tile_passes * self.fill_drain
+        return KernelCost(name=f"matmul_{m}m_{k}k_{n}n", cycles=cycles, macs=macs)
+
+    def conv2d(self, h: int, w: int, cin: int, cout: int, kernel: int,
+               stride: int = 1) -> KernelCost:
+        """2D convolution lowered to the systolic array (im2col style)."""
+        self._check_positive(h=h, w=w, cin=cin, cout=cout,
+                             kernel=kernel, stride=stride)
+        out_h = max(1, h // stride)
+        out_w = max(1, w // stride)
+        macs = out_h * out_w * cin * cout * kernel * kernel
+        dim = self.core.systolic_dim
+        # im2col matmul: M = out pixels, K = cin*k*k, N = cout
+        tile_passes = math.ceil(out_h * out_w / dim) * math.ceil(cout / dim)
+        steady = macs / (self.core.macs_per_cycle * self.efficiency)
+        cycles = math.ceil(steady) + tile_passes * self.fill_drain
+        return KernelCost(
+            name=f"conv{h}hw{cin}c_{cout}oc{kernel}k", cycles=cycles, macs=macs,
+        )
+
+    def vector_op(self, elements: int, ops_per_element: int = 1) -> KernelCost:
+        """Element-wise work on the vector unit (activations, norms...)."""
+        self._check_positive(elements=elements, ops_per_element=ops_per_element)
+        lanes = self.core.vector_lanes * calibration.VECTOR_LANE_THROUGHPUT
+        cycles = math.ceil(elements * ops_per_element / lanes)
+        return KernelCost(
+            name=f"vec{elements}x{ops_per_element}", cycles=cycles,
+            macs=elements * ops_per_element // 2,
+        )
+
+    def attention(self, seq_len: int, dim: int, heads: int = 1) -> KernelCost:
+        """Self-attention block: QK^T, softmax, PV (per head, summed)."""
+        self._check_positive(seq_len=seq_len, dim=dim, heads=heads)
+        head_dim = max(1, dim // heads)
+        qkt = self.matmul(seq_len, head_dim, seq_len)
+        pv = self.matmul(seq_len, seq_len, head_dim)
+        softmax = self.vector_op(seq_len * seq_len, ops_per_element=4)
+        cycles = heads * (qkt.cycles + pv.cycles + softmax.cycles)
+        macs = heads * (qkt.macs + pv.macs + softmax.macs)
+        return KernelCost(
+            name=f"attn_s{seq_len}_d{dim}_h{heads}", cycles=cycles, macs=macs,
+        )
+
+    def cycles_for_macs(self, macs: int) -> int:
+        """Generic dense-kernel estimate when only a MAC count is known."""
+        if macs < 0:
+            raise ConfigError(f"negative MAC count {macs}")
+        if macs == 0:
+            return 0
+        steady = macs / (self.core.macs_per_cycle * self.efficiency)
+        return math.ceil(steady) + self.fill_drain
+
+    @staticmethod
+    def _check_positive(**values: int) -> None:
+        for name, value in values.items():
+            if value <= 0:
+                raise ConfigError(f"{name} must be positive, got {value}")

@@ -1,0 +1,193 @@
+"""SoC configurations (paper Table 2) and derived hardware parameters.
+
+Two presets mirror the paper's evaluation platforms:
+
+- :func:`fpga_config` — the Chipyard/FireSim FPGA prototype: 8 tiles,
+  16x16 systolic arrays, 512 KB scratchpad per tile, 16 GB/s DRAM, 1 GHz.
+- :func:`sim_config` — the DCRA large-scale simulation: 36 tiles,
+  128x128 systolic arrays, 30 MB scratchpad per tile, 360 GB/s HBM,
+  500 MHz. :func:`sim_config(cores=48)` gives the 48-core variant used in
+  Fig 16.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from repro.arch import calibration
+from repro.errors import ConfigError
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+@dataclass(frozen=True)
+class NoCConfig:
+    """Network-on-chip parameters."""
+
+    link_bytes_per_cycle: int = calibration.NOC_LINK_BYTES_PER_CYCLE
+    router_latency: int = calibration.NOC_ROUTER_LATENCY
+    packet_handshake: int = calibration.NOC_PACKET_HANDSHAKE
+    transfer_setup: int = calibration.NOC_TRANSFER_SETUP
+    packet_bytes: int = calibration.NOC_DEFAULT_PACKET_BYTES
+
+    def __post_init__(self) -> None:
+        if self.link_bytes_per_cycle <= 0:
+            raise ConfigError("link_bytes_per_cycle must be positive")
+        if self.packet_bytes <= 0:
+            raise ConfigError("packet_bytes must be positive")
+
+    def packet_serialization(self, payload_bytes: int | None = None) -> int:
+        """Cycles to push one packet's payload through a single link."""
+        payload = self.packet_bytes if payload_bytes is None else payload_bytes
+        return math.ceil(payload / self.link_bytes_per_cycle)
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Global memory (HBM or DRAM) parameters."""
+
+    bandwidth_bytes_per_second: int
+    channels: int = 4
+    access_latency: int = 60  # cycles from request to first data
+    capacity_bytes: int = 16 * GB
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_second <= 0:
+            raise ConfigError("memory bandwidth must be positive")
+        if self.channels < 1:
+            raise ConfigError("memory needs at least one channel")
+
+    def bytes_per_cycle(self, frequency_hz: int) -> float:
+        """Aggregate bytes the memory system moves per NPU cycle."""
+        return self.bandwidth_bytes_per_second / frequency_hz
+
+    def channel_bytes_per_cycle(self, frequency_hz: int) -> float:
+        return self.bytes_per_cycle(frequency_hz) / self.channels
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Per-tile compute and memory parameters."""
+
+    systolic_dim: int = 16
+    scratchpad_bytes: int = 512 * KB
+    meta_zone_bytes: int = 16 * KB
+    vector_lanes: int = 16
+    tops: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.systolic_dim < 1:
+            raise ConfigError("systolic_dim must be >= 1")
+        if self.meta_zone_bytes >= self.scratchpad_bytes:
+            raise ConfigError("meta-zone cannot consume the whole scratchpad")
+
+    @property
+    def weight_zone_bytes(self) -> int:
+        return self.scratchpad_bytes - self.meta_zone_bytes
+
+    @property
+    def macs_per_cycle(self) -> int:
+        return self.systolic_dim * self.systolic_dim
+
+
+@dataclass(frozen=True)
+class SoCConfig:
+    """A full chip configuration (Table 2 column)."""
+
+    name: str
+    mesh_rows: int
+    mesh_cols: int
+    core: CoreConfig
+    noc: NoCConfig = field(default_factory=NoCConfig)
+    memory: MemoryConfig = field(
+        default_factory=lambda: MemoryConfig(bandwidth_bytes_per_second=16 * GB)
+    )
+    frequency_hz: int = 1_000_000_000
+    #: Physical core IDs adjacent to a memory interface (left column by
+    #: default); used by heterogeneous topology mapping penalties.
+    memory_interface_cores: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.mesh_rows < 1 or self.mesh_cols < 1:
+            raise ConfigError("mesh must be at least 1x1")
+        if self.frequency_hz <= 0:
+            raise ConfigError("frequency must be positive")
+
+    @property
+    def core_count(self) -> int:
+        return self.mesh_rows * self.mesh_cols
+
+    @property
+    def total_scratchpad_bytes(self) -> int:
+        return self.core_count * self.core.scratchpad_bytes
+
+    @property
+    def total_tops(self) -> float:
+        return self.core_count * self.core.tops
+
+    def topology(self):
+        """The physical chip topology (2D mesh), memory-tagged."""
+        from repro.arch.topology import Topology
+
+        mesh = Topology.mesh2d(self.mesh_rows, self.mesh_cols, name=self.name)
+        for core_id in self.memory_interface_cores:
+            mesh.node_attrs[core_id] = "mem"
+        return mesh
+
+    def with_cores(self, rows: int, cols: int) -> "SoCConfig":
+        return replace(self, mesh_rows=rows, mesh_cols=cols,
+                       name=f"{self.name}-{rows}x{cols}")
+
+
+def fpga_config() -> SoCConfig:
+    """Table 2, FPGA column: 8 tiles (2x4), 16-dim arrays, 4 MB SRAM total."""
+    return SoCConfig(
+        name="fpga",
+        mesh_rows=2,
+        mesh_cols=4,
+        core=CoreConfig(
+            systolic_dim=16,
+            scratchpad_bytes=512 * KB,
+            meta_zone_bytes=16 * KB,
+            vector_lanes=16,
+            tops=0.5,
+        ),
+        memory=MemoryConfig(bandwidth_bytes_per_second=16 * GB, channels=2),
+        frequency_hz=1_000_000_000,
+        memory_interface_cores=(0, 4),
+    )
+
+
+def sim_config(cores: int = 36) -> SoCConfig:
+    """Table 2, SIM column: 36 tiles (6x6) by default; 48 -> 6x8 (Fig 16).
+
+    128-dim systolic arrays, 30 MB scratchpad per tile (1080 MB total at 36
+    cores, 1440 MB at 48), 360 GB/s HBM, 500 MHz, 16 TOPS per tile.
+    """
+    shapes = {36: (6, 6), 48: (6, 8), 16: (4, 4), 25: (5, 5), 64: (8, 8)}
+    if cores not in shapes:
+        raise ConfigError(
+            f"unsupported SIM core count {cores}; choose from {sorted(shapes)}"
+        )
+    rows, cols = shapes[cores]
+    return SoCConfig(
+        name=f"sim{cores}",
+        mesh_rows=rows,
+        mesh_cols=cols,
+        core=CoreConfig(
+            systolic_dim=128,
+            scratchpad_bytes=30 * MB,
+            meta_zone_bytes=64 * KB,
+            vector_lanes=128,
+            tops=16.0,
+        ),
+        memory=MemoryConfig(
+            bandwidth_bytes_per_second=360 * GB, channels=8,
+            capacity_bytes=64 * GB,
+        ),
+        frequency_hz=500_000_000,
+        memory_interface_cores=tuple(range(0, rows * cols, cols)),
+    )

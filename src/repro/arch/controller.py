@@ -1,0 +1,100 @@
+"""The NPU controller: instruction dispatch and hyper-mode management.
+
+§4.1.1 / §5.1: the controller receives NPU instructions from the host
+(tagged with a VMID and a *virtual* core ID), translates them through the
+instruction vRouter, and dispatches to the physical core — either over a
+shared instruction bus (IBUS, fixed latency, poor scalability) or over a
+dedicated instruction NoC (latency grows with hop distance, Fig 12).
+
+Only the *hyper-mode* controller may install or remove meta tables
+(routing tables, RTTs) — guests attempting it get
+:class:`~repro.errors.HyperModeViolation`, mirroring the PF/VF MMIO split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch import calibration
+from repro.arch.topology import Topology
+from repro.core.routing_table import RoutingTable
+from repro.core.vrouter import InstructionVRouter
+from repro.errors import ConfigError, HyperModeViolation
+
+
+@dataclass(frozen=True)
+class DispatchRecord:
+    """Outcome of dispatching one instruction to a core."""
+
+    vmid: int
+    v_core: int
+    p_core: int
+    #: Routing-table translation cycles (0 when the last-translation cache hit).
+    translate_cycles: int
+    #: Transport cycles to reach the core (IBUS or instruction-NoC).
+    dispatch_cycles: int
+
+    @property
+    def total_cycles(self) -> int:
+        return self.translate_cycles + self.dispatch_cycles
+
+
+class NpuController:
+    """Centralized controller of one inter-core connected NPU."""
+
+    def __init__(self, topology: Topology, dispatch_mode: str = "inoc",
+                 port_core: int = 0) -> None:
+        if dispatch_mode not in ("inoc", "ibus"):
+            raise ConfigError(f"unknown dispatch mode {dispatch_mode!r}")
+        if port_core not in topology:
+            raise ConfigError(f"controller port core {port_core} not on chip")
+        self.topology = topology
+        self.dispatch_mode = dispatch_mode
+        self.port_core = port_core
+        self.ivrouter = InstructionVRouter()
+        self.dispatches = 0
+
+    # -- hyper-mode meta-table management -----------------------------------
+    def install_routing_table(self, table: RoutingTable,
+                              hyper_mode: bool = False) -> int:
+        """Install a VM's routing table; returns configuration cycles (Fig 11)."""
+        if not hyper_mode:
+            raise HyperModeViolation(
+                "guest attempted to install a routing table"
+            )
+        for p_core in table.physical_cores():
+            if p_core not in self.topology:
+                raise ConfigError(
+                    f"routing table for VM {table.vmid} maps virtual cores to "
+                    f"nonexistent physical core {p_core}"
+                )
+        self.ivrouter.install(table)
+        return self.ivrouter.configure_cycles(len(table.virtual_cores()))
+
+    def remove_routing_table(self, vmid: int, hyper_mode: bool = False) -> None:
+        if not hyper_mode:
+            raise HyperModeViolation(
+                "guest attempted to remove a routing table"
+            )
+        self.ivrouter.remove(vmid)
+
+    # -- dispatch ----------------------------------------------------------------
+    def transport_cycles(self, p_core: int) -> int:
+        """IBUS: fixed. Instruction NoC: base + per-hop (Fig 12)."""
+        if self.dispatch_mode == "ibus":
+            return calibration.IBUS_LATENCY
+        hops = self.topology.hop_distance(self.port_core, p_core)
+        return (calibration.INOC_DISPATCH_BASE
+                + hops * calibration.INOC_DISPATCH_PER_HOP)
+
+    def dispatch(self, vmid: int, v_core: int) -> DispatchRecord:
+        """Route one instruction from a virtual core to its physical core."""
+        redirect = self.ivrouter.redirect(vmid, v_core)
+        self.dispatches += 1
+        return DispatchRecord(
+            vmid=vmid,
+            v_core=v_core,
+            p_core=redirect.p_core,
+            translate_cycles=redirect.cycles,
+            dispatch_cycles=self.transport_cycles(redirect.p_core),
+        )

@@ -1,0 +1,53 @@
+"""A single NPU core: compute units, scratchpad, NoC engine state.
+
+Cores are passive state holders — the runtime executor drives their
+instruction streams as simulation processes. Each core owns a scratchpad
+(with the meta/weight-zone split), a compute timing model, and a mailbox
+per message tag for blocking receives.
+"""
+
+from __future__ import annotations
+
+from repro.arch.compute import ComputeModel
+from repro.arch.config import CoreConfig
+from repro.arch.scratchpad import Scratchpad
+from repro.sim import Simulator, Store
+
+
+class NpuCore:
+    """One tile of the inter-core connected NPU."""
+
+    def __init__(self, sim: Simulator, core_id: int, config: CoreConfig) -> None:
+        self.sim = sim
+        self.core_id = core_id
+        self.config = config
+        self.scratchpad = Scratchpad(config)
+        self.compute = ComputeModel(config)
+        self._mailboxes: dict[tuple[int, str], Store] = {}
+        # Cycle accounting for utilization reports.
+        self.busy_compute_cycles = 0
+        self.busy_dma_cycles = 0
+        self.busy_noc_cycles = 0
+
+    def mailbox(self, src: int, tag: str = "") -> Store:
+        """The FIFO that receives messages from physical core ``src``."""
+        key = (src, tag)
+        if key not in self._mailboxes:
+            self._mailboxes[key] = Store(
+                self.sim, name=f"mbox:{src}->{self.core_id}:{tag}"
+            )
+        return self._mailboxes[key]
+
+    def deliver(self, src: int, tag: str, payload) -> None:
+        """Called by the NoC completion path to wake a blocked receive."""
+        self.mailbox(src, tag).put(payload)
+
+    @property
+    def total_busy_cycles(self) -> int:
+        return (self.busy_compute_cycles + self.busy_dma_cycles
+                + self.busy_noc_cycles)
+
+    def reset_counters(self) -> None:
+        self.busy_compute_cycles = 0
+        self.busy_dma_cycles = 0
+        self.busy_noc_cycles = 0

@@ -1,0 +1,131 @@
+"""Global memory (HBM/DRAM) model.
+
+Two usage modes:
+
+- **Event mode** — :meth:`GlobalMemory.request` runs a read/write as a
+  simulation process: it acquires a channel, pays access latency, then
+  streams at the channel bandwidth. Used by the micro-benchmarks and the
+  UVM baseline, where contention between requesters matters cycle by cycle.
+- **Analytic mode** — :meth:`GlobalMemory.stream_cycles` returns the cycle
+  cost of moving ``n`` bytes given a bandwidth share, used by the DMA fast
+  path when streaming megabytes of weights (per-burst event simulation
+  would be needlessly slow).
+
+Per-VM byte counters feed the vChunk access counter / bandwidth-cap
+mechanism (§4.2) and the warm-up-time model (§6.3.4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.config import MemoryConfig
+from repro.errors import ConfigError
+from repro.sim import Process, Resource, Simulator
+
+
+@dataclass
+class MemoryRequestRecord:
+    """Outcome of one event-mode memory request."""
+
+    kind: str  # "read" | "write"
+    nbytes: int
+    start_cycle: int
+    end_cycle: int
+    channel: int
+
+    @property
+    def latency(self) -> int:
+        return self.end_cycle - self.start_cycle
+
+
+class GlobalMemory:
+    """The chip's HBM/DRAM behind the DMA engines."""
+
+    def __init__(self, sim: Simulator, config: MemoryConfig,
+                 frequency_hz: int) -> None:
+        if frequency_hz <= 0:
+            raise ConfigError("frequency must be positive")
+        self.sim = sim
+        self.config = config
+        self.frequency_hz = frequency_hz
+        self._channels = [
+            Resource(sim, capacity=1, name=f"hbm-ch{i}")
+            for i in range(config.channels)
+        ]
+        self._next_channel = 0
+        self.bytes_by_vmid: dict[int, int] = {}
+        self.total_bytes = 0
+
+    # -- shared helpers -----------------------------------------------------
+    @property
+    def bytes_per_cycle(self) -> float:
+        """Aggregate bytes/cycle over all channels."""
+        return self.config.bytes_per_cycle(self.frequency_hz)
+
+    @property
+    def channel_bytes_per_cycle(self) -> float:
+        return self.config.channel_bytes_per_cycle(self.frequency_hz)
+
+    def _account(self, vmid: int | None, nbytes: int) -> None:
+        self.total_bytes += nbytes
+        if vmid is not None:
+            self.bytes_by_vmid[vmid] = self.bytes_by_vmid.get(vmid, 0) + nbytes
+
+    # -- analytic mode --------------------------------------------------------
+    def stream_cycles(self, nbytes: int, bandwidth_share: float = 1.0,
+                      vmid: int | None = None) -> int:
+        """Cycles to stream ``nbytes`` at ``bandwidth_share`` of aggregate BW."""
+        if nbytes < 0:
+            raise ConfigError(f"negative byte count {nbytes}")
+        if not 0.0 < bandwidth_share <= 1.0:
+            raise ConfigError(f"bandwidth share must be in (0, 1], got {bandwidth_share}")
+        self._account(vmid, nbytes)
+        if nbytes == 0:
+            return 0
+        rate = self.bytes_per_cycle * bandwidth_share
+        return self.config.access_latency + math.ceil(nbytes / rate)
+
+    def warmup_cycles(self, weight_bytes: int, interface_count: int,
+                      total_interfaces: int, vmid: int | None = None) -> int:
+        """Model-weight warm-up time (§6.3.4).
+
+        Bandwidth allocated to a virtual NPU is proportional to the number
+        of memory interfaces its cores span.
+        """
+        if total_interfaces < 1 or interface_count < 1:
+            raise ConfigError("interface counts must be >= 1")
+        share = min(1.0, interface_count / total_interfaces)
+        return self.stream_cycles(weight_bytes, bandwidth_share=share, vmid=vmid)
+
+    # -- event mode -------------------------------------------------------------
+    def request(self, kind: str, nbytes: int, vmid: int | None = None,
+                channel: int | None = None) -> Process:
+        """Run a read/write as a process; value is a MemoryRequestRecord."""
+        if kind not in ("read", "write"):
+            raise ConfigError(f"unknown request kind {kind!r}")
+        if nbytes <= 0:
+            raise ConfigError(f"request size must be positive, got {nbytes}")
+        if channel is None:
+            channel = self._next_channel
+            self._next_channel = (self._next_channel + 1) % len(self._channels)
+        return self.sim.process(
+            self._run_request(kind, nbytes, vmid, channel),
+            name=f"hbm:{kind}:{nbytes}",
+        )
+
+    def _run_request(self, kind, nbytes, vmid, channel):
+        sim = self.sim
+        start = sim.now
+        resource = self._channels[channel]
+        yield resource.acquire()
+        yield sim.timeout(self.config.access_latency)
+        transfer = math.ceil(nbytes / self.channel_bytes_per_cycle)
+        yield sim.timeout(transfer)
+        resource.release()
+        self._account(vmid, nbytes)
+        return MemoryRequestRecord(
+            kind=kind, nbytes=nbytes, start_cycle=start, end_cycle=sim.now,
+            channel=channel,
+        )

@@ -1,0 +1,233 @@
+"""Network-on-chip model: links, packets, contention, interference.
+
+The model is store-and-forward at *packet* granularity: a message of ``n``
+bytes is split into fixed-size routing packets; each directed link is a
+capacity-1 FIFO resource a packet occupies for its serialization time.
+Packets of one message pipeline across hops (packet ``k+1`` can use hop
+``i`` while packet ``k`` uses hop ``i+1``), which is what produces the
+paper's ~140 clk/packet slope on a single hop (Table 3) while still
+exposing path conflicts between messages.
+
+Routes default to dimension-order (X then Y) over the physical mesh.
+Callers (the NoC vRouter, §4.1.2) may instead supply an explicit path —
+the "predefined routing direction" mechanism that confines packets to a
+virtual topology.
+
+Interference accounting: a transfer may declare the set of nodes its
+virtual NPU owns; any traversed node outside that set is recorded as a
+*foreign traversal* — the paper's "NoC interference" phenomenon.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.arch.config import NoCConfig
+from repro.arch.topology import Topology
+from repro.errors import RoutingError
+from repro.sim import Process, Resource, Simulator
+
+
+@dataclass
+class TransferRecord:
+    """Outcome of one NoC message transfer (the value of its process)."""
+
+    src: int
+    dst: int
+    payload_bytes: int
+    packet_count: int
+    path: list[int]
+    start_cycle: int
+    end_cycle: int
+    foreign_nodes: list[int] = field(default_factory=list)
+
+    @property
+    def latency(self) -> int:
+        return self.end_cycle - self.start_cycle
+
+    @property
+    def interfered(self) -> bool:
+        return bool(self.foreign_nodes)
+
+
+class LinkStats:
+    """Aggregate occupancy statistics of one directed link."""
+
+    __slots__ = ("busy_cycles", "packets", "vmids")
+
+    def __init__(self) -> None:
+        self.busy_cycles = 0
+        self.packets = 0
+        self.vmids: set = set()
+
+
+class NoC:
+    """The on-chip network of a chip with topology ``topology``."""
+
+    def __init__(self, sim: Simulator, topology: Topology,
+                 config: NoCConfig | None = None) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.config = config or NoCConfig()
+        self._links: dict[tuple[int, int], Resource] = {}
+        self.link_stats: dict[tuple[int, int], LinkStats] = {}
+        for u, v in topology.edges:
+            for link in ((u, v), (v, u)):
+                self._links[link] = Resource(sim, capacity=1, name=f"link{link}")
+                self.link_stats[link] = LinkStats()
+        self.total_transfers = 0
+        self.total_foreign_traversals = 0
+
+    # -- routing -----------------------------------------------------------
+    def route(self, src: int, dst: int) -> list[int]:
+        """Default route: dimension-order on meshes, BFS otherwise."""
+        if src == dst:
+            return [src]
+        if self.topology.coords:
+            return self.topology.dor_path(src, dst)
+        return self._bfs_path(src, dst)
+
+    def _bfs_path(self, src: int, dst: int) -> list[int]:
+        from collections import deque
+
+        parents: dict[int, int] = {src: src}
+        frontier = deque([src])
+        while frontier:
+            current = frontier.popleft()
+            if current == dst:
+                break
+            for nbr in self.topology.neighbors(current):
+                if nbr not in parents:
+                    parents[nbr] = current
+                    frontier.append(nbr)
+        if dst not in parents:
+            raise RoutingError(f"no route {src} -> {dst}")
+        path = [dst]
+        while path[-1] != src:
+            path.append(parents[path[-1]])
+        return list(reversed(path))
+
+    def validate_path(self, path: list[int]) -> None:
+        if len(path) < 1:
+            raise RoutingError("empty path")
+        for u, v in zip(path, path[1:]):
+            if (u, v) not in self._links:
+                raise RoutingError(f"path step {u}->{v} is not a physical link")
+
+    # -- transfers -----------------------------------------------------------
+    def transfer(
+        self,
+        src: int,
+        dst: int,
+        payload_bytes: int,
+        path: list[int] | None = None,
+        vmid: int | None = None,
+        allowed_nodes: set[int] | None = None,
+        first_packet_delay: int = 0,
+        completion_delay: int = 0,
+    ) -> Process:
+        """Start a message transfer; returns its process.
+
+        The process's value is a :class:`TransferRecord`.
+
+        Parameters
+        ----------
+        path:
+            Explicit route (vRouter direction table). Defaults to DOR.
+        allowed_nodes:
+            Nodes owned by the sender's virtual NPU; traversed nodes outside
+            it are recorded as foreign (NoC interference).
+        first_packet_delay:
+            Extra cycles before the first packet enters the network (e.g.
+            the vRouter's routing-table lookup).
+        completion_delay:
+            Extra cycles after the last packet arrives (e.g. the receive
+            engine's meta-zone fetch).
+        """
+        if payload_bytes <= 0:
+            raise RoutingError(f"payload must be positive, got {payload_bytes}")
+        route = list(path) if path is not None else self.route(src, dst)
+        if route[0] != src or route[-1] != dst:
+            raise RoutingError(
+                f"path {route} does not connect {src} -> {dst}"
+            )
+        self.validate_path(route)
+        return self.sim.process(
+            self._run_transfer(
+                src, dst, payload_bytes, route, vmid, allowed_nodes,
+                first_packet_delay, completion_delay,
+            ),
+            name=f"noc:{src}->{dst}",
+        )
+
+    def _run_transfer(self, src, dst, payload_bytes, route, vmid,
+                      allowed_nodes, first_packet_delay, completion_delay):
+        sim = self.sim
+        start = sim.now
+        self.total_transfers += 1
+        packet_count = max(1, math.ceil(payload_bytes / self.config.packet_bytes))
+        hops = list(zip(route, route[1:]))
+        foreign = []
+        if allowed_nodes is not None:
+            foreign = [n for n in route if n not in allowed_nodes]
+            self.total_foreign_traversals += len(foreign)
+
+        yield sim.timeout(self.config.transfer_setup + first_packet_delay)
+
+        if not hops:  # src == dst: local copy, serialization only
+            yield sim.timeout(
+                packet_count * self.config.packet_serialization()
+            )
+        else:
+            packet_procs = [
+                sim.process(self._run_packet(hops, vmid), name=f"pkt{i}")
+                for i in range(packet_count)
+            ]
+            yield sim.all_of(packet_procs)
+
+        if completion_delay:
+            yield sim.timeout(completion_delay)
+        return TransferRecord(
+            src=src,
+            dst=dst,
+            payload_bytes=payload_bytes,
+            packet_count=packet_count,
+            path=route,
+            start_cycle=start,
+            end_cycle=sim.now,
+            foreign_nodes=foreign,
+        )
+
+    def _run_packet(self, hops, vmid):
+        sim = self.sim
+        occupancy = (
+            self.config.packet_serialization() + self.config.packet_handshake
+        )
+        for link_key in hops:
+            link = self._links[link_key]
+            yield link.acquire()
+            yield sim.timeout(occupancy)
+            link.release()
+            stats = self.link_stats[link_key]
+            stats.busy_cycles += occupancy
+            stats.packets += 1
+            if vmid is not None:
+                stats.vmids.add(vmid)
+            yield sim.timeout(self.config.router_latency)
+        return None
+
+    # -- diagnostics -----------------------------------------------------------
+    def busiest_links(self, top: int = 5) -> list[tuple[tuple[int, int], int]]:
+        ranked = sorted(
+            self.link_stats.items(), key=lambda kv: kv[1].busy_cycles,
+            reverse=True,
+        )
+        return [(link, stats.busy_cycles) for link, stats in ranked[:top]]
+
+    def shared_links(self) -> list[tuple[int, int]]:
+        """Links traversed by packets of more than one VM (contention risk)."""
+        return [
+            link for link, stats in self.link_stats.items()
+            if len(stats.vmids) > 1
+        ]

@@ -1,0 +1,109 @@
+"""Per-core scratchpad SRAM with the vNPU meta-zone / weight-zone split.
+
+§5.1: vNPU partitions each core's SRAM into a *meta-zone* — holding the
+routing table and range-translation-table entries, writable only by the
+hyper-mode NPU controller — and a *weight-zone* holding model weights and
+intermediate results, managed by the guest. The scratchpad enforces that
+split: guest allocations come from the weight zone; meta-table installs
+require a hyper-mode token.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import CoreConfig
+from repro.errors import AllocationError, HyperModeViolation
+
+
+@dataclass(frozen=True)
+class SpadRegion:
+    """A reserved region of scratchpad, returned by allocation calls."""
+
+    zone: str  # "weight" | "meta"
+    offset: int
+    nbytes: int
+    label: str = ""
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.nbytes
+
+
+class Scratchpad:
+    """Bump-allocated SRAM for one NPU core.
+
+    Bump allocation (with whole-zone reset) matches how inter-core NPUs
+    actually use scratchpads: weights and buffers are placed once per model
+    load and freed en masse when the core is reassigned.
+    """
+
+    def __init__(self, core: CoreConfig) -> None:
+        self.config = core
+        self._weight_cursor = 0
+        self._meta_cursor = 0
+        self.weight_regions: list[SpadRegion] = []
+        self.meta_regions: list[SpadRegion] = []
+
+    # -- capacity ----------------------------------------------------------
+    @property
+    def weight_capacity(self) -> int:
+        return self.config.weight_zone_bytes
+
+    @property
+    def meta_capacity(self) -> int:
+        return self.config.meta_zone_bytes
+
+    @property
+    def weight_free(self) -> int:
+        return self.weight_capacity - self._weight_cursor
+
+    @property
+    def meta_free(self) -> int:
+        return self.meta_capacity - self._meta_cursor
+
+    # -- guest-visible allocation ------------------------------------------
+    def alloc_weight(self, nbytes: int, label: str = "") -> SpadRegion:
+        """Reserve weight-zone space (guest operation)."""
+        if nbytes <= 0:
+            raise AllocationError(f"allocation must be positive, got {nbytes}")
+        if nbytes > self.weight_free:
+            raise AllocationError(
+                f"weight zone exhausted: need {nbytes}, free {self.weight_free}"
+            )
+        region = SpadRegion("weight", self._weight_cursor, nbytes, label)
+        self._weight_cursor += nbytes
+        self.weight_regions.append(region)
+        return region
+
+    def reset_weight_zone(self) -> None:
+        """Free every weight-zone region (model unload / core reassigned)."""
+        self._weight_cursor = 0
+        self.weight_regions.clear()
+
+    # -- hyper-mode-only meta zone --------------------------------------------
+    def install_meta(self, nbytes: int, label: str = "",
+                     hyper_mode: bool = False) -> SpadRegion:
+        """Install a meta table (routing table / RTT). Hyper mode required."""
+        if not hyper_mode:
+            raise HyperModeViolation(
+                "guest attempted to write the scratchpad meta-zone"
+            )
+        if nbytes <= 0:
+            raise AllocationError(f"allocation must be positive, got {nbytes}")
+        if nbytes > self.meta_free:
+            raise AllocationError(
+                f"meta zone exhausted: need {nbytes}, free {self.meta_free}"
+            )
+        region = SpadRegion("meta", self._meta_cursor, nbytes, label)
+        self._meta_cursor += nbytes
+        self.meta_regions.append(region)
+        return region
+
+    def reset_meta_zone(self, hyper_mode: bool = False) -> None:
+        if not hyper_mode:
+            raise HyperModeViolation(
+                "guest attempted to clear the scratchpad meta-zone"
+            )
+        self._meta_cursor = 0
+        self.meta_regions.clear()

@@ -1,0 +1,116 @@
+"""MIG-style NPU virtualization baseline (§6.3.2, Fig 16).
+
+Commercial NPUs (e.g. TPU v6e) partition the chip into a *fixed* set of
+rectangular sub-topologies; a tenant takes a whole partition whatever it
+asked for. Inside a partition, inter-core connections work and isolation
+across partitions is strong — the equitable baseline the paper compares
+against. The two failure modes vNPU fixes:
+
+- **under-utilization** — a 12-core request occupies an 18- or 24-core
+  partition; the extra cores idle;
+- **over-subscription** — a 36-core request on a 24-core partition falls
+  back to time-division multiplexing (:mod:`repro.baselines.tdm`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import SoCConfig
+from repro.arch.topology import Topology
+from repro.baselines.tdm import bind_tdm
+from repro.compiler.mapper import MappedTask, snake_order
+from repro.compiler.placement import PhysicalFlow, PlacedTask
+from repro.errors import AllocationError
+
+
+@dataclass(frozen=True)
+class MigPartition:
+    """One fixed partition: an aligned rectangle of the chip mesh."""
+
+    index: int
+    cores: tuple[int, ...]
+    rows: int
+    cols: int
+
+    @property
+    def core_count(self) -> int:
+        return len(self.cores)
+
+
+def mig_partitions(config: SoCConfig, count: int = 2) -> list[MigPartition]:
+    """Split the chip into ``count`` equal row-bands (the MIG catalog)."""
+    if count < 1 or config.mesh_rows % count:
+        raise AllocationError(
+            f"cannot split {config.mesh_rows} mesh rows into {count} "
+            f"equal partitions"
+        )
+    rows_per = config.mesh_rows // count
+    partitions = []
+    for index in range(count):
+        cores = tuple(
+            r * config.mesh_cols + c
+            for r in range(index * rows_per, (index + 1) * rows_per)
+            for c in range(config.mesh_cols)
+        )
+        partitions.append(MigPartition(index=index, cores=cores,
+                                       rows=rows_per, cols=config.mesh_cols))
+    return partitions
+
+
+def place_on_mig(mapped: MappedTask, partition: MigPartition,
+                 chip_topology: Topology,
+                 load_aware_tdm: bool = True) -> PlacedTask:
+    """Bind a mapped task to a MIG partition (TDM when too small).
+
+    Virtual cores walk the partition in snake order; when the task has
+    more virtual cores than the partition, TDM binding shares physical
+    cores. MIG needs no vRouter, so no per-flow virtualization overhead —
+    but also no flexibility.
+    """
+    partition_topology = chip_topology.subtopology(partition.cores)
+    walk = snake_order(partition_topology)
+    vcores = mapped.vcores
+
+    if len(vcores) <= len(walk):
+        binding = dict(zip(vcores, walk))
+    else:
+        loads = {
+            vcore: mapped.compute_macs.get(vcore, 0) for vcore in vcores
+        }
+        binding = bind_tdm(loads, list(walk), load_aware=load_aware_tdm)
+
+    core_macs: dict[int, int] = {}
+    weight_bytes: dict[int, int] = {}
+    stream_bytes: dict[int, int] = {}
+    for vcore in vcores:
+        pcore = binding[vcore]
+        core_macs[pcore] = (core_macs.get(pcore, 0)
+                            + mapped.compute_macs.get(vcore, 0))
+        weight_bytes[pcore] = (weight_bytes.get(pcore, 0)
+                               + mapped.weight_bytes.get(vcore, 0))
+        if vcore in mapped.stream_bytes:
+            stream_bytes[pcore] = (stream_bytes.get(pcore, 0)
+                                   + mapped.stream_bytes[vcore])
+
+    flows = []
+    for flow in mapped.flows:
+        p_src, p_dst = binding[flow.src_vcore], binding[flow.dst_vcore]
+        if p_src == p_dst:
+            continue  # co-resident virtual cores exchange via scratchpad
+        path = chip_topology.dor_path(p_src, p_dst)
+        flows.append(PhysicalFlow(
+            src=p_src, dst=p_dst, nbytes=flow.nbytes,
+            path=tuple(path), kind=flow.kind,
+        ))
+
+    return PlacedTask(
+        name=mapped.name,
+        vmid=None,
+        core_macs=core_macs,
+        weight_bytes=weight_bytes,
+        stream_bytes=stream_bytes,
+        flows=flows,
+        vrouter_overhead=0,
+        owned_cores=frozenset(partition.cores),
+    )

@@ -1,0 +1,146 @@
+"""Stage-to-core mapping and flow extraction.
+
+The partitioner produces pipeline *slots* (stage replicas); the mapper
+binds each slot to a virtual core of the task's topology and derives the
+NoC *flows* (per-iteration messages) implied by the model graph:
+
+- inter-stage flows carry the producer layer's output activations;
+- tensor-split stages add intra-stage all-gather flows between replicas.
+
+Slots are laid along a snake (boustrophedon BFS) walk of the virtual
+topology so consecutive pipeline stages land on adjacent virtual cores —
+the adjacency the dataflow programming model expects (§3.1). How *far*
+those virtual neighbours end up physically is the hypervisor's mapping
+quality, which is exactly what Fig 18 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.topology import Topology
+from repro.compiler.partitioner import Partition
+from repro.errors import CompilationError
+
+
+@dataclass(frozen=True)
+class VirtualFlow:
+    """One per-iteration message between two virtual cores."""
+
+    src_vcore: int
+    dst_vcore: int
+    nbytes: int
+    kind: str  # "pipeline" | "allgather"
+
+
+@dataclass
+class MappedTask:
+    """A model bound to virtual cores: compute + flows, pre-vRouter."""
+
+    name: str
+    partition: Partition
+    #: pipeline slot -> virtual core
+    slot_to_vcore: list[int]
+    #: virtual core -> MACs per iteration
+    compute_macs: dict[int, int]
+    #: virtual core -> weight bytes resident (per-core scratchpad demand)
+    weight_bytes: dict[int, int]
+    #: virtual core -> weight bytes re-streamed from HBM every iteration
+    #: (stages whose weights exceed the scratchpad even when split).
+    stream_bytes: dict[int, int] = field(default_factory=dict)
+    flows: list[VirtualFlow] = field(default_factory=list)
+
+    @property
+    def vcores(self) -> list[int]:
+        return sorted(self.compute_macs)
+
+    def total_flow_bytes(self) -> int:
+        return sum(flow.nbytes for flow in self.flows)
+
+
+def snake_order(topology: Topology) -> list[int]:
+    """Boustrophedon walk when coordinates exist, BFS otherwise.
+
+    On a mesh the walk visits each row alternately left-to-right and
+    right-to-left, so consecutive cores are always physically adjacent.
+    """
+    if topology.coords:
+        def key(node):
+            row, col = topology.coords[node]
+            return (row, col if row % 2 == 0 else -col)
+        return sorted(topology.nodes, key=key)
+    start = min(topology.nodes, key=topology.degree)
+    return topology.bfs_order(start)
+
+
+def map_stages(partition: Partition, topology: Topology,
+               name: str | None = None) -> MappedTask:
+    """Bind pipeline slots to virtual cores and derive flows."""
+    slot_count = sum(stage.parallelism for stage in partition.stages)
+    if slot_count > topology.node_count:
+        raise CompilationError(
+            f"partition needs {slot_count} cores but topology "
+            f"{topology.name!r} has {topology.node_count}"
+        )
+    order = snake_order(topology)
+    slot_to_vcore = order[:slot_count]
+    graph = partition.graph
+
+    compute: dict[int, int] = {}
+    weights: dict[int, int] = {}
+    streams: dict[int, int] = {}
+    stage_cores: list[list[int]] = []
+    for stage in partition.stages:
+        cores = [slot_to_vcore[slot] for slot in partition.stage_slots[stage.index]]
+        stage_cores.append(cores)
+        for core in cores:
+            compute[core] = stage.macs_per_core(graph)
+            if stage.streaming:
+                weights[core] = 0
+                streams[core] = stage.weight_bytes_per_core(graph)
+            else:
+                weights[core] = stage.weight_bytes_per_core(graph)
+
+    flows: list[VirtualFlow] = []
+    seen: set[tuple[int, int, str]] = set()
+
+    # Inter-stage flows from model-graph edges.
+    for src_layer, dst_layer in graph.edges:
+        src_stage = partition.stage_of_layer(src_layer)
+        dst_stage = partition.stage_of_layer(dst_layer)
+        if src_stage == dst_stage:
+            continue
+        nbytes = graph.layers[src_layer].output_bytes
+        if nbytes == 0:
+            continue
+        src_cores = stage_cores[src_stage]
+        dst_cores = stage_cores[dst_stage]
+        # Activations are sharded over replicas on both sides.
+        share = max(1, nbytes // (len(src_cores) * len(dst_cores)))
+        for src_core in src_cores:
+            for dst_core in dst_cores:
+                key = (src_core, dst_core, "pipeline")
+                flows.append(VirtualFlow(src_core, dst_core, share, "pipeline"))
+                seen.add(key)
+
+    # Intra-stage all-gather between replicas of a split stage.
+    for stage, cores in zip(partition.stages, stage_cores):
+        if len(cores) < 2:
+            continue
+        out_bytes = sum(
+            graph.layers[i].output_bytes for i in stage.layer_indices
+        )
+        share = max(1, out_bytes // len(cores))
+        for i, src_core in enumerate(cores):
+            dst_core = cores[(i + 1) % len(cores)]  # ring all-gather
+            flows.append(VirtualFlow(src_core, dst_core, share, "allgather"))
+
+    return MappedTask(
+        name=name or graph.name,
+        partition=partition,
+        slot_to_vcore=slot_to_vcore,
+        compute_macs=compute,
+        weight_bytes=weights,
+        stream_bytes=streams,
+        flows=flows,
+    )

@@ -1,0 +1,165 @@
+"""Pipeline partitioner: split a model graph across NPU cores.
+
+Layers are kept in topological order and split into contiguous *stages*,
+one stage per core, minimizing the bottleneck stage's MAC count (the
+classic chains-on-chains problem, solved exactly by binary search over
+the bottleneck + greedy feasibility). When a virtual NPU has more cores
+than the model has layers, the heaviest stages are *tensor-split* across
+several cores (work divides; an intra-stage all-gather flow appears).
+
+Scratchpad capacity is a hard constraint: a stage's weights must fit in
+one core's weight zone, and an infeasible split raises
+:class:`~repro.errors.CompilationError` rather than silently spilling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CompilationError
+from repro.workloads.graph import ModelGraph
+
+
+@dataclass
+class Stage:
+    """One pipeline stage: a contiguous slice of layers on >= 1 cores."""
+
+    index: int
+    layer_indices: list[int]
+    #: Number of cores this stage is tensor-split across.
+    parallelism: int = 1
+    #: Weights exceed the scratchpad even after splitting: stream them
+    #: from HBM each iteration through vChunk (§4.2's large-model case).
+    streaming: bool = False
+
+    def macs(self, graph: ModelGraph) -> int:
+        return sum(graph.layers[i].macs for i in self.layer_indices)
+
+    def weight_bytes(self, graph: ModelGraph) -> int:
+        return sum(graph.layers[i].weight_bytes for i in self.layer_indices)
+
+    def macs_per_core(self, graph: ModelGraph) -> int:
+        return -(-self.macs(graph) // self.parallelism)
+
+    def weight_bytes_per_core(self, graph: ModelGraph) -> int:
+        return -(-self.weight_bytes(graph) // self.parallelism)
+
+
+@dataclass
+class Partition:
+    """The full pipeline plan for one model on ``core_count`` cores."""
+
+    graph: ModelGraph
+    stages: list[Stage]
+    core_count: int
+    #: stage index -> list of pipeline-position slots (one per core).
+    stage_slots: list[list[int]] = field(default_factory=list)
+
+    @property
+    def stage_count(self) -> int:
+        return len(self.stages)
+
+    def bottleneck_macs(self) -> int:
+        return max(stage.macs_per_core(self.graph) for stage in self.stages)
+
+    def stage_of_layer(self, layer_index: int) -> int:
+        for stage in self.stages:
+            if layer_index in stage.layer_indices:
+                return stage.index
+        raise CompilationError(f"layer {layer_index} not in any stage")
+
+
+def _greedy_fits(loads: list[int], stages: int, bottleneck: int) -> bool:
+    """Can ``loads`` split into <= ``stages`` contiguous runs <= bottleneck?"""
+    used = 1
+    current = 0
+    for load in loads:
+        if load > bottleneck:
+            return False
+        if current + load > bottleneck:
+            used += 1
+            current = 0
+            if used > stages:
+                return False
+        current += load
+    return True
+
+
+def _split_contiguous(loads: list[int], stages: int) -> list[list[int]]:
+    """Optimal min-bottleneck contiguous split (indices per stage)."""
+    low = max(loads) if loads else 0
+    high = sum(loads)
+    while low < high:
+        mid = (low + high) // 2
+        if _greedy_fits(loads, stages, mid):
+            high = mid
+        else:
+            low = mid + 1
+    bottleneck = low
+    groups: list[list[int]] = [[]]
+    current = 0
+    for index, load in enumerate(loads):
+        remaining_items = len(loads) - index
+        remaining_groups = stages - len(groups)
+        must_break = groups[-1] and remaining_items <= remaining_groups
+        if groups[-1] and (current + load > bottleneck or must_break):
+            groups.append([])
+            current = 0
+        groups[-1].append(index)
+        current += load
+    return groups
+
+
+def partition(graph: ModelGraph, core_count: int,
+              weight_zone_bytes: int | None = None) -> Partition:
+    """Split ``graph`` into a pipeline over ``core_count`` cores."""
+    if core_count < 1:
+        raise CompilationError(f"need at least one core, got {core_count}")
+    if graph.layer_count == 0:
+        raise CompilationError(f"model {graph.name!r} has no layers")
+
+    loads = [layer.macs for layer in graph.layers]
+    stage_count = min(core_count, graph.layer_count)
+    groups = _split_contiguous(loads, stage_count)
+    stages = [
+        Stage(index=i, layer_indices=group)
+        for i, group in enumerate(groups)
+    ]
+
+    # Distribute leftover cores: first to stages whose weights overflow
+    # the scratchpad (splitting shrinks the per-core footprint), then to
+    # the compute-heaviest stages (tensor parallel for throughput).
+    spare = core_count - len(stages)
+    if weight_zone_bytes is not None:
+        oversized = [
+            s for s in stages
+            if s.weight_bytes_per_core(graph) > weight_zone_bytes
+        ]
+        for stage in sorted(oversized,
+                            key=lambda s: -s.weight_bytes(graph)):
+            while (spare > 0
+                   and stage.weight_bytes_per_core(graph) > weight_zone_bytes):
+                stage.parallelism += 1
+                spare -= 1
+    while spare > 0:
+        heaviest = max(stages, key=lambda s: s.macs_per_core(graph))
+        if heaviest.macs(graph) == 0:
+            break  # nothing left worth splitting
+        heaviest.parallelism += 1
+        spare -= 1
+
+    if weight_zone_bytes is not None:
+        for stage in stages:
+            if stage.weight_bytes_per_core(graph) > weight_zone_bytes:
+                # Even fully split the weights do not fit: stream them
+                # from global memory every iteration instead of pinning.
+                stage.streaming = True
+
+    # Assign pipeline slots: stage i occupies slots [start, start+par).
+    slots: list[list[int]] = []
+    cursor = 0
+    for stage in stages:
+        slots.append(list(range(cursor, cursor + stage.parallelism)))
+        cursor += stage.parallelism
+    return Partition(graph=graph, stages=stages, core_count=core_count,
+                     stage_slots=slots)

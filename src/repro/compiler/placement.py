@@ -1,0 +1,134 @@
+"""Placement: bind a mapped task to physical cores through a vNPU.
+
+This is where the guest/host boundary sits: the mapper speaks virtual
+core IDs; placement pushes every core reference and every flow through
+the vNPU's routing table and NoC vRouter, yielding physical cores and
+concrete packet routes. ``place_bare_metal`` is the no-virtualization
+control (identical maths, no vRouter latencies) used for the < 1 %
+overhead comparison in §6.3.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch import calibration
+from repro.arch.topology import Topology
+from repro.compiler.mapper import MappedTask
+from repro.core.vnpu import VirtualNPU
+from repro.errors import CompilationError
+
+
+@dataclass(frozen=True)
+class PhysicalFlow:
+    """A per-iteration message with a concrete route."""
+
+    src: int
+    dst: int
+    nbytes: int
+    path: tuple[int, ...]
+    kind: str
+
+    @property
+    def hops(self) -> int:
+        return max(0, len(self.path) - 1)
+
+
+@dataclass
+class PlacedTask:
+    """A task fully bound to physical resources."""
+
+    name: str
+    vmid: int | None
+    core_macs: dict[int, int]
+    weight_bytes: dict[int, int]
+    #: physical core -> bytes streamed from HBM every iteration.
+    stream_bytes: dict[int, int] = field(default_factory=dict)
+    flows: list[PhysicalFlow] = field(default_factory=list)
+    #: Extra engine-occupancy cycles per flow per iteration added by the
+    #: vRouter (RT lookup + rewrite on send, meta fetch on receive).
+    vrouter_overhead: int = 0
+    #: Physical cores owned (for interference/ownership accounting).
+    owned_cores: frozenset[int] = frozenset()
+
+    @property
+    def cores(self) -> list[int]:
+        return sorted(self.core_macs)
+
+    def total_weight_bytes(self) -> int:
+        return sum(self.weight_bytes.values())
+
+    def foreign_traversals(self) -> int:
+        """Path nodes outside the task's owned cores (NoC interference)."""
+        return sum(
+            sum(1 for node in flow.path if node not in self.owned_cores)
+            for flow in self.flows
+        )
+
+
+def place_on_vnpu(mapped: MappedTask, vnpu: VirtualNPU,
+                  chip_topology: Topology) -> PlacedTask:
+    """Push a mapped task through the vNPU's vRouters."""
+    missing = [v for v in mapped.vcores if v not in vnpu.mapping.vmap]
+    if missing:
+        raise CompilationError(
+            f"task {mapped.name!r} uses virtual cores {missing} not present "
+            f"in vNPU {vnpu.name!r}"
+        )
+    vmap = vnpu.mapping.vmap
+    flows = []
+    for flow in mapped.flows:
+        route = vnpu.noc_vrouter.resolve(flow.src_vcore, flow.dst_vcore)
+        path = route.path
+        if path is None:
+            if route.p_src == route.p_dst:
+                path = [route.p_src]
+            else:
+                path = chip_topology.dor_path(route.p_src, route.p_dst)
+        flows.append(PhysicalFlow(
+            src=route.p_src, dst=route.p_dst, nbytes=flow.nbytes,
+            path=tuple(path), kind=flow.kind,
+        ))
+    overhead = (calibration.VROUTER_RT_LOOKUP + calibration.VROUTER_REWRITE
+                + calibration.VROUTER_META_FETCH)
+    return PlacedTask(
+        name=mapped.name,
+        vmid=vnpu.vmid,
+        core_macs={vmap[v]: macs for v, macs in mapped.compute_macs.items()},
+        weight_bytes={vmap[v]: b for v, b in mapped.weight_bytes.items()},
+        stream_bytes={vmap[v]: b for v, b in mapped.stream_bytes.items()},
+        flows=flows,
+        vrouter_overhead=overhead,
+        owned_cores=frozenset(vnpu.physical_cores),
+    )
+
+
+def place_bare_metal(mapped: MappedTask,
+                     chip_topology: Topology) -> PlacedTask:
+    """Identity placement: virtual cores *are* physical cores."""
+    for vcore in mapped.vcores:
+        if vcore not in chip_topology:
+            raise CompilationError(
+                f"bare-metal task {mapped.name!r} references core {vcore} "
+                f"absent from the chip"
+            )
+    flows = []
+    for flow in mapped.flows:
+        if flow.src_vcore == flow.dst_vcore:
+            path = [flow.src_vcore]
+        else:
+            path = chip_topology.dor_path(flow.src_vcore, flow.dst_vcore)
+        flows.append(PhysicalFlow(
+            src=flow.src_vcore, dst=flow.dst_vcore, nbytes=flow.nbytes,
+            path=tuple(path), kind=flow.kind,
+        ))
+    return PlacedTask(
+        name=mapped.name,
+        vmid=None,
+        core_macs=dict(mapped.compute_macs),
+        weight_bytes=dict(mapped.weight_bytes),
+        stream_bytes=dict(mapped.stream_bytes),
+        flows=flows,
+        vrouter_overhead=0,
+        owned_cores=frozenset(chip_topology.nodes),
+    )

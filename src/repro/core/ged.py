@@ -1,0 +1,381 @@
+"""Graph (topology) edit distance, exact and approximate (§4.3, Fig 9).
+
+The topology-mapping allocator scores candidate core sets by the minimum
+number of edit operations — node/edge insertion, deletion, substitution —
+needed to turn the candidate's induced topology into the requested one.
+
+Two solvers:
+
+- :func:`exact_ged` — A* over partial node assignments. Optimal; used for
+  small topologies (the decision problem is NP-hard, §4.3).
+- :func:`bipartite_ged` — the Riesen-Bunke bipartite approximation: a
+  Hungarian assignment over node-plus-local-edge costs, then the *exact
+  induced cost* of that node mapping. Always an upper bound on the true
+  distance; near-optimal on the sparse, near-regular graphs that NPU
+  topologies are.
+
+Heterogeneous penalties (Algorithm 1's ``NodeMatch`` / ``EdgeMatch``) plug
+in through :class:`EditCosts`: node attributes ("abbr") priced by
+``node_substitute`` and per-edge criticality priced by ``edge_delete``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from repro.arch.topology import Topology
+from repro.errors import TopologyError
+
+#: Sentinel for "mapped to epsilon" (deleted / inserted).
+EPS = None
+
+
+def _default_node_substitute(attr1: str, attr2: str) -> float:
+    """Penalty for relabelling a source node as a target node.
+
+    An *untagged* source node (empty attribute) is "don't care": tenants
+    that did not request heterogeneous cores may land on any physical
+    core — including memory-interface-tagged ones — for free. A tagged
+    source node costs one edit when the target's tag differs.
+    """
+    if not attr1:
+        return 0.0
+    return 0.0 if attr1 == attr2 else 1.0
+
+
+def _default_edge_cost(topology: Topology, u: int, v: int) -> float:
+    return 1.0
+
+
+@dataclass
+class EditCosts:
+    """Pluggable edit-operation costs.
+
+    ``node_substitute(a, b)`` prices relabelling a node with attribute
+    ``a`` as one with attribute ``b`` (Algorithm 1's NodeMatch penalty).
+    ``edge_delete(topology, u, v)`` prices losing edge ``(u, v)`` of the
+    *request* topology — return a large value for critical edges
+    (Algorithm 1's EdgeMatch). Insertions use flat costs.
+    """
+
+    node_substitute: Callable[[str, str], float] = field(
+        default=_default_node_substitute)
+    node_delete: float = 1.0
+    node_insert: float = 1.0
+    edge_delete: Callable[[Topology, int, int], float] = field(
+        default=_default_edge_cost)
+    edge_insert: float = 1.0
+
+    def node_sub(self, t1: Topology, n1: int, t2: Topology, n2: int) -> float:
+        return self.node_substitute(t1.attr(n1), t2.attr(n2))
+
+    def edge_del(self, t1: Topology, u: int, v: int) -> float:
+        return self.edge_delete(t1, u, v)
+
+
+def induced_edit_cost(t1: Topology, t2: Topology,
+                      mapping: dict[int, int | None],
+                      costs: EditCosts | None = None) -> float:
+    """Exact edit cost implied by a complete node mapping ``t1 -> t2``.
+
+    ``mapping`` maps every node of ``t1`` to a node of ``t2`` or to
+    ``None`` (deletion); unmentioned ``t2`` nodes are insertions.
+    """
+    costs = costs or EditCosts()
+    if set(mapping) != set(t1.nodes):
+        raise TopologyError("mapping must cover every node of the source")
+    images = [v for v in mapping.values() if v is not EPS]
+    if len(set(images)) != len(images):
+        raise TopologyError("mapping is not injective on mapped nodes")
+    for image in images:
+        if image not in t2:
+            raise TopologyError(f"mapping targets unknown node {image}")
+
+    total = 0.0
+    for n1, n2 in mapping.items():
+        if n2 is EPS:
+            total += costs.node_delete
+        else:
+            total += costs.node_sub(t1, n1, t2, n2)
+    total += (t2.node_count - len(images)) * costs.node_insert
+
+    image_set = set(images)
+    for u, v in t1.edges:
+        mu, mv = mapping[u], mapping[v]
+        if mu is EPS or mv is EPS or not t2.has_edge(mu, mv):
+            total += costs.edge_del(t1, u, v)
+    for a, b in t2.edges:
+        if a not in image_set or b not in image_set:
+            total += costs.edge_insert
+            continue
+        # Both endpoints are images: the edge is matched only if its
+        # preimage edge exists (already priced as a deletion otherwise —
+        # an unmatched t2 edge between images is an insertion).
+        u = _preimage(mapping, a)
+        v = _preimage(mapping, b)
+        if not t1.has_edge(u, v):
+            total += costs.edge_insert
+    return total
+
+
+def _preimage(mapping: dict[int, int | None], image: int) -> int:
+    for source, target in mapping.items():
+        if target == image:
+            return source
+    raise TopologyError(f"no preimage for {image}")
+
+
+# ---------------------------------------------------------------------------
+# Exact A*
+# ---------------------------------------------------------------------------
+
+def exact_ged(t1: Topology, t2: Topology,
+              costs: EditCosts | None = None,
+              max_nodes: int = 10) -> float:
+    """Optimal edit distance by A* search over node assignments.
+
+    Raises :class:`TopologyError` when either topology exceeds
+    ``max_nodes`` — use :func:`bipartite_ged` (or :func:`ged` with
+    ``method="auto"``) beyond that.
+    """
+    costs = costs or EditCosts()
+    if t1.node_count > max_nodes or t2.node_count > max_nodes:
+        raise TopologyError(
+            f"exact GED limited to {max_nodes} nodes "
+            f"({t1.node_count} vs {t2.node_count} requested)"
+        )
+    # Assign t1 nodes in descending-degree order: high-degree nodes
+    # constrain edge costs early, tightening the search.
+    order = sorted(t1.nodes, key=t1.degree, reverse=True)
+    n2_nodes = t2.nodes
+
+    counter = itertools.count()
+    # state: (f, tiebreak, g, depth, assignment tuple, used t2 frozenset)
+    heap = [(0.0, next(counter), 0.0, 0, (), frozenset())]
+    best = float("inf")
+    while heap:
+        f, _tie, g, depth, assignment, used = heapq.heappop(heap)
+        if f >= best:
+            break
+        if depth == len(order):
+            total = g + _closing_cost(t1, t2, order, assignment, costs)
+            best = min(best, total)
+            continue
+        node = order[depth]
+        for candidate in [*[n for n in n2_nodes if n not in used], EPS]:
+            step = _assignment_step_cost(
+                t1, t2, order, assignment, node, candidate, costs,
+            )
+            new_g = g + step
+            remaining1 = len(order) - depth - 1
+            remaining2 = len(n2_nodes) - len(used) - (candidate is not EPS)
+            h = max(0, remaining2 - remaining1) * costs.node_insert
+            if new_g + h < best:
+                new_used = used | {candidate} if candidate is not EPS else used
+                heapq.heappush(heap, (
+                    new_g + h, next(counter), new_g, depth + 1,
+                    assignment + (candidate,), new_used,
+                ))
+    return best
+
+
+def _assignment_step_cost(t1, t2, order, assignment, node, candidate, costs):
+    """Incremental cost of assigning ``node`` (next t1 node) to ``candidate``."""
+    if candidate is EPS:
+        step = costs.node_delete
+        # Edges from node to already-assigned t1 nodes are deleted.
+        for prior_index, prior_image in enumerate(assignment):
+            prior = order[prior_index]
+            if t1.has_edge(node, prior):
+                step += costs.edge_del(t1, node, prior)
+        return step
+    step = costs.node_sub(t1, node, t2, candidate)
+    for prior_index, prior_image in enumerate(assignment):
+        prior = order[prior_index]
+        e1 = t1.has_edge(node, prior)
+        e2 = prior_image is not EPS and t2.has_edge(candidate, prior_image)
+        if e1 and not e2:
+            step += costs.edge_del(t1, node, prior)
+        elif e2 and not e1:
+            step += costs.edge_insert
+    return step
+
+
+def _closing_cost(t1, t2, order, assignment, costs):
+    """Cost of inserting whatever t2 structure the assignment left unused."""
+    image = {img for img in assignment if img is not EPS}
+    total = (t2.node_count - len(image)) * costs.node_insert
+    for a, b in t2.edges:
+        if a not in image or b not in image:
+            total += costs.edge_insert
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Bipartite (Riesen-Bunke) approximation
+# ---------------------------------------------------------------------------
+
+def bipartite_ged(t1: Topology, t2: Topology,
+                  costs: EditCosts | None = None) -> float:
+    """Upper-bound edit distance via Hungarian node assignment.
+
+    The cost matrix prices each node pair with its substitution cost plus
+    half the local edge mismatch (each edge is shared by two endpoints);
+    deletions/insertions carry their adjacent edges. The winning
+    assignment is then re-priced exactly with :func:`induced_edit_cost`.
+    """
+    costs = costs or EditCosts()
+    nodes1, nodes2 = t1.nodes, t2.nodes
+    n1, n2 = len(nodes1), len(nodes2)
+    size = n1 + n2
+    big = 1e18
+    matrix = np.full((size, size), 0.0)
+
+    for i, u in enumerate(nodes1):
+        deg1 = t1.degree(u)
+        adjacent_del = sum(
+            costs.edge_del(t1, u, nbr) for nbr in t1.neighbors(u)
+        )
+        for j, v in enumerate(nodes2):
+            deg2 = t2.degree(v)
+            local = 0.0
+            if deg1 > deg2:
+                # Some of u's edges will have no counterpart.
+                local += 0.5 * (deg1 - deg2) * (adjacent_del / max(deg1, 1))
+            elif deg2 > deg1:
+                local += 0.5 * (deg2 - deg1) * costs.edge_insert
+            matrix[i, j] = costs.node_sub(t1, u, t2, v) + local
+        matrix[i, n2:] = big
+        matrix[i, n2 + i] = costs.node_delete + 0.5 * adjacent_del
+    for j, v in enumerate(nodes2):
+        matrix[n1:, j] = big
+        matrix[n1 + j, j] = (costs.node_insert
+                             + 0.5 * t2.degree(v) * costs.edge_insert)
+    matrix[n1:, n2:] = 0.0
+
+    rows, cols = linear_sum_assignment(matrix)
+    mapping: dict[int, int | None] = {}
+    for row, col in zip(rows, cols):
+        if row < n1:
+            mapping[nodes1[row]] = nodes2[col] if col < n2 else EPS
+    return induced_edit_cost(t1, t2, mapping, costs)
+
+
+def best_bijection(t1: Topology, t2: Topology,
+                   costs: EditCosts | None = None) -> tuple[float, dict[int, int]]:
+    """Minimum-cost *bijective* node mapping between equal-sized topologies.
+
+    This is what core allocation needs (requirement R-1 fixes the node
+    count): a Hungarian assignment over substitution-plus-local-edge
+    costs, re-priced exactly. Returns ``(cost, mapping t1-node -> t2-node)``.
+    """
+    costs = costs or EditCosts()
+    if t1.node_count != t2.node_count:
+        raise TopologyError(
+            f"bijection needs equal sizes ({t1.node_count} vs {t2.node_count})"
+        )
+    nodes1, nodes2 = t1.nodes, t2.nodes
+    n = len(nodes1)
+    matrix = np.zeros((n, n))
+    for i, u in enumerate(nodes1):
+        deg1 = t1.degree(u)
+        adjacent_del = sum(
+            costs.edge_del(t1, u, nbr) for nbr in t1.neighbors(u)
+        )
+        for j, v in enumerate(nodes2):
+            deg2 = t2.degree(v)
+            local = 0.0
+            if deg1 > deg2:
+                local += 0.5 * (deg1 - deg2) * (adjacent_del / max(deg1, 1))
+            elif deg2 > deg1:
+                local += 0.5 * (deg2 - deg1) * costs.edge_insert
+            matrix[i, j] = costs.node_sub(t1, u, t2, v) + local
+    rows, cols = linear_sum_assignment(matrix)
+    mapping = {nodes1[row]: nodes2[col] for row, col in zip(rows, cols)}
+    return induced_edit_cost(t1, t2, mapping, costs), mapping
+
+
+def _bijection_edge_cost(t1: Topology, t2: Topology,
+                         mapping: dict[int, int],
+                         inverse: dict[int, int],
+                         costs: EditCosts,
+                         touched_t1: set[int] | None = None) -> float:
+    """Edge-mismatch cost of a bijection, optionally restricted to edges
+    incident to ``touched_t1`` request nodes (and their images)."""
+    total = 0.0
+    touched_images = (
+        None if touched_t1 is None else {mapping[n] for n in touched_t1}
+    )
+    for u, v in t1.edges:
+        if touched_t1 is not None and u not in touched_t1 and v not in touched_t1:
+            continue
+        if not t2.has_edge(mapping[u], mapping[v]):
+            total += costs.edge_del(t1, u, v)
+    for a, b in t2.edges:
+        if touched_images is not None and a not in touched_images \
+                and b not in touched_images:
+            continue
+        if not t1.has_edge(inverse[a], inverse[b]):
+            total += costs.edge_insert
+    return total
+
+
+def refine_bijection(t1: Topology, t2: Topology,
+                     mapping: dict[int, int],
+                     costs: EditCosts | None = None,
+                     max_passes: int = 6) -> tuple[float, dict[int, int]]:
+    """Improve a bijection by greedy pairwise swaps (2-opt hill climbing).
+
+    The Hungarian seed optimizes node-local costs only; edge alignment is
+    a quadratic-assignment term it cannot see. Swapping image pairs with
+    incremental (incident-edges-only) cost evaluation recovers most of the
+    gap cheaply. Returns the refined ``(cost, mapping)``.
+    """
+    costs = costs or EditCosts()
+    mapping = dict(mapping)
+    inverse = {p: v for v, p in mapping.items()}
+    nodes = t1.nodes
+    for _ in range(max_passes):
+        improved = False
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1:]:
+                touched = {a, b}
+                node_before = (costs.node_sub(t1, a, t2, mapping[a])
+                               + costs.node_sub(t1, b, t2, mapping[b]))
+                before = node_before + _bijection_edge_cost(
+                    t1, t2, mapping, inverse, costs, touched)
+                mapping[a], mapping[b] = mapping[b], mapping[a]
+                inverse[mapping[a]], inverse[mapping[b]] = a, b
+                node_after = (costs.node_sub(t1, a, t2, mapping[a])
+                              + costs.node_sub(t1, b, t2, mapping[b]))
+                after = node_after + _bijection_edge_cost(
+                    t1, t2, mapping, inverse, costs, touched)
+                if after + 1e-12 < before:
+                    improved = True
+                else:  # revert
+                    mapping[a], mapping[b] = mapping[b], mapping[a]
+                    inverse[mapping[a]], inverse[mapping[b]] = a, b
+        if not improved:
+            break
+    return induced_edit_cost(t1, t2, mapping, costs), mapping
+
+
+def ged(t1: Topology, t2: Topology, costs: EditCosts | None = None,
+        method: str = "auto", exact_limit: int = 8) -> float:
+    """Topology edit distance with automatic solver selection."""
+    if method == "exact":
+        return exact_ged(t1, t2, costs, max_nodes=max(
+            exact_limit, t1.node_count, t2.node_count))
+    if method == "bipartite":
+        return bipartite_ged(t1, t2, costs)
+    if method != "auto":
+        raise TopologyError(f"unknown GED method {method!r}")
+    if t1.node_count <= exact_limit and t2.node_count <= exact_limit:
+        return exact_ged(t1, t2, costs, max_nodes=exact_limit)
+    return bipartite_ged(t1, t2, costs)

@@ -1,0 +1,236 @@
+"""The vNPU hypervisor: lifecycle + meta-table management (§5.2).
+
+The hypervisor is the only agent allowed to touch hyper-mode state. For
+each ``create_vnpu`` it:
+
+1. allocates physical cores with the configured topology-mapping strategy
+   (exact / similar / straightforward / fragmented);
+2. builds the routing table — the compressed *shaped* form when the
+   mapping landed on a contiguous 2D-mesh block, per-entry standard form
+   otherwise — and installs it through the hyper-mode controller (Fig 11
+   configuration cost is recorded on the vNPU);
+3. allocates guest memory from the buddy system and maps each buddy block
+   as **one RTT entry** (sorted by guest VA), building the vChunk
+   translator;
+4. installs the meta tables into each owned core's scratchpad meta-zone;
+5. wires the NoC vRouter in confined or DOR mode per the spec.
+
+``destroy_vnpu`` releases cores, coalesces memory back into the buddy
+allocator and removes the routing table.
+"""
+
+from __future__ import annotations
+
+from repro.arch.chip import Chip
+from repro.core.routing_table import (
+    RoutingTable,
+    ShapedRoutingTable,
+    StandardRoutingTable,
+)
+from repro.core.topology_mapping import MappingResult, TopologyMapper
+from repro.core.vchunk import AccessCounter, RangeTranslator, RTT_ENTRY_BITS
+from repro.core.vnpu import VirtualNPU, VNpuSpec
+from repro.core.vrouter import NocVRouter
+from repro.core.ged import EditCosts
+from repro.errors import AllocationError, HypervisorError
+from repro.mem.buddy import Block, BuddyAllocator
+
+#: Guest virtual addresses start here (a nonzero base catches null derefs).
+GUEST_VA_BASE = 0x1_0000
+
+STRATEGIES = ("exact", "similar", "straightforward", "fragmented")
+
+
+def _largest_pow2_at_most(value: int) -> int:
+    return 1 << (value.bit_length() - 1)
+
+
+class Hypervisor:
+    """Manages all virtual NPUs of one chip."""
+
+    def __init__(self, chip: Chip, strategy: str = "similar",
+                 costs: EditCosts | None = None,
+                 rtt_tlb_entries: int = 4,
+                 min_block: int = 1 << 20) -> None:
+        if strategy not in STRATEGIES:
+            raise HypervisorError(
+                f"unknown strategy {strategy!r}; choose from {STRATEGIES}"
+            )
+        self.chip = chip
+        self.strategy = strategy
+        self.mapper = TopologyMapper(chip.topology, costs=costs)
+        self.rtt_tlb_entries = rtt_tlb_entries
+        capacity = _largest_pow2_at_most(chip.config.memory.capacity_bytes)
+        self.buddy = BuddyAllocator(capacity=capacity, min_block=min_block)
+        self._vnpus: dict[int, VirtualNPU] = {}
+        self._next_vmid = 1
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def vnpus(self) -> list[VirtualNPU]:
+        return [self._vnpus[vmid] for vmid in sorted(self._vnpus)]
+
+    def vnpu(self, vmid: int) -> VirtualNPU:
+        try:
+            return self._vnpus[vmid]
+        except KeyError:
+            raise HypervisorError(f"no vNPU with VMID {vmid}") from None
+
+    @property
+    def allocated_cores(self) -> set[int]:
+        cores: set[int] = set()
+        for vnpu in self._vnpus.values():
+            cores.update(vnpu.physical_cores)
+        return cores
+
+    def core_utilization(self) -> float:
+        return len(self.allocated_cores) / self.chip.core_count
+
+    def free_core_count(self) -> int:
+        return self.chip.core_count - len(self.allocated_cores)
+
+    # -- lifecycle -----------------------------------------------------------
+    def create_vnpu(self, spec: VNpuSpec,
+                    strategy: str | None = None) -> VirtualNPU:
+        """Allocate and configure a virtual NPU for ``spec``."""
+        strategy = strategy or self.strategy
+        if strategy not in STRATEGIES:
+            raise HypervisorError(f"unknown strategy {strategy!r}")
+        mapping = self._map_cores(spec, strategy)
+        vmid = self._next_vmid
+
+        routing_table = self._build_routing_table(vmid, mapping)
+        setup_cycles = self.chip.controller.install_routing_table(
+            routing_table, hyper_mode=True,
+        )
+        try:
+            blocks = self._allocate_memory(spec.memory_bytes)
+        except AllocationError:
+            self.chip.controller.remove_routing_table(vmid, hyper_mode=True)
+            raise
+        translator = self._build_translator(blocks)
+        counter = None
+        if spec.memory_cap_bytes_per_window is not None:
+            counter = AccessCounter(
+                window_cycles=spec.memory_cap_window_cycles,
+                max_bytes_per_window=spec.memory_cap_bytes_per_window,
+            )
+
+        mode = "confined" if spec.noc_isolation and mapping.connected else "dor"
+        vrouter = NocVRouter(self.chip.topology, routing_table, mode=mode)
+        self._install_meta_tables(mapping, routing_table, translator)
+
+        vnpu = VirtualNPU(
+            vmid=vmid,
+            spec=spec,
+            mapping=mapping,
+            routing_table=routing_table,
+            noc_vrouter=vrouter,
+            translator=translator,
+            memory_blocks=blocks,
+            access_counter=counter,
+            setup_cycles=setup_cycles,
+        )
+        self._vnpus[vmid] = vnpu
+        self._next_vmid += 1
+        return vnpu
+
+    def destroy_vnpu(self, vmid: int) -> None:
+        vnpu = self.vnpu(vmid)
+        for block in vnpu.memory_blocks:
+            self.buddy.free(block.address)
+        for p_core in vnpu.physical_cores:
+            spad = self.chip.core(p_core).scratchpad
+            spad.reset_meta_zone(hyper_mode=True)
+            spad.reset_weight_zone()
+        self.chip.controller.remove_routing_table(vmid, hyper_mode=True)
+        del self._vnpus[vmid]
+
+    # -- internals ---------------------------------------------------------------
+    def _map_cores(self, spec: VNpuSpec, strategy: str) -> MappingResult:
+        allocated = self.allocated_cores
+        if strategy == "exact":
+            return self.mapper.map_exact(spec.topology, allocated)
+        if strategy == "straightforward":
+            return self.mapper.map_straightforward(spec.topology, allocated)
+        if strategy == "fragmented":
+            return self.mapper.map_fragmented(spec.topology, allocated)
+        return self.mapper.map_similar(
+            spec.topology, allocated,
+            require_connected=spec.noc_isolation,
+        )
+
+    def _build_routing_table(self, vmid: int,
+                             mapping: MappingResult) -> RoutingTable:
+        shaped = self._try_shaped_table(vmid, mapping)
+        if shaped is not None:
+            return shaped
+        return StandardRoutingTable(vmid, dict(mapping.vmap))
+
+    def _try_shaped_table(self, vmid: int,
+                          mapping: MappingResult) -> ShapedRoutingTable | None:
+        """Use the 1-entry shaped form when the block is a contiguous mesh."""
+        physical = self.chip.topology.subtopology(mapping.physical_cores)
+        shape = physical.mesh_shape()
+        if shape is None:
+            return None
+        v_cores = sorted(mapping.vmap)
+        v_base = v_cores[0]
+        if v_cores != list(range(v_base, v_base + len(v_cores))):
+            return None
+        p_base = min(mapping.physical_cores)
+        chip_cols = self.chip.config.mesh_cols
+        table = ShapedRoutingTable(vmid, shape, p_base, chip_cols,
+                                   v_base=v_base)
+        # The shaped form is only valid if it reproduces the mapping.
+        for v_core, p_core in mapping.vmap.items():
+            if table.translate(v_core) != p_core:
+                return None
+        return table
+
+    def _allocate_memory(self, nbytes: int) -> list[Block]:
+        """Greedy power-of-two decomposition; each block -> one RTT entry."""
+        blocks: list[Block] = []
+        remaining = nbytes
+        try:
+            while remaining > 0:
+                chunk = min(_largest_pow2_at_most(max(remaining,
+                                                      self.buddy.min_block)),
+                            self.buddy.capacity)
+                while chunk >= self.buddy.min_block:
+                    try:
+                        blocks.append(self.buddy.alloc(chunk))
+                        break
+                    except AllocationError:
+                        chunk //= 2
+                else:
+                    raise AllocationError(
+                        f"cannot satisfy {nbytes} bytes of guest memory"
+                    )
+                remaining -= blocks[-1].size
+        except AllocationError:
+            for block in blocks:
+                self.buddy.free(block.address)
+            raise
+        return blocks
+
+    def _build_translator(self, blocks: list[Block]) -> RangeTranslator:
+        translator = RangeTranslator(tlb_entries=self.rtt_tlb_entries)
+        guest_va = GUEST_VA_BASE
+        # §5.2: the hypervisor sorts RTT entries by virtual address —
+        # sequential guest VAs over blocks sorted by size keep big tensors
+        # in few entries.
+        for block in sorted(blocks, key=lambda b: b.size, reverse=True):
+            translator.map_range(guest_va, block.address, block.size)
+            guest_va += block.size
+        return translator
+
+    def _install_meta_tables(self, mapping: MappingResult,
+                             table: RoutingTable,
+                             translator: RangeTranslator) -> None:
+        rt_bytes = max(1, table.sram_bits // 8)
+        rtt_bytes = max(1, translator.entry_count * RTT_ENTRY_BITS // 8)
+        for p_core in mapping.physical_cores:
+            spad = self.chip.core(p_core).scratchpad
+            spad.install_meta(rt_bytes, label="routing-table", hyper_mode=True)
+            spad.install_meta(rtt_bytes, label="rtt", hyper_mode=True)

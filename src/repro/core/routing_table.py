@@ -1,0 +1,177 @@
+"""Routing tables: the vRouter's translation structures (§4.1.1).
+
+Two organizations, exactly as in Figure 4:
+
+- :class:`StandardRoutingTable` — one entry per virtual core, mapping
+  ``v_CoreID -> p_CoreID``, optionally annotated with a routing
+  *direction* per entry (used by the NoC vRouter on irregular virtual
+  topologies, Figure 5).
+- :class:`ShapedRoutingTable` — the compressed form for regular virtual
+  topologies: a single entry holding the base virtual ID, base physical
+  ID and a 2D-mesh shape; translation is row/column arithmetic. This is
+  the "2D Mesh, 1 Entry" optimization that saves controller SRAM.
+
+Both expose ``translate``, ``entry_count`` and ``sram_bits`` so the
+hardware-cost model (Fig 19) and the controller can treat them uniformly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.arch.topology import MeshShape
+from repro.errors import IsolationViolation, RoutingError
+
+#: Bits per standard entry: v_CoreID (16) + p_CoreID (16) + direction (4).
+STANDARD_ENTRY_BITS = 36
+
+#: Bits for a shaped entry: v/p base IDs (16+16) + rows (8) + cols (8).
+SHAPED_ENTRY_BITS = 48
+
+
+class RoutingTable(ABC):
+    """Common interface of the two routing-table organizations."""
+
+    def __init__(self, vmid: int) -> None:
+        if vmid < 0:
+            raise RoutingError(f"negative VMID {vmid}")
+        self.vmid = vmid
+
+    @abstractmethod
+    def translate(self, v_core: int) -> int:
+        """Map a virtual core ID to its physical core ID."""
+
+    @abstractmethod
+    def virtual_cores(self) -> list[int]:
+        """All virtual core IDs this table maps."""
+
+    @property
+    @abstractmethod
+    def entry_count(self) -> int:
+        ...
+
+    @property
+    @abstractmethod
+    def sram_bits(self) -> int:
+        ...
+
+    def physical_cores(self) -> list[int]:
+        return [self.translate(v) for v in self.virtual_cores()]
+
+    def reverse(self, p_core: int) -> int:
+        """Physical -> virtual (used by the receive path)."""
+        for v_core in self.virtual_cores():
+            if self.translate(v_core) == p_core:
+                return v_core
+        raise IsolationViolation(
+            f"physical core {p_core} does not belong to VM {self.vmid}"
+        )
+
+
+@dataclass(frozen=True)
+class RouteEntry:
+    """One standard routing-table row (Figure 5): mapping + direction."""
+
+    v_core: int
+    p_core: int
+    direction: str = ""  # "", "left", "right", "up", "down" — relay hint
+
+
+class StandardRoutingTable(RoutingTable):
+    """Type: Standard — explicit per-core entries."""
+
+    def __init__(self, vmid: int, mapping: dict[int, int],
+                 directions: dict[int, str] | None = None) -> None:
+        super().__init__(vmid)
+        if not mapping:
+            raise RoutingError("routing table needs at least one entry")
+        physical = list(mapping.values())
+        if len(set(physical)) != len(physical):
+            raise RoutingError(
+                f"duplicate physical cores in routing table: {sorted(physical)}"
+            )
+        directions = directions or {}
+        unknown = set(directions) - set(mapping)
+        if unknown:
+            raise RoutingError(
+                f"direction entries for unmapped virtual cores: {sorted(unknown)}"
+            )
+        self._entries = {
+            v_core: RouteEntry(v_core, p_core, directions.get(v_core, ""))
+            for v_core, p_core in mapping.items()
+        }
+
+    def translate(self, v_core: int) -> int:
+        entry = self._entries.get(v_core)
+        if entry is None:
+            raise IsolationViolation(
+                f"virtual core {v_core} is not mapped for VM {self.vmid}"
+            )
+        return entry.p_core
+
+    def direction(self, v_core: int) -> str:
+        entry = self._entries.get(v_core)
+        if entry is None:
+            raise IsolationViolation(
+                f"virtual core {v_core} is not mapped for VM {self.vmid}"
+            )
+        return entry.direction
+
+    def virtual_cores(self) -> list[int]:
+        return sorted(self._entries)
+
+    @property
+    def entry_count(self) -> int:
+        return len(self._entries)
+
+    @property
+    def sram_bits(self) -> int:
+        return self.entry_count * STANDARD_ENTRY_BITS
+
+
+class ShapedRoutingTable(RoutingTable):
+    """Type: 2D Mesh — one entry describing a whole rectangular block.
+
+    Virtual core ``v`` (``v_base <= v < v_base + rows*cols``, row-major in
+    the *virtual* mesh) maps to the physical core at the same (row, col)
+    offset from ``p_base`` in the physical mesh of width ``chip_cols``.
+    """
+
+    def __init__(self, vmid: int, shape: MeshShape, p_base: int,
+                 chip_cols: int, v_base: int = 0) -> None:
+        super().__init__(vmid)
+        if chip_cols < shape.cols:
+            raise RoutingError(
+                f"shape {shape} wider than the chip ({chip_cols} columns)"
+            )
+        if p_base < 0 or v_base < 0:
+            raise RoutingError("base core IDs must be non-negative")
+        if p_base % chip_cols + shape.cols > chip_cols:
+            raise RoutingError(
+                f"block at physical base {p_base} would wrap the mesh row"
+            )
+        self.shape = shape
+        self.p_base = p_base
+        self.v_base = v_base
+        self.chip_cols = chip_cols
+
+    def translate(self, v_core: int) -> int:
+        offset = v_core - self.v_base
+        if not 0 <= offset < self.shape.node_count:
+            raise IsolationViolation(
+                f"virtual core {v_core} outside shaped block for VM {self.vmid}"
+            )
+        row, col = divmod(offset, self.shape.cols)
+        return self.p_base + row * self.chip_cols + col
+
+    def virtual_cores(self) -> list[int]:
+        return list(range(self.v_base, self.v_base + self.shape.node_count))
+
+    @property
+    def entry_count(self) -> int:
+        return 1
+
+    @property
+    def sram_bits(self) -> int:
+        return SHAPED_ENTRY_BITS

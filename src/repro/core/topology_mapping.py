@@ -1,0 +1,443 @@
+"""Topology-mapping strategies for virtual-NPU core allocation (§4.3).
+
+The hypervisor must carve a requested virtual topology out of whatever
+physical cores are still free. Strategies, in the paper's terminology:
+
+- **Exact mapping** — find a free induced subgraph isomorphic to the
+  request; raise :class:`~repro.errors.TopologyLockIn` when none exists
+  even though enough cores are free (the paper's motivating failure).
+- **Straightforward (zig-zag) mapping** — take the first free cores in
+  boustrophedon row order, ignoring topology. Cheap, but the resulting
+  communication pattern can be far from the request (Fig 18's baseline).
+- **Similar topology mapping** (Algorithm 1) — enumerate candidate
+  connected free subgraphs of the right size (R-1, R-3), deduplicate by
+  isomorphism certificate, early-return on an exact match, and otherwise
+  pick the candidate with minimum topology edit distance (R-2).
+- **Fragmented mapping** — relax R-3: allow a disconnected core set so
+  fragments can still be used, trading NoC interference for utilization.
+
+Candidate enumeration uses the ESU ("enumerate subgraphs") algorithm,
+which visits every connected ``k``-subset exactly once; a candidate cap
+keeps worst cases bounded (the paper prunes and parallelizes similarly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.topology import Topology
+from repro.core.ged import (
+    EditCosts,
+    best_bijection,
+    induced_edit_cost,
+    refine_bijection,
+)
+from repro.errors import AllocationError, TopologyError, TopologyLockIn
+
+import networkx as nx
+
+
+@dataclass
+class MappingResult:
+    """A concrete placement of a virtual topology onto physical cores."""
+
+    strategy: str
+    #: virtual core ID -> physical core ID
+    vmap: dict[int, int]
+    #: Topology edit distance between request and mapped subgraph (0 = exact).
+    distance: float
+    #: Is the mapped physical core set connected (R-3)?
+    connected: bool
+    candidates_considered: int = 0
+
+    @property
+    def physical_cores(self) -> list[int]:
+        return sorted(self.vmap.values())
+
+    @property
+    def is_exact(self) -> bool:
+        return self.distance == 0
+
+
+def enumerate_connected_subsets(topology: Topology, k: int,
+                                limit: int | None = None) -> list[frozenset[int]]:
+    """All connected induced ``k``-subsets of ``topology`` (ESU algorithm).
+
+    Each subset is produced exactly once. ``limit`` caps the result for
+    pathological sizes; enumeration stops once reached.
+    """
+    if k < 1:
+        raise TopologyError(f"subset size must be >= 1, got {k}")
+    results: list[frozenset[int]] = []
+    nodes = topology.nodes
+
+    def extend(subgraph: set[int], extension: set[int], root: int) -> bool:
+        if len(subgraph) == k:
+            results.append(frozenset(subgraph))
+            return limit is not None and len(results) >= limit
+        candidates = sorted(extension)
+        for node in candidates:
+            remaining = {c for c in candidates if c > node}
+            # ESU exclusive neighborhood: neighbors of `node` greater than
+            # root that are neither in the subgraph nor adjacent to it.
+            exclusive = set()
+            for nbr in topology.neighbors(node):
+                if nbr <= root or nbr in subgraph:
+                    continue
+                if any(nbr in topology.neighbors(s) for s in subgraph):
+                    continue
+                exclusive.add(nbr)
+            if extend(subgraph | {node}, remaining | exclusive, root):
+                return True
+        return False
+
+    for root in nodes:
+        extension = {nbr for nbr in topology.neighbors(root) if nbr > root}
+        if extend({root}, extension, root):
+            break
+    return results
+
+
+class TopologyMapper:
+    """Implements the allocation strategies over one chip topology."""
+
+    def __init__(self, chip_topology: Topology,
+                 costs: EditCosts | None = None,
+                 candidate_limit: int = 20_000,
+                 esu_max_request: int = 9) -> None:
+        self.chip = chip_topology
+        self.costs = costs or EditCosts()
+        self.candidate_limit = candidate_limit
+        #: Largest request size for which candidates are enumerated
+        #: exhaustively (ESU); beyond it a compact-region generator is used
+        #: (the paper prunes aggressively and parallelizes instead).
+        self.esu_max_request = esu_max_request
+
+    # -- helpers ------------------------------------------------------------
+    def free_topology(self, allocated: set[int]) -> Topology:
+        free = [n for n in self.chip.nodes if n not in allocated]
+        return self.chip.subtopology(free, name="free")
+
+    def _check_capacity(self, request: Topology, free: Topology) -> None:
+        if request.node_count > free.node_count:
+            raise AllocationError(
+                f"request needs {request.node_count} cores but only "
+                f"{free.node_count} are free"
+            )
+
+    @staticmethod
+    def _zigzag_order(topology: Topology) -> list[int]:
+        """Boustrophedon order: row 0 left-to-right, row 1 right-to-left..."""
+        if not topology.coords:
+            return topology.nodes
+        def key(node):
+            row, col = topology.coords[node]
+            return (row, col if row % 2 == 0 else -col)
+        return sorted(topology.nodes, key=key)
+
+    def _isomorphism_mapping(self, request: Topology,
+                             candidate: Topology) -> dict[int, int] | None:
+        matcher = nx.algorithms.isomorphism.GraphMatcher(
+            request.to_networkx(), candidate.to_networkx(),
+            node_match=lambda a, b: a.get("abbr", "") == b.get("abbr", ""),
+        )
+        if matcher.is_isomorphic():
+            return dict(matcher.mapping)
+        return None
+
+    # -- candidate generation -------------------------------------------------
+    def _request_grid(self, request: Topology) -> dict[int, tuple[int, int]] | None:
+        """Virtual node -> (row, col) within the request mesh, if a mesh."""
+        shape = request.mesh_shape()
+        if shape is None:
+            return None
+        if request.coords:
+            min_row = min(r for r, _ in request.coords.values())
+            min_col = min(c for _, c in request.coords.values())
+            return {
+                node: (r - min_row, c - min_col)
+                for node, (r, c) in request.coords.items()
+            }
+        return {
+            node: divmod(index, shape.cols)
+            for index, node in enumerate(sorted(request.nodes))
+        }
+
+    def _mesh_placements(self, request: Topology, free: Topology):
+        """Yield exact vmaps by sliding the request mesh over free cells."""
+        grid = self._request_grid(request)
+        if grid is None or not self.chip.coords:
+            return
+        by_coord = {coord: node for node, coord in self.chip.coords.items()}
+        free_nodes = set(free.nodes)
+        chip_rows = max(r for r, _ in self.chip.coords.values()) + 1
+        chip_cols = max(c for _, c in self.chip.coords.values()) + 1
+        shape = request.mesh_shape()
+        orientations = [grid]
+        if shape.rows != shape.cols:
+            orientations.append({n: (c, r) for n, (r, c) in grid.items()})
+        for oriented in orientations:
+            height = max(r for r, _ in oriented.values()) + 1
+            width = max(c for _, c in oriented.values()) + 1
+            for base_row in range(chip_rows - height + 1):
+                for base_col in range(chip_cols - width + 1):
+                    vmap = {}
+                    for node, (r, c) in oriented.items():
+                        physical = by_coord.get((base_row + r, base_col + c))
+                        if physical is None or physical not in free_nodes:
+                            vmap = None
+                            break
+                        vmap[node] = physical
+                    if vmap is not None:
+                        yield vmap
+
+    def _compact_candidates(self, free: Topology, k: int) -> list[Topology]:
+        """Diverse connected k-regions: BFS balls grown from every free node."""
+        seen: set[frozenset[int]] = set()
+        candidates = []
+        for seed in free.nodes:
+            ball = free.bfs_order(seed)[:k]
+            if len(ball) < k:
+                continue
+            key = frozenset(ball)
+            if key in seen:
+                continue
+            seen.add(key)
+            candidates.append(free.subtopology(ball))
+        return candidates
+
+    def _candidate_pool(self, request: Topology, free: Topology) -> tuple[list[Topology], int]:
+        """Connected candidates of the right size plus a considered count."""
+        k = request.node_count
+        if k <= self.esu_max_request:
+            subsets = enumerate_connected_subsets(free, k,
+                                                  limit=self.candidate_limit)
+            return [free.subtopology(s) for s in subsets], len(subsets)
+        candidates = self._compact_candidates(free, k)
+        return candidates, len(candidates)
+
+    # -- strategies -----------------------------------------------------------
+    def map_exact(self, request: Topology,
+                  allocated: set[int] | None = None) -> MappingResult:
+        """Exact-topology placement or TopologyLockIn."""
+        free = self.free_topology(allocated or set())
+        self._check_capacity(request, free)
+        for vmap in self._mesh_placements(request, free):
+            return MappingResult(
+                strategy="exact", vmap=vmap, distance=0.0,
+                connected=True, candidates_considered=1,
+            )
+        considered = 0
+        request_cert = request.wl_certificate()
+        candidates, considered = self._candidate_pool(request, free)
+        for candidate in candidates:
+            if candidate.wl_certificate() != request_cert:
+                continue
+            mapping = self._isomorphism_mapping(request, candidate)
+            if mapping is not None:
+                return MappingResult(
+                    strategy="exact", vmap=mapping, distance=0.0,
+                    connected=True, candidates_considered=considered,
+                )
+        raise TopologyLockIn(
+            f"no exact placement for {request.name!r} "
+            f"({request.node_count} cores requested, {free.node_count} free) "
+            f"— the topology lock-in problem"
+        )
+
+    def map_straightforward(self, request: Topology,
+                            allocated: set[int] | None = None) -> MappingResult:
+        """Zig-zag by core ID, ignoring the requested topology."""
+        free = self.free_topology(allocated or set())
+        self._check_capacity(request, free)
+        chosen = self._zigzag_order(free)[: request.node_count]
+        vmap = dict(zip(sorted(request.nodes), chosen))
+        candidate = free.subtopology(chosen)
+        # Price the *naive* assignment itself — this strategy does not
+        # optimize which virtual core lands on which physical core.
+        distance = induced_edit_cost(request, candidate, dict(vmap), self.costs)
+        return MappingResult(
+            strategy="straightforward", vmap=vmap, distance=distance,
+            connected=self.chip.is_connected(set(chosen)),
+            candidates_considered=1,
+        )
+
+    def map_similar(self, request: Topology,
+                    allocated: set[int] | None = None,
+                    require_connected: bool = True) -> MappingResult:
+        """Algorithm 1: minimum topology-edit-distance placement."""
+        free = self.free_topology(allocated or set())
+        self._check_capacity(request, free)
+        request_cert = request.wl_certificate()
+
+        for vmap in self._mesh_placements(request, free):
+            return MappingResult(  # Algorithm 1 line 22: early exact return
+                strategy="similar", vmap=vmap, distance=0.0,
+                connected=True, candidates_considered=1,
+            )
+
+        pool, considered = self._candidate_pool(request, free)
+        candidates: list[Topology] = []
+        seen_certs: set[str] = set()
+        for candidate in pool:
+            cert = candidate.wl_certificate()
+            if cert == request_cert:
+                mapping = self._isomorphism_mapping(request, candidate)
+                if mapping is not None:  # Algorithm 1 line 22: early return
+                    return MappingResult(
+                        strategy="similar", vmap=mapping, distance=0.0,
+                        connected=True, candidates_considered=considered,
+                    )
+            if cert in seen_certs:  # line 25: dedup identical topologies
+                continue
+            seen_certs.add(cert)
+            candidates.append(candidate)
+
+        if not candidates:
+            if require_connected:
+                raise AllocationError(
+                    f"free cores hold no connected {request.node_count}-subset"
+                )
+            return self.map_fragmented(request, allocated)
+
+        best: tuple[float, Topology, dict[int, int]] | None = None
+        for candidate in candidates:  # line 30-32 (serial here)
+            distance, mapping = best_bijection(request, candidate, self.costs)
+            if best is None or distance < best[0]:
+                best = (distance, candidate, mapping)
+        _distance, candidate, mapping = best
+        distance, mapping = self._polish(request, candidate, mapping)
+        return MappingResult(
+            strategy="similar", vmap=mapping, distance=distance,
+            connected=True, candidates_considered=considered,
+        )
+
+    def _polish(self, request: Topology, candidate: Topology,
+                hungarian_seed: dict[int, int]) -> tuple[float, dict[int, int]]:
+        """2-opt refinement from the Hungarian seed and a BFS-aligned seed.
+
+        The Hungarian assignment only sees node-local costs; aligning two
+        BFS traversals gives a geometry-aware alternative. The better
+        refined bijection wins.
+        """
+        seeds = [hungarian_seed]
+        request_corner = min(request.nodes, key=request.degree)
+        candidate_corner = min(candidate.nodes, key=candidate.degree)
+        seeds.append(dict(zip(request.bfs_order(request_corner),
+                              candidate.bfs_order(candidate_corner))))
+        # Snake-aligned seed: boustrophedon walks of both topologies zipped
+        # together. Dataflow pipelines are laid along the snake walk of the
+        # virtual topology (§3.1 programming model), so this seed keeps the
+        # dominant traffic on short physical paths.
+        seeds.append(dict(zip(self._zigzag_order(request),
+                              self._zigzag_order(candidate))))
+        hop = self._all_pairs_hops(candidate)
+        outcomes = [
+            self._stretch_aware_refine(request, candidate, seed, hop)
+            for seed in seeds
+        ]
+        best_mapping = min(outcomes, key=lambda pair: pair[0])[1]
+        distance = induced_edit_cost(request, candidate, dict(best_mapping),
+                                     self.costs)
+        return distance, best_mapping
+
+    @staticmethod
+    def _all_pairs_hops(topology: Topology) -> dict[int, dict[int, int]]:
+        from collections import deque
+
+        hops: dict[int, dict[int, int]] = {}
+        for start in topology.nodes:
+            dist = {start: 0}
+            frontier = deque([start])
+            while frontier:
+                node = frontier.popleft()
+                for nbr in topology.neighbors(node):
+                    if nbr not in dist:
+                        dist[nbr] = dist[node] + 1
+                        frontier.append(nbr)
+            hops[start] = dist
+        return hops
+
+    #: Weight of edge *stretch* (extra hops of a request edge on the
+    #: physical fabric) relative to one edit operation. This realizes the
+    #: paper's customizable EdgeMatch: an edge mapped 3 hops apart is worse
+    #: than one mapped 2 hops apart, even though plain GED prices both as
+    #: a single deletion.
+    STRETCH_WEIGHT = 0.5
+
+    def _stretch_objective(self, request: Topology, candidate: Topology,
+                           mapping: dict[int, int],
+                           hop: dict[int, dict[int, int]]) -> float:
+        cost = induced_edit_cost(request, candidate, dict(mapping),
+                                 self.costs)
+        stretch = sum(
+            hop[mapping[u]].get(mapping[v], request.node_count) - 1
+            for u, v in request.edges
+        )
+        return cost + self.STRETCH_WEIGHT * stretch
+
+    def _stretch_aware_refine(self, request: Topology, candidate: Topology,
+                              seed: dict[int, int],
+                              hop: dict[int, dict[int, int]],
+                              max_passes: int = 6
+                              ) -> tuple[float, dict[int, int]]:
+        """2-opt hill climbing on edit-cost + stretch."""
+        mapping = dict(seed)
+        nodes = request.nodes
+        current = self._stretch_objective(request, candidate, mapping, hop)
+        for _ in range(max_passes):
+            improved = False
+            for i, a in enumerate(nodes):
+                for b in nodes[i + 1:]:
+                    mapping[a], mapping[b] = mapping[b], mapping[a]
+                    trial = self._stretch_objective(
+                        request, candidate, mapping, hop)
+                    if trial + 1e-12 < current:
+                        current = trial
+                        improved = True
+                    else:
+                        mapping[a], mapping[b] = mapping[b], mapping[a]
+            if not improved:
+                break
+        return current, mapping
+
+    def map_fragmented(self, request: Topology,
+                       allocated: set[int] | None = None) -> MappingResult:
+        """Relaxed R-3: allow a disconnected placement (uses fragments)."""
+        free = self.free_topology(allocated or set())
+        self._check_capacity(request, free)
+        chosen: list[int] = []
+        remaining = set(free.nodes)
+        # Greedily take the largest free fragments first, zig-zag inside.
+        while len(chosen) < request.node_count and remaining:
+            fragment = self._largest_fragment(free, remaining)
+            ordered = self._zigzag_order(free.subtopology(fragment))
+            take = min(len(ordered), request.node_count - len(chosen))
+            chosen.extend(ordered[:take])
+            remaining -= fragment
+        candidate = free.subtopology(chosen)
+        distance, mapping = best_bijection(request, candidate, self.costs)
+        return MappingResult(
+            strategy="fragmented", vmap=mapping, distance=distance,
+            connected=self.chip.is_connected(set(chosen)),
+            candidates_considered=1,
+        )
+
+    @staticmethod
+    def _largest_fragment(free: Topology, remaining: set[int]) -> set[int]:
+        best: set[int] = set()
+        unvisited = set(remaining)
+        while unvisited:
+            seed = next(iter(unvisited))
+            stack = [seed]
+            comp = {seed}
+            while stack:
+                node = stack.pop()
+                for nbr in free.neighbors(node):
+                    if nbr in remaining and nbr not in comp:
+                        comp.add(nbr)
+                        stack.append(nbr)
+            unvisited -= comp
+            if len(comp) > len(best):
+                best = comp
+        return best

@@ -1,0 +1,281 @@
+"""vChunk: range-based NPU memory virtualization (§4.2).
+
+Instead of fixed 4 KB pages, vChunk maps whole buddy-allocator blocks with
+a **Range Translation Table** (RTT). Each entry is ``(VA 48b, PA 48b,
+size 32b, perm 4b, last_v 8b)`` — 140 bits of architectural state, 144 in
+hardware (Fig 14 caption). Entries are sorted by virtual address and the
+walker exploits the paper's three access patterns:
+
+- ``RTT_CUR`` — index of the entry in current use; with monotonically
+  increasing addresses (Pattern-2) the *next* entry is usually the match,
+  so the walk scans forward from ``RTT_CUR`` (wrapping at ``RTT_END``).
+- ``last_v`` — per-entry hint recording which entry was needed *next* at
+  this point in the previous iteration (Pattern-3); on a miss the walker
+  checks it before scanning, which makes the jump back to the first tensor
+  at an iteration boundary cost one probe instead of a full scan.
+
+A small fully-associative :class:`RangeTlb` caches recently used entries,
+and :class:`AccessCounter` implements the per-vNPU memory-bandwidth cap.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.arch import calibration
+from repro.errors import PermissionFault, TranslationFault
+from repro.mem.address_space import (
+    TranslationResult,
+    Translator,
+    check_permission_string,
+)
+
+VA_BITS = 48
+SIZE_BITS = 32
+LAST_V_BITS = 8
+
+#: Architectural bits per RTT entry (VA + PA + size + perm + last_v).
+RTT_ENTRY_BITS = VA_BITS + VA_BITS + SIZE_BITS + 4 + LAST_V_BITS
+
+
+@dataclass
+class RttEntry:
+    """One range mapping. ``last_v`` is mutable walker state."""
+
+    virtual_address: int
+    physical_address: int
+    size: int
+    permissions: str = "RW"
+    last_v: int | None = None
+
+    def __post_init__(self) -> None:
+        check_permission_string(self.permissions)
+        if not 0 <= self.virtual_address < (1 << VA_BITS):
+            raise TranslationFault(
+                self.virtual_address, detail="VA exceeds 48-bit field"
+            )
+        if not 0 <= self.physical_address < (1 << VA_BITS):
+            raise TranslationFault(
+                self.virtual_address, detail="PA exceeds 48-bit field"
+            )
+        if not 0 < self.size < (1 << SIZE_BITS):
+            raise TranslationFault(
+                self.virtual_address,
+                detail=f"range size {self.size} outside 32-bit field",
+            )
+
+    @property
+    def end(self) -> int:
+        return self.virtual_address + self.size
+
+    def covers(self, va: int) -> bool:
+        return self.virtual_address <= va < self.end
+
+
+class RangeTranslationTable:
+    """The per-core RTT: entries sorted ascending by VA, non-overlapping."""
+
+    def __init__(self, entries: list[RttEntry] | None = None,
+                 use_last_v: bool = True) -> None:
+        self._entries: list[RttEntry] = []
+        self.cur_index = 0  # RTT_CUR
+        #: Ablation knob: disable the last_v loop hint (walks fall back to
+        #: pure sequential scanning from RTT_CUR).
+        self.use_last_v = use_last_v
+        for entry in entries or []:
+            self.insert(entry)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> list[RttEntry]:
+        return list(self._entries)
+
+    def insert(self, entry: RttEntry) -> None:
+        """Insert keeping VA order; rejects overlap with existing ranges."""
+        for existing in self._entries:
+            if (entry.virtual_address < existing.end
+                    and existing.virtual_address < entry.end):
+                raise TranslationFault(
+                    entry.virtual_address,
+                    detail=(
+                        f"range overlaps existing entry at "
+                        f"{existing.virtual_address:#x}"
+                    ),
+                )
+        self._entries.append(entry)
+        self._entries.sort(key=lambda e: e.virtual_address)
+        self.cur_index = min(self.cur_index, len(self._entries) - 1)
+
+    def entry_at(self, index: int) -> RttEntry:
+        return self._entries[index]
+
+    def find_index(self, va: int) -> int | None:
+        """Reference lookup by binary search (no cycle accounting)."""
+        lo, hi = 0, len(self._entries) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            entry = self._entries[mid]
+            if entry.covers(va):
+                return mid
+            if va < entry.virtual_address:
+                hi = mid - 1
+            else:
+                lo = mid + 1
+        return None
+
+    def walk(self, va: int) -> tuple[int, int]:
+        """Hardware walk: returns ``(entry_index, cycles)``.
+
+        Order of probes (§4.2): current entry, then the current entry's
+        ``last_v`` hint, then sequential scan from ``RTT_CUR`` wrapping at
+        the table end. Updates ``last_v`` on the departed entry and
+        ``RTT_CUR`` on success.
+        """
+        if not self._entries:
+            raise TranslationFault(va, detail="empty RTT")
+        cycles = 0
+        cur = self._entries[self.cur_index]
+        cycles += calibration.RTT_ENTRY_SCAN
+        if cur.covers(va):
+            return self.cur_index, cycles
+        hint = cur.last_v if self.use_last_v else None
+        if hint is not None and hint < len(self._entries):
+            cycles += calibration.RTT_LAST_V_HIT - calibration.RTT_ENTRY_SCAN
+            if self._entries[hint].covers(va):
+                self._finish_walk(hint)
+                return hint, calibration.RTT_LAST_V_HIT
+        index = self.cur_index
+        for _ in range(len(self._entries)):
+            index = (index + 1) % len(self._entries)  # wrap at RTT_END
+            cycles += calibration.RTT_ENTRY_SCAN
+            if self._entries[index].covers(va):
+                self._finish_walk(index)
+                return index, cycles
+        raise TranslationFault(va, detail="no RTT entry covers address")
+
+    def _finish_walk(self, found: int) -> None:
+        self._entries[self.cur_index].last_v = found
+        self.cur_index = found
+
+
+class RangeTlb:
+    """Small fully-associative cache of RTT entry indices (LRU)."""
+
+    def __init__(self, entries: int = 4) -> None:
+        if entries < 1:
+            raise TranslationFault(0, detail=f"range TLB needs >= 1 entry, got {entries}")
+        self.capacity = entries
+        self._cached: OrderedDict[int, RttEntry] = OrderedDict()
+
+    def lookup(self, va: int) -> RttEntry | None:
+        for index, entry in self._cached.items():
+            if entry.covers(va):
+                self._cached.move_to_end(index)
+                return entry
+        return None
+
+    def insert(self, index: int, entry: RttEntry) -> None:
+        self._cached[index] = entry
+        self._cached.move_to_end(index)
+        while len(self._cached) > self.capacity:
+            self._cached.popitem(last=False)
+
+    def flush(self) -> None:
+        self._cached.clear()
+
+    def __len__(self) -> int:
+        return len(self._cached)
+
+
+class RangeTranslator(Translator):
+    """The vChunk translation path: range TLB in front of the RTT walker."""
+
+    def __init__(self, table: RangeTranslationTable | None = None,
+                 tlb_entries: int = 4,
+                 hit_latency: int = calibration.TLB_HIT_LATENCY) -> None:
+        super().__init__()
+        self.table = table or RangeTranslationTable()
+        self.tlb = RangeTlb(tlb_entries)
+        self.hit_latency = hit_latency
+        self.walk_cycles_total = 0
+        self.last_v_hits = 0
+
+    def map_range(self, va: int, pa: int, nbytes: int,
+                  permissions: str = "RW") -> RttEntry:
+        """Install one range mapping (hypervisor operation). One entry."""
+        entry = RttEntry(va, pa, nbytes, permissions)
+        self.table.insert(entry)
+        return entry
+
+    @property
+    def entry_count(self) -> int:
+        return len(self.table)
+
+    def translate(self, va: int, access: str = "R") -> TranslationResult:
+        check_permission_string(access)
+        cached = self.tlb.lookup(va)
+        if cached is not None:
+            entry, cycles, hit = cached, self.hit_latency, True
+        else:
+            index, walk_cycles = self.table.walk(va)
+            entry = self.table.entry_at(index)
+            self.tlb.insert(index, entry)
+            self.walk_cycles_total += walk_cycles
+            if walk_cycles == calibration.RTT_LAST_V_HIT:
+                self.last_v_hits += 1
+            cycles, hit = walk_cycles, False
+        self._record(hit=hit)
+        if any(ch not in entry.permissions for ch in access):
+            raise PermissionFault(va, requested=access, granted=entry.permissions)
+        offset = va - entry.virtual_address
+        return TranslationResult(
+            virtual_address=va,
+            physical_address=entry.physical_address + offset,
+            contiguous_bytes=entry.size - offset,
+            cycles=cycles,
+            hit=hit,
+        )
+
+
+class AccessCounter:
+    """Per-vNPU memory-bandwidth cap (§4.2's Access Counter).
+
+    Counts bytes within a monitoring window; once a window's budget is
+    spent, further traffic is delayed to the next window. ``charge``
+    returns the stall (in cycles) the DMA engine must insert.
+    """
+
+    def __init__(self, window_cycles: int, max_bytes_per_window: int | None) -> None:
+        if window_cycles <= 0:
+            raise ValueError(f"window must be positive, got {window_cycles}")
+        if max_bytes_per_window is not None and max_bytes_per_window <= 0:
+            raise ValueError("byte budget must be positive or None (uncapped)")
+        self.window_cycles = window_cycles
+        self.max_bytes_per_window = max_bytes_per_window
+        self._window_start = 0
+        self._window_bytes = 0
+        self.total_bytes = 0
+        self.total_stall_cycles = 0
+
+    def charge(self, nbytes: int, now: int) -> int:
+        """Account ``nbytes`` at cycle ``now``; returns required stall."""
+        if nbytes < 0:
+            raise ValueError(f"negative byte count {nbytes}")
+        self.total_bytes += nbytes
+        if self.max_bytes_per_window is None:
+            return 0
+        if now >= self._window_start + self.window_cycles:
+            windows_ahead = (now - self._window_start) // self.window_cycles
+            self._window_start += windows_ahead * self.window_cycles
+            self._window_bytes = 0
+        self._window_bytes += nbytes
+        if self._window_bytes <= self.max_bytes_per_window:
+            return 0
+        overflow_windows = (self._window_bytes - 1) // self.max_bytes_per_window
+        resume = self._window_start + overflow_windows * self.window_cycles
+        stall = max(0, resume - now)
+        self.total_stall_cycles += stall
+        return stall

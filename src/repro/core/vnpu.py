@@ -1,0 +1,112 @@
+"""The virtual-NPU abstraction handed to a guest VM (§5.2).
+
+A :class:`VirtualNPU` bundles everything the hypervisor configured for one
+tenant: the topology mapping (virtual core IDs -> physical core IDs), the
+routing table driving both vRouters, the vChunk range translator over the
+guest's HBM allocation, and the optional bandwidth cap. Guests only ever
+speak virtual core IDs and guest-virtual addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.topology import MeshShape, Topology
+from repro.core.routing_table import RoutingTable
+from repro.core.topology_mapping import MappingResult
+from repro.core.vchunk import AccessCounter, RangeTranslator
+from repro.core.vrouter import NocVRouter
+from repro.errors import ConfigError
+from repro.mem.buddy import Block
+
+
+@dataclass
+class VNpuSpec:
+    """A tenant's request: cores + topology + memory (+ QoS knobs)."""
+
+    name: str
+    topology: Topology | MeshShape
+    memory_bytes: int
+    #: Confine NoC packets to the virtual topology (predefined directions,
+    #: §4.1.2). Requires a connected mapping (R-3). False -> default DOR.
+    noc_isolation: bool = True
+    #: Memory-bandwidth cap in bytes per monitoring window (None = uncapped).
+    memory_cap_bytes_per_window: int | None = None
+    memory_cap_window_cycles: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0:
+            raise ConfigError("vNPU needs a positive memory size")
+        if isinstance(self.topology, MeshShape):
+            self.topology = Topology.mesh2d(
+                self.topology.rows, self.topology.cols,
+                name=f"{self.name}-req",
+            )
+
+    @property
+    def core_count(self) -> int:
+        return self.topology.node_count
+
+
+@dataclass
+class VirtualNPU:
+    """A configured, running virtual NPU."""
+
+    vmid: int
+    spec: VNpuSpec
+    mapping: MappingResult
+    routing_table: RoutingTable
+    noc_vrouter: NocVRouter
+    translator: RangeTranslator
+    memory_blocks: list[Block] = field(default_factory=list)
+    access_counter: AccessCounter | None = None
+    #: Cycles the controller spent configuring routing tables (Fig 11).
+    setup_cycles: int = 0
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def virtual_cores(self) -> list[int]:
+        return sorted(self.mapping.vmap)
+
+    @property
+    def physical_cores(self) -> list[int]:
+        return self.mapping.physical_cores
+
+    @property
+    def core_count(self) -> int:
+        return len(self.mapping.vmap)
+
+    def physical_core(self, v_core: int) -> int:
+        """Guest-visible translation (what the vRouter does in hardware)."""
+        return self.routing_table.translate(v_core)
+
+    @property
+    def memory_bytes(self) -> int:
+        return sum(block.size for block in self.memory_blocks)
+
+    def virtual_topology(self) -> Topology:
+        """The topology the guest *requested* (what it programs against)."""
+        return self.spec.topology
+
+    def mapped_topology(self, chip_topology: Topology) -> Topology:
+        """The induced physical topology actually backing this vNPU."""
+        return chip_topology.subtopology(
+            self.physical_cores, name=f"{self.name}-mapped",
+        )
+
+    def edge_hop_cost(self, chip_topology: Topology) -> dict[tuple[int, int], int]:
+        """Physical hop distance of every virtual-topology edge.
+
+        An exact mapping yields all-1 hops; a similar/fragmented mapping
+        stretches some edges — the stretch is what degrades Fig 18's
+        straightforward-mapping performance.
+        """
+        hops = {}
+        for u, v in self.spec.topology.edges:
+            hops[(u, v)] = chip_topology.hop_distance(
+                self.mapping.vmap[u], self.mapping.vmap[v],
+            )
+        return hops

@@ -1,0 +1,184 @@
+"""vRouter: virtualization of instruction dispatch and the NoC (§4.1).
+
+Two cooperating pieces:
+
+- :class:`InstructionVRouter` lives in the NPU controller. It redirects
+  each offloaded instruction from its virtual core ID to the physical
+  core via the VM's routing table. Consecutive instructions to the same
+  virtual core skip the table lookup (§6.2.1), modelled with a one-entry
+  last-translation cache per VM.
+- :class:`NocVRouter` lives in each core's send/receive engine. It
+  rewrites destination core IDs in NoC transfers and — when the VM asked
+  for NoC non-interference — supplies an explicit route confined to the
+  virtual NPU's physical nodes (the "predefined routing direction"
+  strategy of §4.1.2). In ``"dor"`` mode it leaves routing to the chip's
+  default dimension-order algorithm, which may traverse foreign cores.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.arch import calibration
+from repro.arch.topology import Topology
+from repro.core.routing_table import RoutingTable
+from repro.errors import IsolationViolation, RoutingError
+
+
+@dataclass(frozen=True)
+class Redirect:
+    """Result of an instruction-router translation."""
+
+    vmid: int
+    v_core: int
+    p_core: int
+    cycles: int
+    cached: bool
+
+
+class InstructionVRouter:
+    """The controller-side router over all VMs' routing tables."""
+
+    def __init__(self,
+                 lookup_cycles: int = calibration.VROUTER_RT_LOOKUP) -> None:
+        self._tables: dict[int, RoutingTable] = {}
+        self._last: dict[int, tuple[int, int]] = {}  # vmid -> (v_core, p_core)
+        self.lookup_cycles = lookup_cycles
+        self.lookups = 0
+        self.cached_hits = 0
+
+    # -- table management (driven by the hyper-mode controller) --------------
+    def install(self, table: RoutingTable) -> None:
+        self._tables[table.vmid] = table
+        self._last.pop(table.vmid, None)
+
+    def remove(self, vmid: int) -> None:
+        self._tables.pop(vmid, None)
+        self._last.pop(vmid, None)
+
+    def table_for(self, vmid: int) -> RoutingTable:
+        table = self._tables.get(vmid)
+        if table is None:
+            raise IsolationViolation(f"no routing table installed for VM {vmid}")
+        return table
+
+    @property
+    def vmids(self) -> list[int]:
+        return sorted(self._tables)
+
+    # -- translation -----------------------------------------------------------
+    def redirect(self, vmid: int, v_core: int) -> Redirect:
+        """Translate an instruction's virtual core to the physical core."""
+        self.lookups += 1
+        last = self._last.get(vmid)
+        if last is not None and last[0] == v_core:
+            self.cached_hits += 1
+            return Redirect(vmid, v_core, last[1], cycles=0, cached=True)
+        p_core = self.table_for(vmid).translate(v_core)
+        self._last[vmid] = (v_core, p_core)
+        return Redirect(vmid, v_core, p_core, cycles=self.lookup_cycles,
+                        cached=False)
+
+    # -- configuration cost (Fig 11) ------------------------------------------
+    @staticmethod
+    def configure_cycles(core_count: int) -> int:
+        """Cycles to query core availability and write the routing table."""
+        if core_count < 1:
+            raise RoutingError(f"core count must be >= 1, got {core_count}")
+        return (calibration.RT_CONFIG_BASE
+                + core_count * calibration.RT_CONFIG_PER_CORE)
+
+
+@dataclass(frozen=True)
+class ResolvedRoute:
+    """A virtual send resolved to physical endpoints and (maybe) a path."""
+
+    p_src: int
+    p_dst: int
+    #: Explicit hop list when confined routing is active; None -> chip DOR.
+    path: list[int] | None
+    #: Physical cores owned by the sending VM (for interference accounting).
+    owned: frozenset[int]
+    #: Added latency before the first packet (routing-table lookup).
+    first_packet_delay: int
+    #: Added latency at the receiver (meta-zone fetch).
+    completion_delay: int
+
+
+class NocVRouter:
+    """Per-VM NoC virtualization bound to the physical chip topology."""
+
+    def __init__(self, chip_topology: Topology, table: RoutingTable,
+                 mode: str = "confined") -> None:
+        if mode not in ("confined", "dor"):
+            raise RoutingError(f"unknown NoC routing mode {mode!r}")
+        self.topology = chip_topology
+        self.table = table
+        self.mode = mode
+        self._owned = frozenset(table.physical_cores())
+        missing = [p for p in self._owned if p not in chip_topology]
+        if missing:
+            raise RoutingError(
+                f"routing table maps to cores absent from the chip: {missing}"
+            )
+
+    @property
+    def owned(self) -> frozenset[int]:
+        return self._owned
+
+    def resolve(self, v_src: int, v_dst: int) -> ResolvedRoute:
+        p_src = self.table.translate(v_src)
+        p_dst = self.table.translate(v_dst)
+        path = None
+        if self.mode == "confined" and p_src != p_dst:
+            path = self.confined_path(p_src, p_dst)
+        return ResolvedRoute(
+            p_src=p_src,
+            p_dst=p_dst,
+            path=path,
+            owned=self._owned,
+            first_packet_delay=(calibration.VROUTER_RT_LOOKUP
+                                + calibration.VROUTER_REWRITE),
+            completion_delay=calibration.VROUTER_META_FETCH,
+        )
+
+    def confined_path(self, p_src: int, p_dst: int) -> list[int]:
+        """Shortest path that never leaves the VM's physical cores.
+
+        Exists whenever the virtual topology is connected (requirement
+        R-3 of §4.3); otherwise the VM must fall back to DOR routing and
+        accept interference.
+        """
+        if p_src not in self._owned or p_dst not in self._owned:
+            raise IsolationViolation(
+                f"endpoints {p_src}->{p_dst} outside VM {self.table.vmid}"
+            )
+        parents: dict[int, int] = {p_src: p_src}
+        frontier = deque([p_src])
+        while frontier:
+            current = frontier.popleft()
+            if current == p_dst:
+                break
+            for nbr in self.topology.neighbors(current):
+                if nbr in self._owned and nbr not in parents:
+                    parents[nbr] = current
+                    frontier.append(nbr)
+        if p_dst not in parents:
+            raise RoutingError(
+                f"no confined route {p_src}->{p_dst}: virtual topology of "
+                f"VM {self.table.vmid} is disconnected (violates R-3)"
+            )
+        path = [p_dst]
+        while path[-1] != p_src:
+            path.append(parents[path[-1]])
+        return list(reversed(path))
+
+    def would_interfere(self, v_src: int, v_dst: int) -> bool:
+        """Does the *default DOR* route leak outside this VM's cores?"""
+        p_src = self.table.translate(v_src)
+        p_dst = self.table.translate(v_dst)
+        if p_src == p_dst:
+            return False
+        dor = self.topology.dor_path(p_src, p_dst)
+        return any(node not in self._owned for node in dor)

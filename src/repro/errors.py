@@ -1,0 +1,86 @@
+"""Exception hierarchy for the vNPU reproduction library.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class. Subclasses are grouped by the subsystem that raises them.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An SoC or component configuration is invalid or inconsistent."""
+
+
+class TopologyError(ReproError):
+    """A topology operation failed (unknown node, disconnected graph, ...)."""
+
+
+class RoutingError(ReproError):
+    """Routing-table lookup or NoC routing failed."""
+
+
+class IsolationViolation(RoutingError):
+    """A virtual NPU attempted to reach a core outside its topology."""
+
+
+class TranslationFault(ReproError):
+    """An address translation failed (no matching RTT/page-table entry)."""
+
+    def __init__(self, virtual_address: int, detail: str = "") -> None:
+        self.virtual_address = virtual_address
+        message = f"translation fault at VA {virtual_address:#x}"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
+class PermissionFault(TranslationFault):
+    """An address translated but the requested access right was missing."""
+
+    def __init__(self, virtual_address: int, requested: str, granted: str) -> None:
+        self.requested = requested
+        self.granted = granted
+        super().__init__(
+            virtual_address,
+            detail=f"requested {requested!r} but entry grants {granted!r}",
+        )
+
+
+class AllocationError(ReproError):
+    """A resource allocation (memory or NPU cores) could not be satisfied."""
+
+
+class OutOfMemoryError(AllocationError):
+    """The buddy allocator has no free block of the requested size."""
+
+
+class TopologyLockIn(AllocationError):
+    """No placement of the requested topology exists (the paper's lock-in).
+
+    Raised by exact-mapping allocation when enough *cores* are free but no
+    subgraph matches the requested topology exactly.
+    """
+
+
+class HypervisorError(ReproError):
+    """Invalid hypervisor operation (bad VMID, double-free, hyper-mode)."""
+
+
+class HyperModeViolation(HypervisorError):
+    """A guest attempted an operation reserved for hyper mode."""
+
+
+class ProgramError(ReproError):
+    """A per-core instruction program is malformed."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an invalid state (deadlock...)."""
+
+
+class CompilationError(ReproError):
+    """The compiler could not partition or map a workload."""

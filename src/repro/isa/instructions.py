@@ -1,0 +1,109 @@
+"""NPU instruction set.
+
+Mirrors the operations visible in the IPU-style programming model (§3.1):
+DMA loads of weight chunks, dense compute on the systolic array / vector
+unit, and explicit ``send``/``receive`` between cores over the NoC. Every
+instruction carries the *virtual* core IDs it references — the vRouter
+rewrites them to physical IDs at dispatch/transfer time, which is the
+whole point of §4.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProgramError
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Base class for all NPU instructions."""
+
+    def validate(self) -> None:
+        """Raise ProgramError on malformed fields."""
+
+
+@dataclass(frozen=True)
+class DmaLoad(Instruction):
+    """Load ``nbytes`` from global memory VA into the local scratchpad."""
+
+    virtual_address: int
+    nbytes: int
+    label: str = ""
+
+    def validate(self) -> None:
+        if self.virtual_address < 0:
+            raise ProgramError(f"negative VA {self.virtual_address:#x}")
+        if self.nbytes <= 0:
+            raise ProgramError(f"DmaLoad size must be positive, got {self.nbytes}")
+
+
+@dataclass(frozen=True)
+class DmaStore(Instruction):
+    """Write ``nbytes`` from scratchpad back to global memory."""
+
+    virtual_address: int
+    nbytes: int
+    label: str = ""
+
+    def validate(self) -> None:
+        if self.virtual_address < 0:
+            raise ProgramError(f"negative VA {self.virtual_address:#x}")
+        if self.nbytes <= 0:
+            raise ProgramError(f"DmaStore size must be positive, got {self.nbytes}")
+
+
+@dataclass(frozen=True)
+class Compute(Instruction):
+    """Occupy the compute units for a kernel.
+
+    ``kind`` selects the timing model: ``"matmul"`` (m, k, n), ``"conv"``
+    (h, w, cin, cout, kernel) or ``"macs"`` (macs). Raw MAC counts are what
+    the compiler emits for model layers.
+    """
+
+    kind: str
+    params: tuple[int, ...]
+    label: str = ""
+
+    _ARITY = {"matmul": 3, "conv": 5, "macs": 1, "vector": 1}
+
+    def validate(self) -> None:
+        arity = self._ARITY.get(self.kind)
+        if arity is None:
+            raise ProgramError(f"unknown compute kind {self.kind!r}")
+        if len(self.params) != arity:
+            raise ProgramError(
+                f"{self.kind} expects {arity} params, got {len(self.params)}"
+            )
+        if any(p <= 0 for p in self.params) and self.kind != "macs":
+            raise ProgramError(f"{self.kind} params must be positive")
+        if self.kind == "macs" and self.params[0] < 0:
+            raise ProgramError("macs count must be non-negative")
+
+
+@dataclass(frozen=True)
+class Send(Instruction):
+    """Transmit ``nbytes`` to virtual core ``dst`` over the NoC."""
+
+    dst: int
+    nbytes: int
+    tag: str = ""
+
+    def validate(self) -> None:
+        if self.dst < 0:
+            raise ProgramError(f"negative destination core {self.dst}")
+        if self.nbytes <= 0:
+            raise ProgramError(f"Send size must be positive, got {self.nbytes}")
+
+
+@dataclass(frozen=True)
+class Receive(Instruction):
+    """Block until a message tagged ``tag`` arrives from virtual core ``src``."""
+
+    src: int
+    tag: str = ""
+
+    def validate(self) -> None:
+        if self.src < 0:
+            raise ProgramError(f"negative source core {self.src}")

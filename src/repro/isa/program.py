@@ -1,0 +1,150 @@
+"""Per-core instruction programs and whole-task validation.
+
+A :class:`TaskProgram` holds one instruction list per *virtual* core. Its
+validator performs the cross-core checks a real toolchain would: every
+``Send`` must have a matching ``Receive`` on the destination core (same
+tag, matching endpoints) and vice versa, and no instruction may reference
+a core outside the task's virtual topology. A mismatched send/receive
+would deadlock the dataflow machine, so this is checked at build time.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.errors import ProgramError
+from repro.isa.instructions import (
+    Compute,
+    DmaLoad,
+    DmaStore,
+    Instruction,
+    Receive,
+    Send,
+)
+
+
+@dataclass
+class CoreProgram:
+    """The ordered instruction stream of one virtual core."""
+
+    core: int
+    instructions: list[Instruction] = field(default_factory=list)
+
+    def append(self, instruction: Instruction) -> "CoreProgram":
+        instruction.validate()
+        self.instructions.append(instruction)
+        return self
+
+    # Fluent builders used by examples and tests.
+    def dma_load(self, va: int, nbytes: int, label: str = "") -> "CoreProgram":
+        return self.append(DmaLoad(va, nbytes, label))
+
+    def dma_store(self, va: int, nbytes: int, label: str = "") -> "CoreProgram":
+        return self.append(DmaStore(va, nbytes, label))
+
+    def matmul(self, m: int, k: int, n: int, label: str = "") -> "CoreProgram":
+        return self.append(Compute("matmul", (m, k, n), label))
+
+    def conv(self, h: int, w: int, cin: int, cout: int, kernel: int,
+             label: str = "") -> "CoreProgram":
+        return self.append(Compute("conv", (h, w, cin, cout, kernel), label))
+
+    def macs(self, count: int, label: str = "") -> "CoreProgram":
+        return self.append(Compute("macs", (count,), label))
+
+    def send(self, dst: int, nbytes: int, tag: str = "") -> "CoreProgram":
+        return self.append(Send(dst, nbytes, tag))
+
+    def receive(self, src: int, tag: str = "") -> "CoreProgram":
+        return self.append(Receive(src, tag))
+
+    @property
+    def sends(self) -> list[Send]:
+        return [i for i in self.instructions if isinstance(i, Send)]
+
+    @property
+    def receives(self) -> list[Receive]:
+        return [i for i in self.instructions if isinstance(i, Receive)]
+
+    def dma_bytes(self) -> int:
+        return sum(
+            i.nbytes for i in self.instructions
+            if isinstance(i, (DmaLoad, DmaStore))
+        )
+
+
+class TaskProgram:
+    """All core programs of one task on one virtual NPU."""
+
+    def __init__(self, name: str = "task") -> None:
+        self.name = name
+        self._programs: dict[int, CoreProgram] = {}
+
+    def core(self, core_id: int) -> CoreProgram:
+        """Get (or create) the program of virtual core ``core_id``."""
+        if core_id < 0:
+            raise ProgramError(f"negative core id {core_id}")
+        if core_id not in self._programs:
+            self._programs[core_id] = CoreProgram(core_id)
+        return self._programs[core_id]
+
+    @property
+    def cores(self) -> list[int]:
+        return sorted(self._programs)
+
+    def programs(self) -> list[CoreProgram]:
+        return [self._programs[c] for c in self.cores]
+
+    def __len__(self) -> int:
+        return sum(len(p.instructions) for p in self._programs.values())
+
+    # -- validation -----------------------------------------------------------
+    def validate(self, allowed_cores: set[int] | None = None) -> None:
+        """Check instruction well-formedness and send/receive pairing."""
+        for program in self._programs.values():
+            for instruction in program.instructions:
+                instruction.validate()
+
+        cores = set(self._programs)
+        if allowed_cores is not None:
+            stray = cores - set(allowed_cores)
+            if stray:
+                raise ProgramError(
+                    f"programs reference cores outside the topology: {sorted(stray)}"
+                )
+            universe = set(allowed_cores)
+        else:
+            universe = cores
+
+        sends = Counter()
+        receives = Counter()
+        for program in self._programs.values():
+            for send in program.sends:
+                if send.dst not in universe:
+                    raise ProgramError(
+                        f"core {program.core} sends to unknown core {send.dst}"
+                    )
+                sends[(program.core, send.dst, send.tag)] += 1
+            for receive in program.receives:
+                if receive.src not in universe:
+                    raise ProgramError(
+                        f"core {program.core} receives from unknown core "
+                        f"{receive.src}"
+                    )
+                receives[(receive.src, program.core, receive.tag)] += 1
+        if sends != receives:
+            unmatched_sends = sends - receives
+            unmatched_receives = receives - sends
+            raise ProgramError(
+                f"unpaired communication in {self.name!r}: "
+                f"sends without receive {dict(unmatched_sends)}, "
+                f"receives without send {dict(unmatched_receives)}"
+            )
+
+    # -- aggregate statistics ----------------------------------------------
+    def total_dma_bytes(self) -> int:
+        return sum(p.dma_bytes() for p in self._programs.values())
+
+    def total_noc_bytes(self) -> int:
+        return sum(s.nbytes for p in self._programs.values() for s in p.sends)

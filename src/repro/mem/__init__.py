@@ -1,0 +1,22 @@
+"""Memory-system substrate: translation schemes, allocator, traces."""
+
+from repro.mem.address_space import (
+    PhysicalTranslator,
+    TranslationResult,
+    Translator,
+)
+from repro.mem.buddy import Block, BuddyAllocator
+from repro.mem.page_table import IoTlb, PageTableTranslator
+from repro.mem.trace import MemoryTrace, TracePatternReport
+
+__all__ = [
+    "Block",
+    "BuddyAllocator",
+    "IoTlb",
+    "MemoryTrace",
+    "PageTableTranslator",
+    "PhysicalTranslator",
+    "TracePatternReport",
+    "TranslationResult",
+    "Translator",
+]

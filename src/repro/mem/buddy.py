@@ -1,0 +1,129 @@
+"""Buddy allocator for the NPU's global memory (§5.2).
+
+The hypervisor allocates each virtual NPU's HBM with a buddy system and
+maps *whole blocks* into RTT entries — unlike a page table, which would
+shatter the same block into thousands of fixed pages. Block addresses and
+sizes are powers of two; adjacent free buddies coalesce on free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AllocationError, OutOfMemoryError
+
+
+@dataclass(frozen=True)
+class Block:
+    """An allocated block: ``[address, address + size)``."""
+
+    address: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.address + self.size
+
+
+class BuddyAllocator:
+    """Power-of-two buddy allocator over ``[base, base + capacity)``."""
+
+    def __init__(self, capacity: int, base: int = 0,
+                 min_block: int = 4096) -> None:
+        if capacity <= 0 or capacity & (capacity - 1):
+            raise AllocationError(
+                f"capacity must be a positive power of two, got {capacity}"
+            )
+        if min_block <= 0 or min_block & (min_block - 1):
+            raise AllocationError(
+                f"min_block must be a positive power of two, got {min_block}"
+            )
+        if min_block > capacity:
+            raise AllocationError("min_block larger than capacity")
+        self.capacity = capacity
+        self.base = base
+        self.min_block = min_block
+        self._max_order = (capacity // min_block).bit_length() - 1
+        # free_lists[order] holds offsets (relative to base) of free blocks
+        # of size min_block << order.
+        self._free_lists: list[set[int]] = [set() for _ in range(self._max_order + 1)]
+        self._free_lists[self._max_order].add(0)
+        self._allocated: dict[int, int] = {}  # offset -> order
+
+    # -- size bookkeeping -----------------------------------------------------
+    def _order_for(self, size: int) -> int:
+        if size <= 0:
+            raise AllocationError(f"allocation size must be positive, got {size}")
+        blocks = (size + self.min_block - 1) // self.min_block
+        order = max(0, (blocks - 1).bit_length())
+        if order > self._max_order:
+            raise OutOfMemoryError(
+                f"request {size} exceeds capacity {self.capacity}"
+            )
+        return order
+
+    def block_size(self, order: int) -> int:
+        return self.min_block << order
+
+    @property
+    def free_bytes(self) -> int:
+        return sum(
+            len(offsets) * self.block_size(order)
+            for order, offsets in enumerate(self._free_lists)
+        )
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(self.block_size(order) for order in self._allocated.values())
+
+    @property
+    def allocated_blocks(self) -> list[Block]:
+        return sorted(
+            (Block(self.base + off, self.block_size(order))
+             for off, order in self._allocated.items()),
+            key=lambda b: b.address,
+        )
+
+    # -- allocation -----------------------------------------------------------
+    def alloc(self, size: int) -> Block:
+        """Allocate ``size`` bytes, rounded up to a power-of-two block."""
+        order = self._order_for(size)
+        split_from = None
+        for candidate in range(order, self._max_order + 1):
+            if self._free_lists[candidate]:
+                split_from = candidate
+                break
+        if split_from is None:
+            raise OutOfMemoryError(
+                f"no free block for {size} bytes "
+                f"(free {self.free_bytes} of {self.capacity}, fragmented)"
+            )
+        offset = min(self._free_lists[split_from])
+        self._free_lists[split_from].remove(offset)
+        while split_from > order:
+            split_from -= 1
+            buddy = offset + self.block_size(split_from)
+            self._free_lists[split_from].add(buddy)
+        self._allocated[offset] = order
+        return Block(self.base + offset, self.block_size(order))
+
+    def free(self, address: int) -> None:
+        """Free the block starting at ``address``; coalesces with buddies."""
+        offset = address - self.base
+        order = self._allocated.pop(offset, None)
+        if order is None:
+            raise AllocationError(f"free of unallocated address {address:#x}")
+        while order < self._max_order:
+            buddy = offset ^ self.block_size(order)
+            if buddy not in self._free_lists[order]:
+                break
+            self._free_lists[order].remove(buddy)
+            offset = min(offset, buddy)
+            order += 1
+        self._free_lists[order].add(offset)
+
+    def free_all(self) -> None:
+        """Reset to one maximal free block."""
+        self._allocated.clear()
+        self._free_lists = [set() for _ in range(self._max_order + 1)]
+        self._free_lists[self._max_order].add(0)

@@ -1,0 +1,140 @@
+"""Global-memory access-trace capture and pattern analysis (Fig 6, §4.2).
+
+The paper motivates vChunk with three access patterns observed in NPU
+weight streaming:
+
+- **Pattern-1** — transfers happen at tensor granularity;
+- **Pattern-2** — within one iteration each core's addresses increase
+  monotonically;
+- **Pattern-3** — iterations repeat the same address sequence.
+
+:class:`MemoryTrace` records ``(core, iteration, va, nbytes)`` events and
+:class:`TracePatternReport` quantifies all three, which is what
+``benchmarks/bench_fig06_trace.py`` prints for a ResNet workload.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    core: int
+    iteration: int
+    virtual_address: int
+    nbytes: int
+
+
+@dataclass
+class CorePatternStats:
+    """Per-core pattern metrics across all recorded iterations."""
+
+    core: int
+    accesses_per_iteration: float
+    mean_access_bytes: float
+    #: Fraction of consecutive same-iteration access pairs with increasing VA.
+    monotonic_fraction: float
+    #: Fraction of iteration pairs whose address sequences are identical.
+    repeat_fraction: float
+
+
+class MemoryTrace:
+    """Accumulates DMA access events for pattern analysis."""
+
+    def __init__(self) -> None:
+        self.events: list[AccessEvent] = []
+
+    def record(self, core: int, iteration: int, virtual_address: int,
+               nbytes: int) -> None:
+        self.events.append(AccessEvent(core, iteration, virtual_address, nbytes))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def cores(self) -> list[int]:
+        return sorted({event.core for event in self.events})
+
+    def sequence(self, core: int, iteration: int) -> list[int]:
+        """Ordered virtual addresses one core touched in one iteration."""
+        return [
+            event.virtual_address
+            for event in self.events
+            if event.core == core and event.iteration == iteration
+        ]
+
+    # -- analysis ----------------------------------------------------------
+    def analyze_core(self, core: int) -> CorePatternStats:
+        by_iteration: dict[int, list[AccessEvent]] = defaultdict(list)
+        for event in self.events:
+            if event.core == core:
+                by_iteration[event.iteration].append(event)
+        if not by_iteration:
+            raise ValueError(f"no events recorded for core {core}")
+
+        pair_total = 0
+        pair_monotonic = 0
+        total_accesses = 0
+        total_bytes = 0
+        for events in by_iteration.values():
+            total_accesses += len(events)
+            total_bytes += sum(e.nbytes for e in events)
+            for first, second in zip(events, events[1:]):
+                pair_total += 1
+                if second.virtual_address >= first.virtual_address:
+                    pair_monotonic += 1
+
+        iterations = sorted(by_iteration)
+        sequences = {
+            it: [e.virtual_address for e in by_iteration[it]]
+            for it in iterations
+        }
+        repeat_pairs = list(zip(iterations, iterations[1:]))
+        repeats = sum(
+            1 for a, b in repeat_pairs if sequences[a] == sequences[b]
+        )
+        return CorePatternStats(
+            core=core,
+            accesses_per_iteration=total_accesses / len(by_iteration),
+            mean_access_bytes=total_bytes / total_accesses,
+            monotonic_fraction=(
+                pair_monotonic / pair_total if pair_total else 1.0
+            ),
+            repeat_fraction=(
+                repeats / len(repeat_pairs) if repeat_pairs else 1.0
+            ),
+        )
+
+    def analyze(self) -> list[CorePatternStats]:
+        return [self.analyze_core(core) for core in self.cores()]
+
+    def summary(self) -> "TracePatternReport":
+        stats = self.analyze()
+        return TracePatternReport(
+            per_core=stats,
+            monotonic_fraction=(
+                sum(s.monotonic_fraction for s in stats) / len(stats)
+            ),
+            repeat_fraction=(
+                sum(s.repeat_fraction for s in stats) / len(stats)
+            ),
+            mean_access_bytes=(
+                sum(s.mean_access_bytes for s in stats) / len(stats)
+            ),
+        )
+
+
+@dataclass
+class TracePatternReport:
+    """Chip-level aggregate of the three §4.2 patterns."""
+
+    per_core: list[CorePatternStats] = field(default_factory=list)
+    monotonic_fraction: float = 0.0
+    repeat_fraction: float = 0.0
+    mean_access_bytes: float = 0.0
+
+    @property
+    def tensor_granular(self) -> bool:
+        """Pattern-1 holds when accesses are KB-scale chunks, not words."""
+        return self.mean_access_bytes >= 1024

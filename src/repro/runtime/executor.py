@@ -1,0 +1,169 @@
+"""Event-driven execution of task programs on the simulated chip.
+
+Where :mod:`repro.runtime.pipeline` predicts steady-state throughput
+analytically, the executor actually *runs* per-core instruction streams
+as simulation processes: DMA loads go through the task's translator, NoC
+sends route through the vNPU's vRouter with link-level contention, and
+receives block on mailboxes. It is the fidelity reference the analytic
+model is validated against in the integration tests, and the engine
+behind the micro-benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.chip import Chip
+from repro.arch.dma import DmaEngine, TensorAccess
+from repro.core.vnpu import VirtualNPU
+from repro.errors import ProgramError
+from repro.isa.instructions import Compute, DmaLoad, DmaStore, Receive, Send
+from repro.isa.program import TaskProgram
+from repro.mem.address_space import PhysicalTranslator
+
+
+@dataclass
+class ExecutionReport:
+    """Outcome of running one task program to completion."""
+
+    task: str
+    total_cycles: int
+    core_finish_cycles: dict[int, int] = field(default_factory=dict)
+    compute_cycles: dict[int, int] = field(default_factory=dict)
+    dma_cycles: dict[int, int] = field(default_factory=dict)
+    noc_cycles: dict[int, int] = field(default_factory=dict)
+    foreign_traversals: int = 0
+
+    @property
+    def critical_core(self) -> int:
+        return max(self.core_finish_cycles, key=self.core_finish_cycles.get)
+
+
+class Executor:
+    """Runs task programs on one chip, optionally through a vNPU."""
+
+    def __init__(self, chip: Chip) -> None:
+        self.chip = chip
+
+    def run(self, program: TaskProgram, vnpu: VirtualNPU | None = None,
+            iterations: int = 1) -> ExecutionReport:
+        """Execute ``program`` to completion; returns cycle accounting."""
+        if iterations < 1:
+            raise ProgramError(f"iterations must be >= 1, got {iterations}")
+        if vnpu is not None:
+            program.validate(allowed_cores=set(vnpu.virtual_cores))
+        else:
+            program.validate(allowed_cores=set(self.chip.topology.nodes))
+
+        report = ExecutionReport(task=program.name, total_cycles=0)
+        start_cycle = self.chip.sim.now
+        for core_program in program.programs():
+            self.chip.sim.process(
+                self._run_core(core_program, vnpu, iterations, report),
+                name=f"{program.name}:core{core_program.core}",
+            )
+        self.chip.sim.run_until_processes_done()
+        report.total_cycles = self.chip.sim.now - start_cycle
+        report.foreign_traversals = self.chip.noc.total_foreign_traversals
+        return report
+
+    # -- helpers ------------------------------------------------------------
+    def _physical(self, vnpu: VirtualNPU | None, core: int) -> int:
+        return vnpu.physical_core(core) if vnpu is not None else core
+
+    def _dma_engine(self, vnpu: VirtualNPU | None, p_core: int) -> DmaEngine:
+        translator = (vnpu.translator if vnpu is not None
+                      else PhysicalTranslator())
+        per_core_rate = max(
+            1.0,
+            self.chip.memory.bytes_per_cycle / self.chip.core_count,
+        )
+        counter = vnpu.access_counter if vnpu is not None else None
+        return DmaEngine(
+            core_id=p_core,
+            translator=translator,
+            bytes_per_cycle=per_core_rate,
+            access_latency=self.chip.config.memory.access_latency,
+            access_counter=counter,
+        )
+
+    def _run_core(self, core_program, vnpu, iterations, report):
+        sim = self.chip.sim
+        v_core = core_program.core
+        p_core = self._physical(vnpu, v_core)
+        core = self.chip.core(p_core)
+        engine = self._dma_engine(vnpu, p_core)
+        vmid = vnpu.vmid if vnpu is not None else None
+
+        for iteration in range(iterations):
+            for instruction in core_program.instructions:
+                if isinstance(instruction, (DmaLoad, DmaStore)):
+                    result = engine.stream_weights(
+                        [TensorAccess(instruction.virtual_address,
+                                      instruction.nbytes)],
+                        iteration=iteration, vmid=vmid,
+                    )
+                    core.busy_dma_cycles += result.total_cycles
+                    yield sim.timeout(result.total_cycles)
+                elif isinstance(instruction, Compute):
+                    cycles = self._compute_cycles(core, instruction)
+                    core.busy_compute_cycles += cycles
+                    yield sim.timeout(cycles)
+                elif isinstance(instruction, Send):
+                    yield from self._run_send(
+                        core, vnpu, vmid, v_core, instruction, iteration)
+                elif isinstance(instruction, Receive):
+                    p_src = self._physical(vnpu, instruction.src)
+                    yield core.mailbox(
+                        p_src, self._tag(instruction.tag, iteration)).get()
+                else:  # pragma: no cover - exhaustive over the ISA
+                    raise ProgramError(
+                        f"unsupported instruction {instruction!r}")
+
+        report.core_finish_cycles[p_core] = sim.now
+        report.compute_cycles[p_core] = core.busy_compute_cycles
+        report.dma_cycles[p_core] = core.busy_dma_cycles
+        report.noc_cycles[p_core] = core.busy_noc_cycles
+
+    @staticmethod
+    def _tag(tag: str, iteration: int) -> str:
+        return f"{tag}#{iteration}"
+
+    def _compute_cycles(self, core, instruction: Compute) -> int:
+        model = core.compute
+        if instruction.kind == "matmul":
+            return model.matmul(*instruction.params).cycles
+        if instruction.kind == "conv":
+            return model.conv2d(*instruction.params).cycles
+        if instruction.kind == "vector":
+            return model.vector_op(*instruction.params).cycles
+        return model.cycles_for_macs(instruction.params[0])
+
+    def _run_send(self, core, vnpu, vmid, v_core, instruction, iteration):
+        sim = self.chip.sim
+        start = sim.now
+        if vnpu is not None:
+            route = vnpu.noc_vrouter.resolve(v_core, instruction.dst)
+            p_src, p_dst, path = route.p_src, route.p_dst, route.path
+            first_delay = route.first_packet_delay
+            completion = route.completion_delay
+            allowed = set(route.owned)
+        else:
+            p_src, p_dst = v_core, instruction.dst
+            path = None
+            first_delay = completion = 0
+            allowed = None
+        if p_src == p_dst:
+            # Local loopback: scratchpad copy, no NoC traversal.
+            yield sim.timeout(self.chip.noc.config.transfer_setup)
+        else:
+            transfer = self.chip.noc.transfer(
+                p_src, p_dst, instruction.nbytes,
+                path=path, vmid=vmid, allowed_nodes=allowed,
+                first_packet_delay=first_delay,
+                completion_delay=completion,
+            )
+            yield transfer
+        core.busy_noc_cycles += sim.now - start
+        self.chip.core(p_dst).deliver(
+            p_src, self._tag(instruction.tag, iteration), instruction.nbytes)

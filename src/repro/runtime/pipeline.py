@@ -1,0 +1,168 @@
+"""Steady-state pipeline performance model (Figs 15, 16, 18).
+
+For a saturated dataflow pipeline the iteration interval equals the
+busiest resource's per-iteration occupancy. The model therefore sums,
+for every placed task, the per-iteration busy cycles of:
+
+- each **core** — kernel compute + send/receive engine serialization
+  (+ the vRouter's per-flow engine overhead when virtualized);
+- each **NoC link** — packet serialization of every flow routed over it
+  (this is where a stretched zig-zag mapping and cross-VM DOR leakage
+  hurt: more links per flow, more flows per link);
+- the **global memory system** — only used per-iteration by UVM-style
+  tasks, which stage every inter-core transfer through memory.
+
+A task's iteration interval is the maximum total busy among resources it
+touches — *total* including other tasks sharing the resource, which is
+how multi-tenant interference (Fig 15 right, Fig 16 TDM) emerges. Cores
+shared by two virtual cores (MIG's time-division multiplexing) simply
+accumulate both compute loads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.arch import calibration
+from repro.arch.compute import ComputeModel
+from repro.arch.config import SoCConfig
+from repro.compiler.placement import PlacedTask
+from repro.errors import ConfigError
+
+#: Resource keys: ("core", id) | ("link", (u, v)) | ("mem",)
+Resource = tuple
+
+
+@dataclass
+class TaskEstimate:
+    """Steady-state prediction for one task."""
+
+    name: str
+    iteration_cycles: int
+    fps: float
+    bottleneck: Resource
+    #: This task's own busy cycles on its bottleneck resource.
+    own_bottleneck_cycles: int
+    #: Busy contributed by *other* tasks on that resource (interference).
+    interference_cycles: int
+    core_busy: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def interference_fraction(self) -> float:
+        total = self.own_bottleneck_cycles + self.interference_cycles
+        return self.interference_cycles / total if total else 0.0
+
+
+class SteadyStateModel:
+    """Bottleneck analysis over one chip configuration."""
+
+    def __init__(self, config: SoCConfig) -> None:
+        self.config = config
+        self.compute = ComputeModel(config.core)
+
+    # -- per-flow costs ------------------------------------------------------
+    def _flow_serialization(self, nbytes: int) -> int:
+        packets = max(1, math.ceil(nbytes / self.config.noc.packet_bytes))
+        per_packet = (self.config.noc.packet_serialization()
+                      + self.config.noc.packet_handshake)
+        return packets * per_packet
+
+    def _uvm_core_cycles(self, nbytes: int) -> int:
+        return (math.ceil(nbytes / calibration.UVM_MEMORY_BYTES_PER_CYCLE)
+                + calibration.UVM_SYNC_LATENCY)
+
+    def _uvm_memory_cycles(self, nbytes: int) -> int:
+        rate = min(
+            self.config.memory.bytes_per_cycle(self.config.frequency_hz),
+            calibration.UVM_AGGREGATE_BYTES_PER_CYCLE,
+        )
+        return math.ceil(2 * nbytes / rate)  # write + read
+
+    # -- estimation --------------------------------------------------------
+    def estimate(self, tasks: list[PlacedTask],
+                 uvm_tasks: set[str] | None = None) -> dict[str, TaskEstimate]:
+        """Estimate all ``tasks`` sharing the chip.
+
+        ``uvm_tasks`` names tasks whose flows synchronize through global
+        memory instead of the NoC (the UVM baseline of §6.3.1).
+        """
+        if not tasks:
+            raise ConfigError("estimate needs at least one task")
+        uvm_tasks = uvm_tasks or set()
+        busy: dict[Resource, int] = {}
+        touched: dict[str, set[Resource]] = {task.name: set() for task in tasks}
+        own: dict[tuple[str, Resource], int] = {}
+
+        def charge(task: PlacedTask, resource: Resource, cycles: int) -> None:
+            busy[resource] = busy.get(resource, 0) + cycles
+            touched[task.name].add(resource)
+            own[(task.name, resource)] = (
+                own.get((task.name, resource), 0) + cycles
+            )
+
+        mem_rate = self.config.memory.bytes_per_cycle(self.config.frequency_hz)
+        channel_rate = self.config.memory.channel_bytes_per_cycle(
+            self.config.frequency_hz)
+        for task in tasks:
+            is_uvm = task.name in uvm_tasks
+            for core, macs in task.core_macs.items():
+                charge(task, ("core", core), self.compute.cycles_for_macs(macs))
+            for core, nbytes in task.stream_bytes.items():
+                # Per-iteration weight re-streaming (oversized stages).
+                charge(task, ("core", core), math.ceil(nbytes / channel_rate))
+                charge(task, ("mem",), math.ceil(nbytes / mem_rate))
+            for flow in task.flows:
+                if is_uvm:
+                    # UVM staging is on the core's critical path: the core
+                    # itself issues the loads/stores and spins on the sync
+                    # flag (§6.2.3 / Fig 13's memory-synchronization bars).
+                    cost = self._uvm_core_cycles(flow.nbytes)
+                    charge(task, ("core", flow.src), cost)
+                    charge(task, ("core", flow.dst), cost)
+                    charge(task, ("mem",), self._uvm_memory_cycles(flow.nbytes))
+                    continue
+                # NoC transfers run on the decoupled send/receive engines
+                # and overlap with compute (the paper: "the broadcast
+                # overhead [can] be fully overlapped with kernel
+                # execution"). The core only pays descriptor issue plus
+                # the vRouter's lookup/rewrite/meta-fetch when virtualized;
+                # serialization lands on the links.
+                serialization = self._flow_serialization(flow.nbytes)
+                charge(task, ("core", flow.src),
+                       self.config.noc.transfer_setup + task.vrouter_overhead)
+                charge(task, ("core", flow.dst),
+                       self.config.noc.packet_handshake)
+                for u, v in zip(flow.path, flow.path[1:]):
+                    charge(task, ("link", (u, v)), serialization)
+
+        estimates = {}
+        for task in tasks:
+            resources = touched[task.name]
+            bottleneck = max(resources, key=lambda r: busy[r])
+            total = busy[bottleneck]
+            own_cycles = own.get((task.name, bottleneck), 0)
+            estimates[task.name] = TaskEstimate(
+                name=task.name,
+                iteration_cycles=total,
+                fps=self.config.frequency_hz / total if total else float("inf"),
+                bottleneck=bottleneck,
+                own_bottleneck_cycles=own_cycles,
+                interference_cycles=total - own_cycles,
+                core_busy={
+                    core: busy[("core", core)]
+                    for core in task.core_macs
+                },
+            )
+        return estimates
+
+    # -- warm-up (§6.3.4) -------------------------------------------------------
+    def warmup_cycles(self, task: PlacedTask, interface_count: int,
+                      total_interfaces: int) -> int:
+        """Weight-load time: bandwidth proportional to memory interfaces."""
+        if total_interfaces < 1:
+            raise ConfigError("chip needs at least one memory interface")
+        share = min(1.0, max(interface_count, 1) / total_interfaces)
+        rate = self.config.memory.bytes_per_cycle(self.config.frequency_hz) * share
+        return (self.config.memory.access_latency
+                + math.ceil(task.total_weight_bytes() / rate))

@@ -1,0 +1,104 @@
+"""High-level convenience API: compile, place, estimate in one call.
+
+This is the surface most examples and benchmarks use::
+
+    chip = Chip(sim_config(36))
+    hv = Hypervisor(chip)
+    vnpu = hv.create_vnpu(VNpuSpec("tenant", MeshShape(3, 4), 256 * MB))
+    report = deploy(resnet(34), vnpu, chip)
+    print(report.fps, report.warmup_cycles)
+
+Multi-tenant runs share one :class:`~repro.runtime.pipeline.SteadyStateModel`
+so contention is modelled across tenants (:func:`estimate_together`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.chip import Chip
+from repro.compiler.mapper import MappedTask, map_stages
+from repro.compiler.partitioner import partition
+from repro.compiler.placement import (
+    PlacedTask,
+    place_bare_metal,
+    place_on_vnpu,
+)
+from repro.core.vnpu import VirtualNPU
+from repro.errors import CompilationError
+from repro.runtime.pipeline import SteadyStateModel, TaskEstimate
+from repro.workloads.graph import ModelGraph
+
+
+@dataclass
+class RunReport:
+    """Everything a tenant sees about one deployed model."""
+
+    task: str
+    fps: float
+    iteration_cycles: int
+    warmup_cycles: int
+    bottleneck: tuple
+    interference_fraction: float
+    placed: PlacedTask
+
+    @property
+    def warmup_seconds_at(self) -> float:
+        return 0.0  # kept for API symmetry; use Chip.seconds(warmup_cycles)
+
+
+def compile_model(model: ModelGraph, vnpu: VirtualNPU,
+                  chip: Chip) -> PlacedTask:
+    """Partition + map + place one model onto a vNPU."""
+    plan = partition(
+        model, vnpu.core_count,
+        weight_zone_bytes=chip.config.core.weight_zone_bytes,
+    )
+    mapped = map_stages(plan, vnpu.virtual_topology(), name=model.name)
+    return place_on_vnpu(mapped, vnpu, chip.topology)
+
+
+def compile_bare_metal(model: ModelGraph, chip: Chip,
+                       cores: list[int] | None = None) -> PlacedTask:
+    """Compile directly onto physical cores (the §6.3.3 control)."""
+    topology = chip.topology
+    if cores is not None:
+        if not topology.is_connected(set(cores)):
+            raise CompilationError("bare-metal core set must be connected")
+        topology = topology.subtopology(cores)
+    plan = partition(
+        model, topology.node_count,
+        weight_zone_bytes=chip.config.core.weight_zone_bytes,
+    )
+    mapped = map_stages(plan, topology, name=model.name)
+    return place_bare_metal(mapped, chip.topology)
+
+
+def estimate_together(chip: Chip, placed: list[PlacedTask],
+                      uvm_tasks: set[str] | None = None
+                      ) -> dict[str, RunReport]:
+    """Steady-state estimates for co-resident tasks, with warm-up."""
+    model = SteadyStateModel(chip.config)
+    estimates = model.estimate(placed, uvm_tasks=uvm_tasks)
+    total_interfaces = max(1, len(chip.config.memory_interface_cores))
+    reports = {}
+    for task in placed:
+        estimate = estimates[task.name]
+        interfaces = chip.memory_interfaces_spanned(task.cores)
+        warmup = model.warmup_cycles(task, interfaces, total_interfaces)
+        reports[task.name] = RunReport(
+            task=task.name,
+            fps=estimate.fps,
+            iteration_cycles=estimate.iteration_cycles,
+            warmup_cycles=warmup,
+            bottleneck=estimate.bottleneck,
+            interference_fraction=estimate.interference_fraction,
+            placed=task,
+        )
+    return reports
+
+
+def deploy(model: ModelGraph, vnpu: VirtualNPU, chip: Chip) -> RunReport:
+    """One-call deployment of a single model on a single vNPU."""
+    placed = compile_model(model, vnpu, chip)
+    return estimate_together(chip, [placed])[placed.name]

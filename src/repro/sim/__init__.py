@@ -1,0 +1,14 @@
+"""Discrete-event simulation substrate (engine, processes, resources)."""
+
+from repro.sim.engine import Event, Process, Simulator, Timeout
+from repro.sim.resources import Mutex, Resource, Store
+
+__all__ = [
+    "Event",
+    "Mutex",
+    "Process",
+    "Resource",
+    "Simulator",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,216 @@
+"""A small discrete-event simulation engine.
+
+The engine models time in *cycles* (integers). Simulated activities are
+Python generators ("processes") that yield :class:`Event` objects; the
+engine resumes a process when the event it is waiting on fires. This is the
+substrate under the NPU chip model: cores, DMA engines, NoC links and the
+NPU controller all run as processes.
+
+The design intentionally mirrors a tiny subset of SimPy:
+
+- :meth:`Simulator.process` registers a generator as a process.
+- A process yields ``sim.timeout(n)`` to advance ``n`` cycles,
+  ``sim.event()`` (triggered later by another process), or another
+  process handle to join it.
+- :meth:`Simulator.run` drives the event loop until no events remain, a
+  deadline is reached, or every process has finished.
+
+Example
+-------
+>>> sim = Simulator()
+>>> log = []
+>>> def worker(sim):
+...     yield sim.timeout(5)
+...     log.append(sim.now)
+>>> _ = sim.process(worker(sim))
+>>> sim.run()
+>>> log
+[5]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Generator
+from typing import Any
+
+from repro.errors import SimulationError
+
+ProcessGenerator = Generator["Event", Any, Any]
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event is *triggered* at most once, optionally carrying a value.
+    Any number of processes may wait on the same event; all are resumed
+    (in registration order) when it fires.
+    """
+
+    __slots__ = ("sim", "_callbacks", "triggered", "_dispatched", "value", "name")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._callbacks: list = []
+        self.triggered = False
+        self._dispatched = False
+        self.value: Any = None
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event now, waking all waiters at the current cycle."""
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self.triggered = True
+        self.value = value
+        self.sim._schedule(self.sim.now, self)
+        return self
+
+    def add_callback(self, callback) -> None:
+        """Register a waiter; late registration still delivers the value.
+
+        If the event has already been dispatched, the callback is delivered
+        through a fresh proxy event at the current cycle so that joining an
+        already-finished process (or re-waiting a fired event) never hangs.
+        """
+        if self._dispatched:
+            proxy = Event(self.sim, name=f"late:{self.name}")
+            proxy._callbacks.append(callback)
+            proxy.succeed(self.value)
+        else:
+            self._callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self.triggered else "pending"
+        return f"<Event {self.name!r} {state}>"
+
+
+class Timeout(Event):
+    """An event that fires a fixed number of cycles in the future."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: int) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        super().__init__(sim, name=f"timeout({delay})")
+        self.delay = int(delay)
+        self.triggered = True
+        sim._schedule(sim.now + self.delay, self)
+
+
+class Process(Event):
+    """A running generator. Also an event: it fires when the generator ends.
+
+    The value of the event is the generator's return value (``StopIteration``
+    payload), so processes can be joined with ``result = yield other_proc``.
+    """
+
+    __slots__ = ("generator", "alive")
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator, name: str = "") -> None:
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        self.generator = generator
+        self.alive = True
+        # Kick off the process at the current cycle.
+        bootstrap = Event(sim, name=f"start:{self.name}")
+        bootstrap.add_callback(self._resume)
+        bootstrap.succeed()
+
+    def _resume(self, event: Event) -> None:
+        try:
+            target = self.generator.send(event.value)
+        except StopIteration as stop:
+            self.alive = False
+            self.succeed(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; expected an Event"
+            )
+        target.add_callback(self._resume)
+
+
+class Simulator:
+    """The event loop: a priority queue of (cycle, sequence, event)."""
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._queue: list[tuple[int, int, Event]] = []
+        self._sequence = itertools.count()
+        self._processes: list[Process] = []
+
+    # -- construction -----------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create an untriggered event (fired later via ``succeed``)."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: int) -> Timeout:
+        """An event that fires ``delay`` cycles from now."""
+        return Timeout(self, delay)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Register ``generator`` as a process starting at the current cycle."""
+        proc = Process(self, generator, name=name)
+        self._processes.append(proc)
+        return proc
+
+    # -- scheduling --------------------------------------------------------
+    def _schedule(self, cycle: int, event: Event) -> None:
+        heapq.heappush(self._queue, (cycle, next(self._sequence), event))
+
+    def run(self, until: int | None = None) -> int:
+        """Drive the loop; returns the final cycle.
+
+        ``until`` bounds simulated time; events scheduled beyond it remain
+        queued (useful for sampling a steady state).
+        """
+        while self._queue:
+            cycle, _seq, event = self._queue[0]
+            if until is not None and cycle > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._queue)
+            self.now = cycle
+            callbacks, event._callbacks = event._callbacks, []
+            event._dispatched = True
+            for callback in callbacks:
+                callback(event)
+        return self.now
+
+    def run_until_processes_done(self, limit: int = 10_000_000_000) -> int:
+        """Run until every registered process finished; detect deadlock.
+
+        Raises :class:`SimulationError` if the queue drains while some
+        process is still alive (a wait that nobody will ever satisfy).
+        """
+        self.run(until=limit)
+        stuck = [p.name for p in self._processes if p.alive]
+        if stuck:
+            raise SimulationError(
+                f"deadlock at cycle {self.now}: processes still waiting: {stuck}"
+            )
+        return self.now
+
+    def all_of(self, events: list[Event], name: str = "all_of") -> Event:
+        """An event that fires once every event in ``events`` has fired."""
+        gate = self.event(name=name)
+        remaining = {"count": len(events)}
+        if remaining["count"] == 0:
+            gate.succeed([])
+            return gate
+        results: list[Any] = [None] * len(events)
+
+        def make_callback(index: int):
+            def _cb(ev: Event) -> None:
+                results[index] = ev.value
+                remaining["count"] -= 1
+                if remaining["count"] == 0:
+                    gate.succeed(results)
+
+            return _cb
+
+        for index, ev in enumerate(events):
+            ev.add_callback(make_callback(index))
+        return gate

@@ -1,0 +1,117 @@
+"""Shared-resource primitives for the discrete-event engine.
+
+Three primitives cover every hardware structure in the chip model:
+
+- :class:`Resource` — a counted semaphore with FIFO ordering. NoC links,
+  HBM channels and DMA issue slots are ``Resource(capacity=1)`` instances;
+  a holder models *occupancy time* by sleeping while holding the grant.
+- :class:`Store` — an unbounded FIFO of items with blocking ``get``. The
+  receive queues of NoC ports and the controller's instruction queues are
+  stores.
+- :class:`Mutex` — convenience alias for a capacity-1 resource.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.sim.engine import Event, Simulator
+
+
+class Resource:
+    """A counted, FIFO-fair resource.
+
+    Usage inside a process::
+
+        grant = yield resource.acquire()
+        yield sim.timeout(occupancy)
+        resource.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name or "resource"
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+        # Statistics used by benchmarks to report contention.
+        self.total_acquisitions = 0
+        self.total_wait_cycles = 0
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        """Return an event that fires when the caller holds the resource."""
+        grant = self.sim.event(name=f"acquire:{self.name}")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            self.total_acquisitions += 1
+            grant.succeed(self.sim.now)
+        else:
+            grant.value = self.sim.now  # stash request time for stats
+            self._waiters.append(grant)
+        return grant
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise RuntimeError(f"release of idle resource {self.name!r}")
+        if self._waiters:
+            grant = self._waiters.popleft()
+            requested_at = grant.value
+            grant.value = None
+            self.total_acquisitions += 1
+            self.total_wait_cycles += self.sim.now - requested_at
+            grant.triggered = False  # re-arm: value was used as scratch
+            grant.succeed(self.sim.now)
+        else:
+            self._in_use -= 1
+
+
+class Mutex(Resource):
+    """A capacity-1 resource."""
+
+    def __init__(self, sim: Simulator, name: str = "") -> None:
+        super().__init__(sim, capacity=1, name=name)
+
+
+class Store:
+    """An unbounded FIFO with blocking ``get`` and immediate ``put``."""
+
+    def __init__(self, sim: Simulator, name: str = "") -> None:
+        self.sim = sim
+        self.name = name or "store"
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``; wakes the oldest blocked getter, if any."""
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event whose value is the next item (FIFO order)."""
+        request = self.sim.event(name=f"get:{self.name}")
+        if self._items:
+            request.succeed(self._items.popleft())
+        else:
+            self._getters.append(request)
+        return request
+
+    def peek_all(self) -> list[Any]:
+        """Non-destructive snapshot of queued items (for assertions)."""
+        return list(self._items)

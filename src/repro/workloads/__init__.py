@@ -1,0 +1,40 @@
+"""Workload layer: model-graph IR and the model zoo."""
+
+from repro.workloads.cnn_zoo import (
+    alexnet,
+    dlrm,
+    efficientnet_b0,
+    googlenet,
+    mobilenet,
+    resnet,
+    resnet_block,
+    resnet_rs,
+    retinanet,
+    yolo_lite,
+)
+from repro.workloads.graph import Layer, ModelGraph
+from repro.workloads.transformer import (
+    bert_base,
+    gpt2,
+    gpt2_block_count,
+    transformer_block,
+)
+
+__all__ = [
+    "Layer",
+    "ModelGraph",
+    "alexnet",
+    "bert_base",
+    "dlrm",
+    "efficientnet_b0",
+    "googlenet",
+    "gpt2",
+    "gpt2_block_count",
+    "mobilenet",
+    "resnet",
+    "resnet_block",
+    "resnet_rs",
+    "retinanet",
+    "transformer_block",
+    "yolo_lite",
+]

@@ -1,0 +1,280 @@
+"""CNN model zoo (Fig 3, Fig 14, Fig 18 workloads).
+
+Layer dimensions follow the published architectures closely enough that
+parameter counts land near the canonical values (ResNet-50 ~25 M params,
+AlexNet ~61 M, GoogleNet ~7 M, MobileNet ~4.2 M); the experiments depend
+on those volumes and on graph *shape* (ResNet's skip edges, Inception's
+branches), not on numerical outputs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CompilationError
+from repro.workloads.graph import (
+    ModelGraph,
+    conv_layer,
+    depthwise_conv_layer,
+    fc_layer,
+    pool_layer,
+)
+
+
+def alexnet() -> ModelGraph:
+    """AlexNet: 5 convolutions + 3 large fully-connected layers."""
+    g = ModelGraph("alexnet")
+    g.add_layer(conv_layer("conv1", 224, 224, 3, 64, 11, stride=4))
+    g.add_layer(pool_layer("pool1", 56, 56, 64))
+    g.add_layer(conv_layer("conv2", 28, 28, 64, 192, 5))
+    g.add_layer(pool_layer("pool2", 28, 28, 192))
+    g.add_layer(conv_layer("conv3", 14, 14, 192, 384, 3))
+    g.add_layer(conv_layer("conv4", 14, 14, 384, 256, 3))
+    g.add_layer(conv_layer("conv5", 14, 14, 256, 256, 3))
+    g.add_layer(pool_layer("pool5", 14, 14, 256))
+    g.add_layer(fc_layer("fc6", 256 * 7 * 7, 4096))
+    g.add_layer(fc_layer("fc7", 4096, 4096))
+    g.add_layer(fc_layer("fc8", 4096, 1000))
+    return g
+
+
+def _resnet_basic_block(g: ModelGraph, name: str, entry: int, h: int,
+                        channels_in: int, channels_out: int,
+                        stride: int = 1) -> int:
+    """Two 3x3 convs + identity/projection shortcut; returns exit index."""
+    c1 = g.add_layer(
+        conv_layer(f"{name}.conv1", h, h, channels_in, channels_out, 3,
+                   stride=stride),
+        inputs=[entry],
+    )
+    if stride != 1 or channels_in != channels_out:
+        skip = g.add_layer(
+            conv_layer(f"{name}.proj", h, h, channels_in, channels_out, 1,
+                       stride=stride),
+            inputs=[entry],
+        )
+    else:
+        skip = entry  # identity skip: the ResNet signature edge
+    out_h = max(1, h // stride)
+    c2 = g.add_layer(
+        conv_layer(f"{name}.conv2", out_h, out_h, channels_out, channels_out, 3),
+        inputs=[c1, skip],
+    )
+    return c2
+
+
+def _resnet_bottleneck(g: ModelGraph, name: str, entry: int, h: int,
+                       channels_in: int, width: int, stride: int = 1) -> int:
+    """1x1 down, 3x3, 1x1 up (x4) with shortcut; returns exit index."""
+    expanded = width * 4
+    c1 = g.add_layer(
+        conv_layer(f"{name}.conv1", h, h, channels_in, width, 1),
+        inputs=[entry],
+    )
+    c2 = g.add_layer(
+        conv_layer(f"{name}.conv2", h, h, width, width, 3, stride=stride),
+        inputs=[c1],
+    )
+    if stride != 1 or channels_in != expanded:
+        skip = g.add_layer(
+            conv_layer(f"{name}.proj", h, h, channels_in, expanded, 1,
+                       stride=stride),
+            inputs=[entry],
+        )
+    else:
+        skip = entry
+    out_h = max(1, h // stride)
+    c3 = g.add_layer(
+        conv_layer(f"{name}.conv3", out_h, out_h, width, expanded, 1),
+        inputs=[c2, skip],
+    )
+    return c3
+
+
+_RESNET_STAGES = {
+    18: ([2, 2, 2, 2], "basic"),
+    34: ([3, 4, 6, 3], "basic"),
+    50: ([3, 4, 6, 3], "bottleneck"),
+}
+
+
+def resnet(depth: int = 50) -> ModelGraph:
+    """ResNet-18/34/50 with explicit shortcut edges."""
+    if depth not in _RESNET_STAGES:
+        raise CompilationError(
+            f"unsupported ResNet depth {depth}; choose from "
+            f"{sorted(_RESNET_STAGES)}"
+        )
+    blocks_per_stage, block_kind = _RESNET_STAGES[depth]
+    g = ModelGraph(f"resnet{depth}")
+    stem = g.add_layer(conv_layer("stem", 224, 224, 3, 64, 7, stride=2))
+    current = g.add_layer(pool_layer("stem.pool", 112, 112, 64), inputs=[stem])
+    h = 56
+    channels = 64
+    widths = [64, 128, 256, 512]
+    for stage, (blocks, width) in enumerate(zip(blocks_per_stage, widths)):
+        for block in range(blocks):
+            stride = 2 if block == 0 and stage > 0 else 1
+            name = f"s{stage}.b{block}"
+            if block_kind == "basic":
+                current = _resnet_basic_block(
+                    g, name, current, h, channels, width, stride)
+                channels = width
+            else:
+                current = _resnet_bottleneck(
+                    g, name, current, h, channels, width, stride)
+                channels = width * 4
+            h = max(1, h // stride)
+    g.add_layer(fc_layer("fc", channels, 1000), inputs=[current])
+    return g
+
+
+def resnet_block(hw: int, channels: int) -> ModelGraph:
+    """A standalone residual block — Fig 15's '16wh_64c' / '20wh_32c'."""
+    g = ModelGraph(f"resnet_block_{hw}wh_{channels}c")
+    entry = g.add_layer(
+        conv_layer("in", hw, hw, channels, channels, 1))
+    _resnet_basic_block(g, "block", entry, hw, channels, channels)
+    return g
+
+
+def googlenet() -> ModelGraph:
+    """GoogleNet with 9 Inception modules (4 parallel branches each)."""
+    g = ModelGraph("googlenet")
+    stem = g.add_layer(conv_layer("stem1", 224, 224, 3, 64, 7, stride=2))
+    current = g.add_layer(conv_layer("stem2", 56, 56, 64, 192, 3),
+                          inputs=[stem])
+
+    def inception(name, entry, h, cin, c1, c3r, c3, c5r, c5, proj):
+        b1 = g.add_layer(conv_layer(f"{name}.1x1", h, h, cin, c1, 1),
+                         inputs=[entry])
+        b2a = g.add_layer(conv_layer(f"{name}.3x3r", h, h, cin, c3r, 1),
+                          inputs=[entry])
+        b2 = g.add_layer(conv_layer(f"{name}.3x3", h, h, c3r, c3, 3),
+                         inputs=[b2a])
+        b3a = g.add_layer(conv_layer(f"{name}.5x5r", h, h, cin, c5r, 1),
+                          inputs=[entry])
+        b3 = g.add_layer(conv_layer(f"{name}.5x5", h, h, c5r, c5, 5),
+                         inputs=[b3a])
+        b4 = g.add_layer(conv_layer(f"{name}.pool", h, h, cin, proj, 1),
+                         inputs=[entry])
+        concat = g.add_layer(pool_layer(f"{name}.cat", h, h,
+                                        c1 + c3 + c5 + proj, stride=1),
+                             inputs=[b1, b2, b3, b4])
+        return concat, c1 + c3 + c5 + proj
+
+    current, channels = inception("i3a", current, 28, 192, 64, 96, 128, 16, 32, 32)
+    current, channels = inception("i3b", current, 28, channels, 128, 128, 192, 32, 96, 64)
+    current, channels = inception("i4a", current, 14, channels, 192, 96, 208, 16, 48, 64)
+    current, channels = inception("i4b", current, 14, channels, 160, 112, 224, 24, 64, 64)
+    current, channels = inception("i4c", current, 14, channels, 128, 128, 256, 24, 64, 64)
+    current, channels = inception("i4d", current, 14, channels, 112, 144, 288, 32, 64, 64)
+    current, channels = inception("i4e", current, 14, channels, 256, 160, 320, 32, 128, 128)
+    current, channels = inception("i5a", current, 7, channels, 256, 160, 320, 32, 128, 128)
+    current, channels = inception("i5b", current, 7, channels, 384, 192, 384, 48, 128, 128)
+    g.add_layer(fc_layer("fc", channels, 1000), inputs=[current])
+    return g
+
+
+def mobilenet() -> ModelGraph:
+    """MobileNet-v1: depthwise-separable stacks."""
+    g = ModelGraph("mobilenet")
+    current = g.add_layer(conv_layer("stem", 224, 224, 3, 32, 3, stride=2))
+    h, cin = 112, 32
+    plan = [
+        (64, 1), (128, 2), (128, 1), (256, 2), (256, 1), (512, 2),
+        (512, 1), (512, 1), (512, 1), (512, 1), (512, 1), (1024, 2),
+        (1024, 1),
+    ]
+    for index, (cout, stride) in enumerate(plan):
+        dw = g.add_layer(
+            depthwise_conv_layer(f"dw{index}", h, h, cin, 3, stride=stride),
+            inputs=[current],
+        )
+        h = max(1, h // stride)
+        current = g.add_layer(
+            conv_layer(f"pw{index}", h, h, cin, cout, 1), inputs=[dw])
+        cin = cout
+    g.add_layer(fc_layer("fc", 1024, 1000), inputs=[current])
+    return g
+
+
+def yolo_lite() -> ModelGraph:
+    """YOLO-LITE: seven small convolutions for non-GPU object detection."""
+    g = ModelGraph("yololite")
+    h, cin = 224, 3
+    for index, cout in enumerate([16, 32, 64, 128, 128, 256]):
+        g.add_layer(conv_layer(f"conv{index}", h, h, cin, cout, 3))
+        g.add_layer(pool_layer(f"pool{index}", h, h, cout))
+        h = max(1, h // 2)
+        cin = cout
+    g.add_layer(conv_layer("head", h, h, 256, 125, 1))
+    return g
+
+
+def efficientnet_b0() -> ModelGraph:
+    """EfficientNet-B0 at MBConv granularity (Fig 3 workload)."""
+    g = ModelGraph("efficientnet")
+    current = g.add_layer(conv_layer("stem", 224, 224, 3, 32, 3, stride=2))
+    h, cin = 112, 32
+    plan = [(16, 1, 1), (24, 2, 2), (40, 2, 2), (80, 3, 2),
+            (112, 3, 1), (192, 4, 2), (320, 1, 1)]
+    for index, (cout, repeats, stride) in enumerate(plan):
+        for r in range(repeats):
+            s = stride if r == 0 else 1
+            expanded = cin * 6
+            e = g.add_layer(conv_layer(f"mb{index}.{r}.expand", h, h, cin,
+                                       expanded, 1), inputs=[current])
+            d = g.add_layer(depthwise_conv_layer(f"mb{index}.{r}.dw", h, h,
+                                                 expanded, 3, stride=s),
+                            inputs=[e])
+            h = max(1, h // s)
+            current = g.add_layer(conv_layer(f"mb{index}.{r}.project", h, h,
+                                             expanded, cout, 1), inputs=[d])
+            cin = cout
+    g.add_layer(fc_layer("fc", 1280, 1000),
+                inputs=[g.add_layer(conv_layer("head", h, h, cin, 1280, 1),
+                                    inputs=[current])])
+    return g
+
+
+def retinanet() -> ModelGraph:
+    """RetinaNet: ResNet-50 backbone + FPN heads (Fig 3 workload)."""
+    g = resnet(50)
+    g.name = "retinanet"
+    backbone_exit = g.layer_count - 2  # before the fc
+    for level in range(3, 8):
+        h = max(1, 224 // (2 ** level))
+        p = g.add_layer(conv_layer(f"fpn.p{level}", h, h, 256, 256, 3),
+                        inputs=[backbone_exit])
+        g.add_layer(conv_layer(f"head.cls{level}", h, h, 256, 9 * 80, 3),
+                    inputs=[p])
+        g.add_layer(conv_layer(f"head.box{level}", h, h, 256, 9 * 4, 3),
+                    inputs=[p])
+    return g
+
+
+def resnet_rs() -> ModelGraph:
+    """ResNet-RS (scaled ResNet variant used in Fig 3)."""
+    g = resnet(50)
+    g.name = "resnet-rs"
+    return g
+
+
+def dlrm() -> ModelGraph:
+    """DLRM: embedding-dominated recommendation model (Fig 3 workload)."""
+    from repro.workloads.graph import embedding_layer
+
+    g = ModelGraph("dlrm")
+    dense = g.add_layer(fc_layer("bottom.fc1", 13, 512))
+    dense = g.add_layer(fc_layer("bottom.fc2", 512, 256), inputs=[dense])
+    dense = g.add_layer(fc_layer("bottom.fc3", 256, 64), inputs=[dense])
+    tables = []
+    for table in range(8):
+        tables.append(g.add_layer(
+            embedding_layer(f"emb{table}", vocab=100_000, dim=64, seq_len=1),
+            inputs=[],
+        ))
+    interact = g.add_layer(fc_layer("interact", 64 * 9, 512),
+                           inputs=[dense, *tables])
+    top = g.add_layer(fc_layer("top.fc1", 512, 256), inputs=[interact])
+    g.add_layer(fc_layer("top.fc2", 256, 1), inputs=[top])
+    return g

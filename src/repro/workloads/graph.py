@@ -1,0 +1,215 @@
+"""Model-graph intermediate representation.
+
+A :class:`ModelGraph` is a DAG of :class:`Layer` nodes, each annotated
+with the three quantities every experiment in the paper derives from real
+models: MAC count (compute), weight bytes (DMA traffic + scratchpad
+footprint) and output-activation bytes (NoC traffic between pipeline
+stages). Branchy graphs (ResNet shortcuts, Inception modules) are what
+make topology mapping matter (§6.3.5) — the compiler maps *graph edges*
+onto *mesh links*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CompilationError
+
+#: Bytes per element for weights/activations. The paper's prototype
+#: extends Gemmini, whose native datatype is int8, so one byte per
+#: element; this also matches how the paper quotes model sizes
+#: ("ResNet-50 contains 25 million parameters" ~ 25 MB resident).
+DTYPE_BYTES = 1
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One operator: compute + memory volumes, not tensors."""
+
+    name: str
+    kind: str  # "conv" | "fc" | "attn" | "pool" | "embed" | ...
+    macs: int
+    weight_bytes: int
+    output_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.macs < 0 or self.weight_bytes < 0 or self.output_bytes < 0:
+            raise CompilationError(f"layer {self.name!r} has negative volumes")
+
+    @property
+    def flops(self) -> int:
+        return 2 * self.macs
+
+
+class ModelGraph:
+    """A DAG of layers with explicit dataflow edges."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.layers: list[Layer] = []
+        self._edges: set[tuple[int, int]] = set()
+
+    # -- construction -----------------------------------------------------
+    def add_layer(self, layer: Layer, inputs: list[int] | None = None) -> int:
+        """Append ``layer``; wire edges from ``inputs`` (defaults to previous)."""
+        index = len(self.layers)
+        self.layers.append(layer)
+        if inputs is None:
+            inputs = [index - 1] if index > 0 else []
+        for src in inputs:
+            self.add_edge(src, index)
+        return index
+
+    def add_edge(self, src: int, dst: int) -> None:
+        if not 0 <= src < len(self.layers) or not 0 <= dst < len(self.layers):
+            raise CompilationError(
+                f"edge ({src}, {dst}) references unknown layer in {self.name}"
+            )
+        if src >= dst:
+            raise CompilationError(
+                f"edge ({src}, {dst}) violates topological layer order"
+            )
+        self._edges.add((src, dst))
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def edges(self) -> list[tuple[int, int]]:
+        return sorted(self._edges)
+
+    @property
+    def layer_count(self) -> int:
+        return len(self.layers)
+
+    def successors(self, index: int) -> list[int]:
+        return sorted(dst for src, dst in self._edges if src == index)
+
+    def predecessors(self, index: int) -> list[int]:
+        return sorted(src for src, dst in self._edges if dst == index)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def total_flops(self) -> int:
+        return 2 * self.total_macs
+
+    @property
+    def total_weight_bytes(self) -> int:
+        return sum(layer.weight_bytes for layer in self.layers)
+
+    @property
+    def total_activation_bytes(self) -> int:
+        """Bytes crossing graph edges (each edge moves its source's output)."""
+        return sum(self.layers[src].output_bytes for src, _ in self._edges)
+
+    @property
+    def parameter_count(self) -> int:
+        return self.total_weight_bytes // DTYPE_BYTES
+
+    def scaled(self, batch: int) -> "ModelGraph":
+        """The same graph at batch size ``batch``: compute and activations
+        scale, weights do not."""
+        if batch < 1:
+            raise CompilationError(f"batch must be >= 1, got {batch}")
+        scaled = ModelGraph(f"{self.name}@b{batch}")
+        for layer in self.layers:
+            scaled.layers.append(Layer(
+                name=layer.name,
+                kind=layer.kind,
+                macs=layer.macs * batch,
+                weight_bytes=layer.weight_bytes,
+                output_bytes=layer.output_bytes * batch,
+            ))
+        scaled._edges = set(self._edges)
+        return scaled
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ModelGraph {self.name!r}: {self.layer_count} layers, "
+                f"{self.parameter_count / 1e6:.1f}M params>")
+
+
+# -- layer factories ----------------------------------------------------------
+
+def conv_layer(name: str, h: int, w: int, cin: int, cout: int, kernel: int,
+               stride: int = 1) -> Layer:
+    """Standard convolution; output spatial dims follow the stride."""
+    out_h, out_w = max(1, h // stride), max(1, w // stride)
+    macs = out_h * out_w * cin * cout * kernel * kernel
+    return Layer(
+        name=name,
+        kind="conv",
+        macs=macs,
+        weight_bytes=cin * cout * kernel * kernel * DTYPE_BYTES,
+        output_bytes=out_h * out_w * cout * DTYPE_BYTES,
+    )
+
+
+def depthwise_conv_layer(name: str, h: int, w: int, channels: int,
+                         kernel: int, stride: int = 1) -> Layer:
+    out_h, out_w = max(1, h // stride), max(1, w // stride)
+    macs = out_h * out_w * channels * kernel * kernel
+    return Layer(
+        name=name,
+        kind="dwconv",
+        macs=macs,
+        weight_bytes=channels * kernel * kernel * DTYPE_BYTES,
+        output_bytes=out_h * out_w * channels * DTYPE_BYTES,
+    )
+
+
+def fc_layer(name: str, in_features: int, out_features: int) -> Layer:
+    return Layer(
+        name=name,
+        kind="fc",
+        macs=in_features * out_features,
+        weight_bytes=in_features * out_features * DTYPE_BYTES,
+        output_bytes=out_features * DTYPE_BYTES,
+    )
+
+
+def attention_layer(name: str, seq_len: int, dim: int, heads: int) -> Layer:
+    """Multi-head self-attention: QKV/output projections + score matmuls."""
+    projections = 4 * dim * dim * seq_len
+    scores = 2 * seq_len * seq_len * dim
+    return Layer(
+        name=name,
+        kind="attn",
+        macs=projections + scores,
+        weight_bytes=4 * dim * dim * DTYPE_BYTES,
+        output_bytes=seq_len * dim * DTYPE_BYTES,
+    )
+
+
+def mlp_layer(name: str, seq_len: int, dim: int, hidden: int) -> Layer:
+    """Transformer feed-forward block (two projections)."""
+    macs = 2 * seq_len * dim * hidden
+    return Layer(
+        name=name,
+        kind="mlp",
+        macs=macs,
+        weight_bytes=2 * dim * hidden * DTYPE_BYTES,
+        output_bytes=seq_len * dim * DTYPE_BYTES,
+    )
+
+
+def pool_layer(name: str, h: int, w: int, channels: int,
+               stride: int = 2) -> Layer:
+    out_h, out_w = max(1, h // stride), max(1, w // stride)
+    return Layer(
+        name=name,
+        kind="pool",
+        macs=0,
+        weight_bytes=0,
+        output_bytes=out_h * out_w * channels * DTYPE_BYTES,
+    )
+
+
+def embedding_layer(name: str, vocab: int, dim: int, seq_len: int) -> Layer:
+    return Layer(
+        name=name,
+        kind="embed",
+        macs=0,
+        weight_bytes=vocab * dim * DTYPE_BYTES,
+        output_bytes=seq_len * dim * DTYPE_BYTES,
+    )

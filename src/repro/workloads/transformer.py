@@ -1,0 +1,93 @@
+"""Transformer model zoo: GPT-2 family, BERT, and Fig 15 micro-blocks.
+
+GPT-2 layer counts line up with the paper's core requests in §6.3.2:
+GPT2-small has 12 transformer blocks (-> 12 NPU cores, one block per
+core), GPT2-medium 24, GPT2-large 36.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CompilationError
+from repro.workloads.graph import (
+    ModelGraph,
+    attention_layer,
+    embedding_layer,
+    fc_layer,
+    mlp_layer,
+)
+
+_GPT2_CONFIGS = {
+    "small": dict(blocks=12, dim=768, heads=12),
+    "medium": dict(blocks=24, dim=1024, heads=16),
+    "large": dict(blocks=36, dim=1280, heads=20),
+}
+
+
+def transformer_block(dim: int, seq_len: int, heads: int = 4,
+                      ff_mult: int = 4, name: str | None = None) -> ModelGraph:
+    """One attention + MLP block — Fig 15's '128dim_16slen' etc."""
+    if dim % heads:
+        raise CompilationError(f"dim {dim} not divisible by heads {heads}")
+    g = ModelGraph(name or f"transformer_{dim}dim_{seq_len}slen")
+    attn = g.add_layer(attention_layer("attn", seq_len, dim, heads))
+    g.add_layer(mlp_layer("mlp", seq_len, dim, dim * ff_mult), inputs=[attn])
+    return g
+
+
+def gpt2(size: str = "small", seq_len: int = 1024,
+         include_embeddings: bool = False) -> ModelGraph:
+    """GPT-2 small/medium/large as a chain of attention+MLP blocks.
+
+    ``include_embeddings=False`` (default) models the common NPU
+    deployment where the token embedding and LM head live host-side —
+    what lets §6.3.2's core counts equal the block counts (12/24/36).
+    """
+    config = _GPT2_CONFIGS.get(size)
+    if config is None:
+        raise CompilationError(
+            f"unknown GPT-2 size {size!r}; choose from {sorted(_GPT2_CONFIGS)}"
+        )
+    dim, heads, blocks = config["dim"], config["heads"], config["blocks"]
+    g = ModelGraph(f"gpt2-{size}")
+    current: int | None = None
+    if include_embeddings:
+        current = g.add_layer(embedding_layer("wte", vocab=50257, dim=dim,
+                                              seq_len=seq_len))
+    for block in range(blocks):
+        attn = g.add_layer(
+            attention_layer(f"b{block}.attn", seq_len, dim, heads),
+            inputs=[current] if current is not None else [],
+        )
+        current = g.add_layer(
+            mlp_layer(f"b{block}.mlp", seq_len, dim, 4 * dim),
+            inputs=[attn],
+        )
+    if include_embeddings:
+        g.add_layer(fc_layer("lm_head", dim, 50257), inputs=[current])
+    return g
+
+
+def gpt2_block_count(size: str) -> int:
+    """Transformer blocks in a GPT-2 variant (= paper's core request)."""
+    config = _GPT2_CONFIGS.get(size)
+    if config is None:
+        raise CompilationError(f"unknown GPT-2 size {size!r}")
+    return config["blocks"]
+
+
+def bert_base(seq_len: int = 128) -> ModelGraph:
+    """BERT-base: 12 encoder blocks, dim 768 (Fig 3 / Fig 14 workload)."""
+    g = ModelGraph("bert")
+    current = g.add_layer(embedding_layer("embed", vocab=30522, dim=768,
+                                          seq_len=seq_len))
+    for block in range(12):
+        attn = g.add_layer(
+            attention_layer(f"b{block}.attn", seq_len, 768, 12),
+            inputs=[current],
+        )
+        current = g.add_layer(
+            mlp_layer(f"b{block}.mlp", seq_len, 768, 3072),
+            inputs=[attn],
+        )
+    g.add_layer(fc_layer("pooler", 768, 768), inputs=[current])
+    return g

@@ -1,0 +1,185 @@
+"""Integration tests: full stack, hypervisor through runtime."""
+
+import pytest
+
+from repro import (
+    Chip,
+    Hypervisor,
+    MeshShape,
+    VNpuSpec,
+    compile_bare_metal,
+    compile_model,
+    deploy,
+    estimate_together,
+    fpga_config,
+    sim_config,
+)
+from repro.errors import AllocationError
+from repro.workloads import gpt2, resnet, transformer_block
+
+MB = 1 << 20
+
+
+class TestSingleTenant:
+    def test_deploy_resnet(self):
+        chip = Chip(sim_config(36))
+        hv = Hypervisor(chip)
+        vnpu = hv.create_vnpu(VNpuSpec("r", MeshShape(4, 6), 256 * MB))
+        report = deploy(resnet(34), vnpu, chip)
+        assert report.fps > 0
+        assert report.warmup_cycles > 0
+        assert report.interference_fraction == 0.0
+
+    def test_more_cores_more_throughput(self):
+        results = {}
+        for rows, cols in [(2, 2), (3, 4), (4, 6)]:
+            chip = Chip(sim_config(36))
+            hv = Hypervisor(chip)
+            vnpu = hv.create_vnpu(
+                VNpuSpec("r", MeshShape(rows, cols), 256 * MB))
+            results[rows * cols] = deploy(resnet(34), vnpu, chip).fps
+        assert results[4] < results[12] < results[24]
+
+    def test_virtualization_overhead_under_one_percent(self):
+        """§6.3.3: vNPU vs bare metal on the same topology < 1 %."""
+        chip = Chip(sim_config(36))
+        hv = Hypervisor(chip)
+        vnpu = hv.create_vnpu(VNpuSpec("v", MeshShape(3, 4), 256 * MB))
+        model = gpt2("small", 256)
+        virt = estimate_together(chip, [compile_model(model, vnpu, chip)])
+        bare_chip = Chip(sim_config(36))
+        bare = estimate_together(
+            bare_chip,
+            [compile_bare_metal(model, bare_chip,
+                                cores=vnpu.physical_cores)],
+        )
+        overhead = (virt[model.name].iteration_cycles
+                    - bare[model.name].iteration_cycles)
+        assert 0 <= overhead / bare[model.name].iteration_cycles < 0.01
+
+
+class TestMultiTenant:
+    def test_two_tenants_no_noc_interference(self):
+        chip = Chip(sim_config(36))
+        hv = Hypervisor(chip)
+        v1 = hv.create_vnpu(VNpuSpec("a", MeshShape(3, 4), 128 * MB))
+        v2 = hv.create_vnpu(VNpuSpec("b", MeshShape(3, 4), 128 * MB))
+        p1 = compile_model(gpt2("small", 256), v1, chip)
+        model_b = resnet(18)
+        p2 = compile_model(model_b, v2, chip)
+        reports = estimate_together(chip, [p1, p2])
+        assert reports["gpt2-small"].interference_fraction == 0.0
+        assert reports[model_b.name].interference_fraction == 0.0
+
+    def test_isolated_tenants_have_disjoint_flow_paths(self):
+        chip = Chip(sim_config(36))
+        hv = Hypervisor(chip)
+        v1 = hv.create_vnpu(VNpuSpec("a", MeshShape(3, 4), 128 * MB))
+        v2 = hv.create_vnpu(VNpuSpec("b", MeshShape(3, 4), 128 * MB))
+        p1 = compile_model(transformer_block(256, 32), v1, chip)
+        p2 = compile_model(resnet(18), v2, chip)
+        nodes1 = {n for f in p1.flows for n in f.path}
+        nodes2 = {n for f in p2.flows for n in f.path}
+        assert not nodes1 & nodes2
+
+    def test_capacity_exhaustion(self):
+        chip = Chip(sim_config(36))
+        hv = Hypervisor(chip)
+        hv.create_vnpu(VNpuSpec("a", MeshShape(6, 6), 128 * MB))
+        with pytest.raises(AllocationError):
+            hv.create_vnpu(VNpuSpec("b", MeshShape(1, 1), 128 * MB))
+
+    def test_destroy_then_reallocate(self):
+        chip = Chip(sim_config(36))
+        hv = Hypervisor(chip)
+        a = hv.create_vnpu(VNpuSpec("a", MeshShape(6, 6), 128 * MB))
+        hv.destroy_vnpu(a.vmid)
+        b = hv.create_vnpu(VNpuSpec("b", MeshShape(6, 6), 128 * MB))
+        assert b.core_count == 36
+
+    def test_many_small_tenants(self):
+        """vNPU's 'unlimited instances' vs MIG's 7 (Table 1)."""
+        chip = Chip(sim_config(36))
+        hv = Hypervisor(chip)
+        tenants = [
+            hv.create_vnpu(VNpuSpec(f"t{i}", MeshShape(1, 2), 16 * MB))
+            for i in range(18)
+        ]
+        assert hv.core_utilization() == 1.0
+        placed = [
+            compile_model(transformer_block(64, 16, name=f"blk{i}"), v, chip)
+            for i, v in enumerate(tenants)
+        ]
+        reports = estimate_together(chip, placed)
+        assert len(reports) == 18
+        assert all(r.fps > 0 for r in reports.values())
+
+
+class TestMappingStrategiesEndToEnd:
+    def test_similar_beats_straightforward_on_fragmented_chip(self):
+        """Fig 18's effect, end to end through the hypervisor."""
+        occupied_spec = VNpuSpec("blocker", MeshShape(2, 2), 16 * MB)
+        results = {}
+        for strategy in ("similar", "straightforward"):
+            chip = Chip(sim_config(36))
+            hv = Hypervisor(chip, strategy=strategy)
+            hv.create_vnpu(occupied_spec, strategy="straightforward")
+            vnpu = hv.create_vnpu(
+                VNpuSpec("tenant", MeshShape(4, 6), 256 * MB))
+            results[strategy] = deploy(resnet(34), vnpu, chip).fps
+        assert results["similar"] >= results["straightforward"]
+
+    def test_fragmented_strategy_still_runs(self):
+        chip = Chip(sim_config(36))
+        hv = Hypervisor(chip, strategy="fragmented")
+        # Occupy a column to fragment the free region.
+        hv.create_vnpu(VNpuSpec("wall", MeshShape(6, 1), 16 * MB),
+                       strategy="straightforward")
+        vnpu = hv.create_vnpu(VNpuSpec(
+            "frag", MeshShape(5, 6), 128 * MB, noc_isolation=False))
+        report = deploy(resnet(18), vnpu, chip)
+        assert report.fps > 0
+
+
+class TestAnalyticVsEventSim:
+    def test_pipeline_model_tracks_executor(self):
+        """The analytic model and the event simulator agree on ordering."""
+        from repro.isa.program import TaskProgram
+        from repro.runtime.executor import Executor
+
+        def run_pair(macs_a, macs_b):
+            chip = Chip(fpga_config())
+            program = TaskProgram("pair")
+            program.core(0).macs(macs_a).send(1, 4096, "x")
+            program.core(1).receive(0, "x").macs(macs_b)
+            return Executor(chip).run(program, iterations=4).total_cycles
+
+        light = run_pair(100_000, 100_000)
+        heavy = run_pair(1_000_000, 100_000)
+        assert heavy > light
+
+    def test_executor_steady_state_matches_model_scale(self):
+        """Per-iteration executor cost within 2x of the analytic estimate."""
+        from repro.compiler.placement import PhysicalFlow, PlacedTask
+        from repro.isa.program import TaskProgram
+        from repro.runtime.executor import Executor
+        from repro.runtime.pipeline import SteadyStateModel
+
+        macs = 2_000_000
+        chip = Chip(fpga_config())
+        program = TaskProgram("pipe")
+        program.core(0).macs(macs).send(1, 4096, "x")
+        program.core(1).receive(0, "x").macs(macs)
+        iterations = 8
+        total = Executor(chip).run(program, iterations=iterations).total_cycles
+        per_iteration = total / iterations
+
+        placed = PlacedTask(
+            name="pipe", vmid=None,
+            core_macs={0: macs, 1: macs},
+            weight_bytes={0: 0, 1: 0},
+            flows=[PhysicalFlow(0, 1, 4096, (0, 1), "pipeline")],
+        )
+        estimate = SteadyStateModel(fpga_config()).estimate([placed])["pipe"]
+        ratio = per_iteration / estimate.iteration_cycles
+        assert 0.5 < ratio < 2.0

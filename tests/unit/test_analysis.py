@@ -1,0 +1,135 @@
+"""Unit tests for the analysis modules (Figs 2, 3, 19 + reporting)."""
+
+import pytest
+
+from repro.analysis.catalog import (
+    DEVICES,
+    devices_by_family,
+    growth_factor,
+    intercore_sram_advantage,
+    series,
+)
+from repro.analysis.hwcost import (
+    figure19_table,
+    kims_core_cost,
+    vnpu_controller_cost,
+    vnpu_core_cost,
+)
+from repro.analysis.reporting import Table, percent, ratio
+from repro.analysis.roofline import (
+    DeviceModel,
+    flops_utilization,
+    utilization_table,
+)
+from repro.errors import ConfigError
+from repro.workloads import alexnet, bert_base, dlrm, resnet
+
+
+class TestCatalog:
+    def test_families_cover_fig2_legend(self):
+        families = devices_by_family()
+        for family in ("IPU", "Nvidia GPU", "TPU", "Tenstorrent",
+                       "Tesla D1", "Groq"):
+            assert family in families
+
+    def test_series_sorted_by_year(self):
+        for points in series("tflops").values():
+            years = [year for year, _ in points]
+            assert years == sorted(years)
+
+    def test_growth_spans_orders_of_magnitude(self):
+        assert growth_factor("tflops") > 10
+        assert growth_factor("sram_mb") > 10
+
+    def test_intercore_npus_hold_more_sram(self):
+        assert intercore_sram_advantage() > 2.0
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError):
+            series("teraflops")
+
+    def test_year_range(self):
+        years = [d.year for d in DEVICES]
+        assert min(years) == 2017 and max(years) == 2024
+
+
+class TestRoofline:
+    def test_utilization_in_unit_interval(self):
+        for model in (alexnet(), resnet(50), bert_base()):
+            util = flops_utilization(model, batch=8)
+            assert 0.0 < util <= 1.0
+
+    def test_batching_increases_utilization(self):
+        model = resnet(50)
+        u1 = flops_utilization(model, 1)
+        u32 = flops_utilization(model, 32)
+        assert u32 >= u1
+
+    def test_most_cnns_under_half_peak(self):
+        """Fig 3's headline: traditional models < 50 % even batched."""
+        utils = utilization_table({
+            "alexnet": alexnet(), "resnet": resnet(50), "dlrm": dlrm(),
+        })
+        under_half = sum(
+            1 for per_batch in utils.values()
+            if per_batch[1] < 0.5
+        )
+        assert under_half >= 2
+
+    def test_dlrm_is_memory_bound(self):
+        assert flops_utilization(dlrm(), 8) < 0.05
+
+    def test_invalid_batch(self):
+        with pytest.raises(ConfigError):
+            flops_utilization(alexnet(), 0)
+
+    def test_custom_device(self):
+        slow_memory = DeviceModel(memory_bandwidth_gbs=50)
+        fast_memory = DeviceModel(memory_bandwidth_gbs=2000)
+        model = resnet(50)
+        assert (flops_utilization(model, 8, slow_memory)
+                < flops_utilization(model, 8, fast_memory))
+
+
+class TestHwCost:
+    def test_all_overheads_small(self):
+        """Fig 19: every scheme adds only a few percent."""
+        for name, row in figure19_table().items():
+            assert row["total_luts"] < 10, name
+            assert row["ffs"] < 10, name
+
+    def test_routing_table_nearly_free(self):
+        table = figure19_table()["Routing table (128 entries)"]
+        assert table["ffs"] == 0.0  # lives in LUTRAM, no flip-flops
+        assert table["logic_luts"] < 0.1
+
+    def test_vnpu_comparable_to_kims(self):
+        table = figure19_table()
+        vnpu = table["NPU core (vNPU)"]["total_luts"]
+        kims = table["NPU core (Kim's)"]["total_luts"]
+        assert 0.2 < vnpu / kims < 5.0
+
+    def test_cost_composition(self):
+        cost = vnpu_core_cost()
+        assert cost.ffs > 0 and cost.logic_luts > 0
+        assert vnpu_controller_cost().lutrams > 0
+        assert kims_core_cost(64).ffs > kims_core_cost(16).ffs
+
+
+class TestReporting:
+    def test_table_renders_aligned(self):
+        table = Table("demo", ["name", "value"])
+        table.add("alpha", 1.5)
+        table.add("beta", 123456.0)
+        text = table.render()
+        assert "demo" in text
+        assert "alpha" in text
+        assert "123,456" in text
+
+    def test_ratio_and_percent(self):
+        assert ratio(3.0, 1.5) == "2.00x"
+        assert ratio(1.0, 0.0) == "inf"
+        assert percent(0.254) == "25.4%"
+
+    def test_empty_table_renders(self):
+        assert Table("empty", ["a"]).render()

@@ -1,0 +1,141 @@
+"""Unit tests for the MIG and TDM baselines."""
+
+import pytest
+
+from repro.arch.chip import Chip
+from repro.arch.config import sim_config
+from repro.arch.topology import Topology
+from repro.baselines.mig import mig_partitions, place_on_mig
+from repro.baselines.tdm import bind_tdm, tdm_factor
+from repro.compiler.mapper import map_stages
+from repro.compiler.partitioner import partition
+from repro.errors import AllocationError
+from repro.workloads import gpt2
+from repro.workloads.graph import Layer, ModelGraph
+
+
+def chain_model(loads, act=4096):
+    g = ModelGraph("chain")
+    for i, macs in enumerate(loads):
+        g.add_layer(Layer(f"l{i}", "fc", macs, macs, act))
+    return g
+
+
+class TestTdmBinding:
+    def test_fits_without_sharing_when_enough_cores(self):
+        binding = bind_tdm({0: 10, 1: 20}, [100, 101, 102])
+        assert len(set(binding.values())) == 2
+
+    def test_lpt_pairs_heavy_with_light(self):
+        loads = {0: 100, 1: 10, 2: 90, 3: 20}
+        binding = bind_tdm(loads, [7, 8])
+        per_core = {}
+        for vcore, pcore in binding.items():
+            per_core[pcore] = per_core.get(pcore, 0) + loads[vcore]
+        # LPT balances: 110 / 110, not 190 / 30.
+        assert max(per_core.values()) == 110
+
+    def test_round_robin_ignores_load(self):
+        loads = {0: 100, 1: 90, 2: 10, 3: 20}
+        binding = bind_tdm(loads, [7, 8], load_aware=False)
+        assert binding == {0: 7, 1: 8, 2: 7, 3: 8}
+
+    def test_factor_reflects_multiplexing(self):
+        loads = {0: 100, 1: 100, 2: 100}
+        binding = bind_tdm(loads, [1, 2])
+        assert tdm_factor(binding, loads) == pytest.approx(2.0)
+
+    def test_factor_one_when_unshared(self):
+        loads = {0: 100, 1: 100}
+        binding = bind_tdm(loads, [1, 2])
+        assert tdm_factor(binding, loads) == 1.0
+        assert tdm_factor({}, {}) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(AllocationError):
+            bind_tdm({0: 1}, [])
+        with pytest.raises(AllocationError):
+            bind_tdm({0: 1}, [5, 5])
+
+
+class TestMigPartitions:
+    def test_halves_of_36(self):
+        parts = mig_partitions(sim_config(36), 2)
+        assert [p.core_count for p in parts] == [18, 18]
+        assert set(parts[0].cores) | set(parts[1].cores) == set(range(36))
+
+    def test_halves_of_48(self):
+        parts = mig_partitions(sim_config(48), 2)
+        assert [p.core_count for p in parts] == [24, 24]
+
+    def test_thirds_of_36(self):
+        parts = mig_partitions(sim_config(36), 3)
+        assert [p.core_count for p in parts] == [12, 12, 12]
+
+    def test_uneven_split_rejected(self):
+        with pytest.raises(AllocationError):
+            mig_partitions(sim_config(36), 5)
+
+
+class TestMigPlacement:
+    def test_small_task_wastes_partition_cores(self):
+        """GPT2-small (12 cores) on an 18-core partition: 6 cores idle."""
+        cfg = sim_config(36)
+        chip = Chip(cfg)
+        parts = mig_partitions(cfg, 2)
+        mapped = map_stages(
+            partition(gpt2("small", 128), 12,
+                      weight_zone_bytes=cfg.core.weight_zone_bytes),
+            Topology.mesh2d(3, 4),
+        )
+        placed = place_on_mig(mapped, parts[0], chip.topology)
+        assert len(placed.cores) == 12
+        assert len(placed.owned_cores) == 18  # 6 held but unused
+
+    def test_oversized_task_triggers_tdm(self):
+        """36 virtual cores on a 24-core partition: physical sharing."""
+        cfg = sim_config(48)
+        chip = Chip(cfg)
+        parts = mig_partitions(cfg, 2)
+        mapped = map_stages(
+            partition(gpt2("large", 128), 36,
+                      weight_zone_bytes=cfg.core.weight_zone_bytes),
+            Topology.mesh2d(6, 6),
+        )
+        placed = place_on_mig(mapped, parts[1], chip.topology)
+        assert len(placed.cores) == 24
+        # Some physical core carries at least two virtual cores' work.
+        single = max(mapped.compute_macs.values())
+        assert max(placed.core_macs.values()) >= 2 * min(
+            mapped.compute_macs.values())
+        assert max(placed.core_macs.values()) > single
+
+    def test_colocated_flows_collapse(self):
+        cfg = sim_config(36)
+        chip = Chip(cfg)
+        parts = mig_partitions(cfg, 2)
+        model = chain_model([100] * 36)  # TDM on 18 cores
+        mapped = map_stages(partition(model, 36), Topology.mesh2d(6, 6))
+        placed = place_on_mig(mapped, parts[0], chip.topology)
+        # Fewer physical flows than virtual edges: co-resident pairs local.
+        assert len(placed.flows) <= len(mapped.flows)
+
+    def test_flows_stay_inside_partition(self):
+        cfg = sim_config(36)
+        chip = Chip(cfg)
+        parts = mig_partitions(cfg, 2)
+        mapped = map_stages(
+            partition(chain_model([100] * 12), 12), Topology.mesh2d(3, 4))
+        placed = place_on_mig(mapped, parts[1], chip.topology)
+        for flow in placed.flows:
+            for node in flow.path:
+                assert node in parts[1].cores
+
+    def test_no_vrouter_overhead(self):
+        cfg = sim_config(36)
+        chip = Chip(cfg)
+        parts = mig_partitions(cfg, 2)
+        mapped = map_stages(partition(chain_model([10]), 1),
+                            Topology.mesh2d(1, 1))
+        placed = place_on_mig(mapped, parts[0], chip.topology)
+        assert placed.vrouter_overhead == 0

@@ -1,0 +1,148 @@
+"""Unit and property tests for the buddy allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError, OutOfMemoryError
+from repro.mem.buddy import BuddyAllocator
+
+
+class TestBasics:
+    def test_alloc_rounds_to_power_of_two(self):
+        buddy = BuddyAllocator(capacity=1 << 20, min_block=4096)
+        block = buddy.alloc(5000)
+        assert block.size == 8192
+
+    def test_min_block_granularity(self):
+        buddy = BuddyAllocator(capacity=1 << 20, min_block=4096)
+        block = buddy.alloc(1)
+        assert block.size == 4096
+
+    def test_base_offsets_addresses(self):
+        buddy = BuddyAllocator(capacity=1 << 16, base=1 << 30)
+        block = buddy.alloc(4096)
+        assert block.address >= 1 << 30
+
+    def test_full_capacity_alloc(self):
+        buddy = BuddyAllocator(capacity=1 << 16)
+        block = buddy.alloc(1 << 16)
+        assert block.size == 1 << 16
+        with pytest.raises(OutOfMemoryError):
+            buddy.alloc(1)
+
+    def test_oversized_request(self):
+        buddy = BuddyAllocator(capacity=1 << 16)
+        with pytest.raises(OutOfMemoryError):
+            buddy.alloc(1 << 17)
+
+    def test_non_power_of_two_capacity_rejected(self):
+        with pytest.raises(AllocationError):
+            BuddyAllocator(capacity=3000)
+
+    def test_zero_alloc_rejected(self):
+        buddy = BuddyAllocator(capacity=1 << 16)
+        with pytest.raises(AllocationError):
+            buddy.alloc(0)
+
+    def test_double_free_rejected(self):
+        buddy = BuddyAllocator(capacity=1 << 16)
+        block = buddy.alloc(4096)
+        buddy.free(block.address)
+        with pytest.raises(AllocationError):
+            buddy.free(block.address)
+
+    def test_free_unknown_address_rejected(self):
+        buddy = BuddyAllocator(capacity=1 << 16)
+        with pytest.raises(AllocationError):
+            buddy.free(12345)
+
+
+class TestCoalescing:
+    def test_free_restores_full_block(self):
+        buddy = BuddyAllocator(capacity=1 << 16, min_block=4096)
+        blocks = [buddy.alloc(4096) for _ in range(16)]
+        assert buddy.free_bytes == 0
+        for block in blocks:
+            buddy.free(block.address)
+        assert buddy.free_bytes == 1 << 16
+        # Coalescing must allow a maximal allocation again.
+        assert buddy.alloc(1 << 16).size == 1 << 16
+
+    def test_fragmentation_blocks_large_alloc(self):
+        buddy = BuddyAllocator(capacity=1 << 16, min_block=4096)
+        blocks = [buddy.alloc(4096) for _ in range(16)]
+        # Free every other block: half the bytes free but fragmented.
+        for block in blocks[::2]:
+            buddy.free(block.address)
+        assert buddy.free_bytes == 1 << 15
+        with pytest.raises(OutOfMemoryError):
+            buddy.alloc(8192)
+
+    def test_free_all_resets(self):
+        buddy = BuddyAllocator(capacity=1 << 16)
+        buddy.alloc(4096)
+        buddy.free_all()
+        assert buddy.free_bytes == 1 << 16
+        assert buddy.allocated_blocks == []
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    requests=st.lists(
+        st.integers(min_value=1, max_value=1 << 15), min_size=1, max_size=40,
+    )
+)
+def test_property_no_overlap_and_alignment(requests):
+    """Live blocks never overlap, are size-aligned, and stay in bounds."""
+    buddy = BuddyAllocator(capacity=1 << 18, min_block=4096)
+    live = []
+    for index, size in enumerate(requests):
+        try:
+            block = buddy.alloc(size)
+        except OutOfMemoryError:
+            if live:
+                buddy.free(live.pop(0).address)
+            continue
+        live.append(block)
+        if index % 3 == 2 and live:
+            buddy.free(live.pop(0).address)
+
+    blocks = buddy.allocated_blocks
+    for block in blocks:
+        assert block.address % block.size == 0
+        assert 0 <= block.address and block.end <= 1 << 18
+    for first, second in zip(blocks, blocks[1:]):
+        assert first.end <= second.address
+
+
+@settings(max_examples=100, deadline=None)
+@given(sizes=st.lists(st.integers(min_value=1, max_value=1 << 14),
+                      min_size=1, max_size=20))
+def test_property_alloc_free_all_restores_capacity(sizes):
+    """Freeing everything always coalesces back to one max block."""
+    buddy = BuddyAllocator(capacity=1 << 18, min_block=4096)
+    blocks = []
+    for size in sizes:
+        try:
+            blocks.append(buddy.alloc(size))
+        except OutOfMemoryError:
+            break
+    for block in blocks:
+        buddy.free(block.address)
+    assert buddy.free_bytes == 1 << 18
+    assert buddy.alloc(1 << 18).size == 1 << 18
+
+
+@settings(max_examples=100, deadline=None)
+@given(sizes=st.lists(st.integers(min_value=1, max_value=1 << 13),
+                      min_size=2, max_size=16))
+def test_property_accounting_invariant(sizes):
+    """allocated + free == capacity at every step."""
+    buddy = BuddyAllocator(capacity=1 << 17, min_block=4096)
+    for size in sizes:
+        try:
+            buddy.alloc(size)
+        except OutOfMemoryError:
+            break
+        assert buddy.allocated_bytes + buddy.free_bytes == 1 << 17

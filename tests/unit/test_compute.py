@@ -1,0 +1,85 @@
+"""Unit tests for the kernel timing model."""
+
+import pytest
+
+from repro.arch.compute import ComputeModel
+from repro.arch.config import CoreConfig
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def model():
+    return ComputeModel(CoreConfig(systolic_dim=16, vector_lanes=16))
+
+
+class TestMatmul:
+    def test_mac_count(self, model):
+        cost = model.matmul(128, 128, 128)
+        assert cost.macs == 128 ** 3
+        assert cost.flops == 2 * 128 ** 3
+
+    def test_cycles_lower_bounded_by_peak(self, model):
+        cost = model.matmul(128, 128, 128)
+        ideal = 128 ** 3 / 256
+        assert cost.cycles >= ideal
+
+    def test_cycles_scale_with_k(self, model):
+        small = model.matmul(64, 64, 64)
+        tall = model.matmul(64, 256, 64)
+        assert tall.cycles > 3 * small.cycles
+
+    def test_bad_dims_rejected(self, model):
+        with pytest.raises(ConfigError):
+            model.matmul(0, 4, 4)
+
+
+class TestConv(object):
+    def test_conv_mac_count(self, model):
+        cost = model.conv2d(h=32, w=32, cin=16, cout=16, kernel=3)
+        assert cost.macs == 32 * 32 * 16 * 16 * 9
+
+    def test_stride_reduces_work(self, model):
+        dense = model.conv2d(32, 32, 16, 16, 3, stride=1)
+        strided = model.conv2d(32, 32, 16, 16, 3, stride=2)
+        assert strided.macs == dense.macs // 4
+
+    def test_kernel_name_matches_paper_notation(self, model):
+        cost = model.conv2d(32, 32, 16, 16, 3)
+        assert cost.name == "conv32hw16c_16oc3k"
+
+
+class TestOtherKernels:
+    def test_vector_op_uses_lanes(self, model):
+        cost = model.vector_op(1600)
+        assert cost.cycles == 100
+
+    def test_attention_combines_matmuls_and_softmax(self, model):
+        cost = model.attention(seq_len=16, dim=128, heads=4)
+        assert cost.cycles > 0
+        assert cost.macs > 16 * 32 * 16 * 2  # at least QK^T + PV per head
+
+    def test_cycles_for_macs_generic(self, model):
+        assert model.cycles_for_macs(0) == 0
+        assert model.cycles_for_macs(256_000) >= 1000
+
+    def test_negative_macs_rejected(self, model):
+        with pytest.raises(ConfigError):
+            model.cycles_for_macs(-1)
+
+
+class TestFig12Claim:
+    def test_kernels_orders_of_magnitude_above_dispatch(self, model):
+        """Fig 12: conv/matmul run 2-3 orders above instruction routing."""
+        from repro.arch import calibration
+
+        dispatch = calibration.INOC_DISPATCH_BASE + 8 * calibration.INOC_DISPATCH_PER_HOP
+        conv = model.conv2d(32, 32, 16, 16, 3).cycles
+        matmul = model.matmul(128, 128, 128).cycles
+        assert conv > 100 * dispatch
+        assert matmul > 50 * dispatch
+
+    def test_efficiency_bounds(self):
+        with pytest.raises(ConfigError):
+            ComputeModel(CoreConfig(), efficiency=0.0)
+        with pytest.raises(ConfigError):
+            ComputeModel(CoreConfig(), efficiency=1.5)

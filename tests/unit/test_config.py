@@ -1,0 +1,90 @@
+"""Unit tests for SoC configuration presets (Table 2)."""
+
+import pytest
+
+from repro.arch.config import (
+    GB,
+    KB,
+    MB,
+    CoreConfig,
+    MemoryConfig,
+    NoCConfig,
+    fpga_config,
+    sim_config,
+)
+from repro.errors import ConfigError
+
+
+class TestTable2Presets:
+    def test_fpga_column(self):
+        cfg = fpga_config()
+        assert cfg.core_count == 8
+        assert cfg.core.systolic_dim == 16
+        assert cfg.core.scratchpad_bytes == 512 * KB
+        assert cfg.total_scratchpad_bytes == 4 * MB
+        assert cfg.memory.bandwidth_bytes_per_second == 16 * GB
+        assert cfg.frequency_hz == 1_000_000_000
+        assert cfg.total_tops == pytest.approx(4.0)
+
+    def test_sim_column_36(self):
+        cfg = sim_config(36)
+        assert cfg.core_count == 36
+        assert cfg.core.systolic_dim == 128
+        assert cfg.total_scratchpad_bytes == 1080 * MB
+        assert cfg.memory.bandwidth_bytes_per_second == 360 * GB
+        assert cfg.frequency_hz == 500_000_000
+        assert cfg.total_tops == pytest.approx(576.0)
+
+    def test_sim_column_48(self):
+        cfg = sim_config(48)
+        assert cfg.core_count == 48
+        assert cfg.total_scratchpad_bytes == 1440 * MB
+
+    def test_sim_unknown_core_count(self):
+        with pytest.raises(ConfigError):
+            sim_config(7)
+
+    def test_topology_matches_mesh_and_tags_memory_cores(self):
+        cfg = sim_config(36)
+        topo = cfg.topology()
+        assert topo.node_count == 36
+        assert topo.mesh_shape().rows == 6
+        for core in cfg.memory_interface_cores:
+            assert topo.attr(core) == "mem"
+
+    def test_with_cores_resizes(self):
+        cfg = fpga_config().with_cores(4, 4)
+        assert cfg.core_count == 16
+
+
+class TestValidation:
+    def test_zero_frequency_rejected_by_memory_model(self):
+        from repro.arch.hbm import GlobalMemory
+        from repro.sim import Simulator
+
+        with pytest.raises(ConfigError):
+            GlobalMemory(
+                Simulator(), MemoryConfig(bandwidth_bytes_per_second=GB),
+                frequency_hz=0,
+            )
+
+    def test_meta_zone_must_fit(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(scratchpad_bytes=KB, meta_zone_bytes=KB)
+
+    def test_memory_bandwidth_positive(self):
+        with pytest.raises(ConfigError):
+            MemoryConfig(bandwidth_bytes_per_second=0)
+
+    def test_noc_packet_serialization(self):
+        noc = NoCConfig(link_bytes_per_cycle=16, packet_bytes=2048)
+        assert noc.packet_serialization() == 128
+        assert noc.packet_serialization(100) == 7
+
+    def test_core_macs_per_cycle(self):
+        core = CoreConfig(systolic_dim=16)
+        assert core.macs_per_cycle == 256
+
+    def test_weight_zone_is_remainder(self):
+        core = CoreConfig(scratchpad_bytes=512 * KB, meta_zone_bytes=16 * KB)
+        assert core.weight_zone_bytes == 496 * KB

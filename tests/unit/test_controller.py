@@ -1,0 +1,85 @@
+"""Unit tests for the NPU controller: dispatch + hyper mode."""
+
+import pytest
+
+from repro.arch import calibration
+from repro.arch.controller import NpuController
+from repro.arch.topology import Topology
+from repro.core.routing_table import StandardRoutingTable
+from repro.errors import ConfigError, HyperModeViolation
+
+
+@pytest.fixture
+def controller():
+    return NpuController(Topology.mesh2d(2, 4))
+
+
+class TestHyperMode:
+    def test_guest_cannot_install_table(self, controller):
+        table = StandardRoutingTable(1, {0: 0})
+        with pytest.raises(HyperModeViolation):
+            controller.install_routing_table(table)
+
+    def test_hyper_install_returns_config_cycles(self, controller):
+        table = StandardRoutingTable(1, {v: v for v in range(8)})
+        cycles = controller.install_routing_table(table, hyper_mode=True)
+        assert cycles == (calibration.RT_CONFIG_BASE
+                          + 8 * calibration.RT_CONFIG_PER_CORE)
+
+    def test_guest_cannot_remove_table(self, controller):
+        table = StandardRoutingTable(1, {0: 0})
+        controller.install_routing_table(table, hyper_mode=True)
+        with pytest.raises(HyperModeViolation):
+            controller.remove_routing_table(1)
+
+    def test_table_to_nonexistent_core_rejected(self, controller):
+        table = StandardRoutingTable(1, {0: 99})
+        with pytest.raises(ConfigError):
+            controller.install_routing_table(table, hyper_mode=True)
+
+
+class TestDispatch:
+    def test_dispatch_translates_and_prices(self, controller):
+        table = StandardRoutingTable(1, {0: 5, 1: 6})
+        controller.install_routing_table(table, hyper_mode=True)
+        record = controller.dispatch(1, 0)
+        assert record.p_core == 5
+        assert record.translate_cycles == calibration.VROUTER_RT_LOOKUP
+        hops = controller.topology.hop_distance(0, 5)
+        assert record.dispatch_cycles == (
+            calibration.INOC_DISPATCH_BASE
+            + hops * calibration.INOC_DISPATCH_PER_HOP
+        )
+
+    def test_inoc_latency_grows_with_distance(self, controller):
+        """Fig 12: farther cores cost more over the instruction NoC."""
+        table = StandardRoutingTable(1, {v: v for v in range(8)})
+        controller.install_routing_table(table, hyper_mode=True)
+        latencies = [controller.dispatch(1, v).dispatch_cycles
+                     for v in range(8)]
+        assert latencies[0] < latencies[7]
+        assert latencies == sorted(latencies) or len(set(latencies)) > 1
+
+    def test_ibus_latency_fixed(self):
+        controller = NpuController(Topology.mesh2d(2, 4),
+                                   dispatch_mode="ibus")
+        table = StandardRoutingTable(1, {v: v for v in range(8)})
+        controller.install_routing_table(table, hyper_mode=True)
+        latencies = {controller.dispatch(1, v).dispatch_cycles
+                     for v in range(8)}
+        assert latencies == {calibration.IBUS_LATENCY}
+
+    def test_cached_redirect_total(self, controller):
+        table = StandardRoutingTable(1, {0: 3})
+        controller.install_routing_table(table, hyper_mode=True)
+        first = controller.dispatch(1, 0)
+        second = controller.dispatch(1, 0)
+        assert second.total_cycles == first.total_cycles - first.translate_cycles
+
+    def test_invalid_dispatch_mode(self):
+        with pytest.raises(ConfigError):
+            NpuController(Topology.mesh2d(2, 2), dispatch_mode="carrier-pigeon")
+
+    def test_invalid_port_core(self):
+        with pytest.raises(ConfigError):
+            NpuController(Topology.mesh2d(2, 2), port_core=50)

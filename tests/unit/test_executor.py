@@ -1,0 +1,159 @@
+"""Unit tests for the event-driven executor."""
+
+import pytest
+
+from repro.arch.chip import Chip
+from repro.arch.config import MB, fpga_config
+from repro.arch.topology import MeshShape
+from repro.core.hypervisor import GUEST_VA_BASE, Hypervisor
+from repro.core.vnpu import VNpuSpec
+from repro.errors import ProgramError
+from repro.isa.program import TaskProgram
+from repro.runtime.executor import Executor
+
+
+def make_chip():
+    return Chip(fpga_config())
+
+
+def make_vnpu(chip, rows=2, cols=2, **kwargs):
+    hv = Hypervisor(chip, min_block=1 << 16)
+    return hv.create_vnpu(
+        VNpuSpec("t", MeshShape(rows, cols), memory_bytes=1 * MB, **kwargs))
+
+
+class TestBareMetal:
+    def test_compute_only(self):
+        chip = make_chip()
+        program = TaskProgram("compute")
+        program.core(0).matmul(64, 64, 64)
+        report = Executor(chip).run(program)
+        expected = chip.core(0).compute.matmul(64, 64, 64).cycles
+        assert report.total_cycles == expected
+
+    def test_pipeline_overlaps_iterations(self):
+        chip = make_chip()
+        program = TaskProgram("pipe")
+        program.core(0).matmul(64, 64, 64).send(1, 2048, "x")
+        program.core(1).receive(0, "x").matmul(64, 64, 64)
+        two = Executor(make_chip()).run(_clone(program), iterations=2)
+        one = Executor(chip).run(program, iterations=1)
+        # Second iteration costs less than double (stages overlap).
+        assert two.total_cycles < 2 * one.total_cycles
+
+    def test_send_receive_cycle_counts(self):
+        chip = make_chip()
+        program = TaskProgram("sr")
+        program.core(0).send(1, 2048, "x")
+        program.core(1).receive(0, "x")
+        report = Executor(chip).run(program)
+        # One packet, one hop: setup + occupancy + router.
+        cfg = chip.noc.config
+        expected = (cfg.transfer_setup + cfg.packet_serialization()
+                    + cfg.packet_handshake + cfg.router_latency)
+        assert report.total_cycles == expected
+
+    def test_program_outside_chip_rejected(self):
+        chip = make_chip()
+        program = TaskProgram("bad")
+        program.core(99).macs(10)
+        with pytest.raises(ProgramError):
+            Executor(chip).run(program)
+
+    def test_invalid_iterations(self):
+        chip = make_chip()
+        program = TaskProgram("x")
+        program.core(0).macs(10)
+        with pytest.raises(ProgramError):
+            Executor(chip).run(program, iterations=0)
+
+
+def _clone(program: TaskProgram) -> TaskProgram:
+    copy = TaskProgram(program.name)
+    for core_program in program.programs():
+        target = copy.core(core_program.core)
+        for instruction in core_program.instructions:
+            target.append(instruction)
+    return copy
+
+
+class TestVirtualized:
+    def test_vnpu_program_uses_virtual_ids(self):
+        chip = make_chip()
+        vnpu = make_vnpu(chip)
+        v_cores = vnpu.virtual_cores
+        program = TaskProgram("virt")
+        program.core(v_cores[0]).macs(1000).send(v_cores[1], 2048, "a")
+        program.core(v_cores[1]).receive(v_cores[0], "a").macs(1000)
+        report = Executor(chip).run(program, vnpu=vnpu)
+        p0 = vnpu.physical_core(v_cores[0])
+        p1 = vnpu.physical_core(v_cores[1])
+        assert set(report.core_finish_cycles) == {p0, p1}
+
+    def test_program_outside_vnpu_rejected(self):
+        chip = make_chip()
+        vnpu = make_vnpu(chip)
+        program = TaskProgram("stray")
+        program.core(max(vnpu.virtual_cores) + 5).macs(10)
+        with pytest.raises(ProgramError):
+            Executor(chip).run(program, vnpu=vnpu)
+
+    def test_vrouter_adds_bounded_overhead(self):
+        """Table 3's claim at executor level: a few percent on transfers."""
+        def transfer_program():
+            program = TaskProgram("sr")
+            program.core(0).send(1, 2048 * 30, "x")
+            program.core(1).receive(0, "x")
+            return program
+
+        bare_chip = make_chip()
+        bare = Executor(bare_chip).run(transfer_program())
+        virt_chip = make_chip()
+        vnpu = make_vnpu(virt_chip)
+        program = TaskProgram("sr")
+        v = vnpu.virtual_cores
+        program.core(v[0]).send(v[1], 2048 * 30, "x")
+        program.core(v[1]).receive(v[0], "x")
+        virt = Executor(virt_chip).run(program, vnpu=vnpu)
+        overhead = virt.total_cycles - bare.total_cycles
+        assert 0 < overhead / bare.total_cycles < 0.05
+
+    def test_dma_load_through_vchunk(self):
+        chip = make_chip()
+        vnpu = make_vnpu(chip)
+        program = TaskProgram("dma")
+        program.core(vnpu.virtual_cores[0]).dma_load(GUEST_VA_BASE, 64 * 1024)
+        report = Executor(chip).run(program, vnpu=vnpu)
+        assert report.total_cycles > 0
+        assert vnpu.translator.lookups > 0
+
+    def test_confined_routing_no_foreign_traversals(self):
+        chip = make_chip()
+        vnpu = make_vnpu(chip)
+        v = vnpu.virtual_cores
+        program = TaskProgram("iso")
+        program.core(v[0]).send(v[3], 4096, "d")
+        program.core(v[3]).receive(v[0], "d")
+        report = Executor(chip).run(program, vnpu=vnpu)
+        assert report.foreign_traversals == 0
+
+    def test_bandwidth_capped_vnpu_is_slower(self):
+        fast_chip = make_chip()
+        fast_vnpu = make_vnpu(fast_chip)
+        slow_chip = make_chip()
+        hv = Hypervisor(slow_chip, min_block=1 << 16)
+        slow_vnpu = hv.create_vnpu(VNpuSpec(
+            "slow", MeshShape(2, 2), memory_bytes=1 * MB,
+            memory_cap_bytes_per_window=4096,
+            memory_cap_window_cycles=10_000,
+        ))
+
+        def dma_program(vnpu):
+            program = TaskProgram("dma")
+            program.core(vnpu.virtual_cores[0]).dma_load(
+                GUEST_VA_BASE, 256 * 1024)
+            return program
+
+        fast = Executor(fast_chip).run(dma_program(fast_vnpu), vnpu=fast_vnpu)
+        slow = Executor(slow_chip).run(dma_program(slow_vnpu), vnpu=slow_vnpu)
+        assert slow.total_cycles > 2 * fast.total_cycles

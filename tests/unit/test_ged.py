@@ -1,0 +1,216 @@
+"""Unit and property tests for graph edit distance."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.topology import Topology
+from repro.core.ged import (
+    EditCosts,
+    best_bijection,
+    bipartite_ged,
+    exact_ged,
+    ged,
+    induced_edit_cost,
+    refine_bijection,
+)
+from repro.errors import TopologyError
+
+
+def small_topology(seed: int, n: int) -> Topology:
+    """Deterministic pseudo-random connected topology."""
+    edges = [(i, i + 1) for i in range(n - 1)]  # spine keeps it connected
+    state = seed
+    for u in range(n):
+        for v in range(u + 2, n):
+            state = (state * 1103515245 + 12345) % (1 << 31)
+            if state % 7 == 0:
+                edges.append((u, v))
+    return Topology(range(n), edges)
+
+
+class TestInducedCost:
+    def test_identity_mapping_is_free(self):
+        mesh = Topology.mesh2d(2, 3)
+        mapping = {n: n for n in mesh.nodes}
+        assert induced_edit_cost(mesh, mesh, mapping) == 0.0
+
+    def test_single_missing_edge(self):
+        line = Topology.line(3)
+        broken = Topology([0, 1, 2], [(0, 1)])
+        mapping = {0: 0, 1: 1, 2: 2}
+        assert induced_edit_cost(line, broken, mapping) == 1.0
+
+    def test_deletion_and_insertion(self):
+        single = Topology([0], [])
+        pair = Topology([0, 1], [(0, 1)])
+        # Map the one node, insert the other and its edge.
+        assert induced_edit_cost(single, pair, {0: 0}) == 2.0
+        # Delete the node instead: delete 1 + insert 2 + insert edge.
+        assert induced_edit_cost(single, pair, {0: None}) == 4.0
+
+    def test_attribute_substitution(self):
+        sa = Topology([0], [], node_attrs={0: "sa"})
+        vu = Topology([0], [], node_attrs={0: "vu"})
+        assert induced_edit_cost(sa, vu, {0: 0}) == 1.0
+
+    def test_untagged_source_is_dont_care(self):
+        plain = Topology([0], [])
+        tagged = Topology([0], [], node_attrs={0: "mem"})
+        assert induced_edit_cost(plain, tagged, {0: 0}) == 0.0
+        # The reverse direction still costs: a tagged request node needs
+        # a matching physical core.
+        assert induced_edit_cost(tagged, plain, {0: 0}) == 1.0
+
+    def test_incomplete_mapping_rejected(self):
+        mesh = Topology.mesh2d(2, 2)
+        with pytest.raises(TopologyError):
+            induced_edit_cost(mesh, mesh, {0: 0})
+
+    def test_non_injective_mapping_rejected(self):
+        pair = Topology([0, 1], [(0, 1)])
+        with pytest.raises(TopologyError):
+            induced_edit_cost(pair, pair, {0: 0, 1: 0})
+
+
+class TestExact:
+    def test_identical_graphs_zero(self):
+        mesh = Topology.mesh2d(2, 3)
+        assert exact_ged(mesh, mesh) == 0.0
+
+    def test_isomorphic_graphs_zero(self):
+        a = Topology.mesh2d(2, 3)
+        b = a.relabel({n: 5 - n for n in a.nodes})
+        assert exact_ged(a, b) == 0.0
+
+    def test_line_vs_ring_is_one_edge(self):
+        assert exact_ged(Topology.line(5), Topology.ring(5)) == 1.0
+
+    def test_fig9_style_example_distance_four(self):
+        """Two edge deletions + one edge insertion + one node substitution."""
+        t1 = Topology(
+            range(5), [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4)],
+            node_attrs={4: "sa"},
+        )
+        t2 = Topology(
+            range(5), [(0, 1), (0, 2), (0, 3), (0, 4)],  # star
+            node_attrs={4: "vu"},
+        )
+        assert exact_ged(t1, t2) == 4.0
+
+    def test_size_limit_enforced(self):
+        big = Topology.mesh2d(4, 4)
+        with pytest.raises(TopologyError):
+            exact_ged(big, big, max_nodes=8)
+
+    def test_symmetry_with_unit_costs(self):
+        a = small_topology(1, 5)
+        b = small_topology(2, 5)
+        assert exact_ged(a, b) == exact_ged(b, a)
+
+
+class TestBipartite:
+    def test_upper_bounds_exact(self):
+        for seed in range(6):
+            a = small_topology(seed, 5)
+            b = small_topology(seed + 100, 5)
+            assert bipartite_ged(a, b) >= exact_ged(a, b) - 1e-9
+
+    def test_zero_on_identical(self):
+        mesh = Topology.mesh2d(3, 3)
+        assert bipartite_ged(mesh, mesh) == 0.0
+
+    def test_different_sizes(self):
+        small = Topology.mesh2d(2, 2)
+        large = Topology.mesh2d(3, 3)
+        distance = bipartite_ged(small, large)
+        # At least 5 node insertions + some edges.
+        assert distance >= 5.0
+
+
+class TestDispatch:
+    def test_auto_uses_exact_for_small(self):
+        line, ring = Topology.line(5), Topology.ring(5)
+        assert ged(line, ring, method="auto") == 1.0
+
+    def test_auto_uses_bipartite_for_large(self):
+        a = Topology.mesh2d(4, 4)
+        assert ged(a, a, method="auto") == 0.0
+
+    def test_unknown_method(self):
+        mesh = Topology.mesh2d(2, 2)
+        with pytest.raises(TopologyError):
+            ged(mesh, mesh, method="nope")
+
+
+class TestBijection:
+    def test_equal_size_required(self):
+        with pytest.raises(TopologyError):
+            best_bijection(Topology.line(3), Topology.line(4))
+
+    def test_identity_found_for_identical(self):
+        mesh = Topology.mesh2d(2, 3)
+        cost, mapping = best_bijection(mesh, mesh)
+        assert cost == 0.0
+        assert induced_edit_cost(mesh, mesh, dict(mapping)) == 0.0
+
+    def test_refinement_never_worsens(self):
+        for seed in range(5):
+            a = small_topology(seed, 7)
+            b = small_topology(seed + 50, 7)
+            cost, mapping = best_bijection(a, b)
+            refined_cost, refined = refine_bijection(a, b, mapping)
+            assert refined_cost <= cost + 1e-9
+            assert induced_edit_cost(a, b, dict(refined)) == refined_cost
+
+
+class TestCustomCosts:
+    def test_critical_edge_penalty(self):
+        """Algorithm 1's EdgeMatch: losing a critical edge costs more."""
+        line = Topology.line(3)
+        broken = Topology([0, 1, 2], [(1, 2)])  # edge (0,1) missing
+
+        def critical(topology, u, v):
+            return 10.0 if (u, v) == (0, 1) else 1.0
+
+        costs = EditCosts(edge_delete=critical)
+        mapping = {0: 0, 1: 1, 2: 2}
+        assert induced_edit_cost(line, broken, mapping, costs) == 10.0
+
+    def test_heterogeneous_node_penalty(self):
+        """Algorithm 1's NodeMatch: mem-adjacent nodes priced by distance."""
+        req = Topology([0, 1], [(0, 1)], node_attrs={0: "mem"})
+        far = Topology([0, 1], [(0, 1)], node_attrs={1: "mem"})
+
+        def node_cost(a, b):
+            return 0.0 if a == b else 3.0
+
+        costs = EditCosts(node_substitute=node_cost)
+        # The optimal bijection aligns mem with mem (cost 0).
+        cost, mapping = best_bijection(req, far, costs)
+        assert cost == 0.0
+        assert mapping[0] == 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed1=st.integers(0, 1000), seed2=st.integers(0, 1000),
+    n=st.integers(3, 5),
+)
+def test_property_exact_ged_is_symmetric_and_nonnegative(seed1, seed2, n):
+    a = small_topology(seed1, n)
+    b = small_topology(seed2, n)
+    d_ab = exact_ged(a, b)
+    d_ba = exact_ged(b, a)
+    assert d_ab >= 0
+    assert d_ab == d_ba
+    if seed1 == seed2:
+        assert d_ab == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 1000), n=st.integers(3, 6))
+def test_property_bipartite_upper_bounds_exact(seed, n):
+    a = small_topology(seed, n)
+    b = small_topology(seed + 7, n)
+    assert bipartite_ged(a, b) >= exact_ged(a, b) - 1e-9

@@ -1,0 +1,102 @@
+"""Unit tests for the global-memory model."""
+
+import pytest
+
+from repro.arch.config import GB, MemoryConfig
+from repro.arch.hbm import GlobalMemory
+from repro.errors import ConfigError
+from repro.sim import Simulator
+
+
+def make_memory(bw=16 * GB, channels=2, freq=1_000_000_000, latency=60):
+    sim = Simulator()
+    cfg = MemoryConfig(
+        bandwidth_bytes_per_second=bw, channels=channels,
+        access_latency=latency,
+    )
+    return sim, GlobalMemory(sim, cfg, frequency_hz=freq)
+
+
+class TestAnalytic:
+    def test_bytes_per_cycle(self):
+        _, mem = make_memory(bw=16 * GB, freq=1_000_000_000)
+        assert mem.bytes_per_cycle == pytest.approx(16 * GB / 1e9)
+
+    def test_stream_cycles_scale_with_bytes(self):
+        _, mem = make_memory()
+        short = mem.stream_cycles(1 << 20)
+        long = mem.stream_cycles(4 << 20)
+        assert long > short
+        # Quadruple payload ~ quadruple transfer time (latency amortized).
+        assert (long - 60) == pytest.approx(4 * (short - 60), rel=0.01)
+
+    def test_stream_share_slows_down(self):
+        _, mem = make_memory()
+        full = mem.stream_cycles(1 << 20, bandwidth_share=1.0)
+        half = mem.stream_cycles(1 << 20, bandwidth_share=0.5)
+        assert (half - 60) == pytest.approx(2 * (full - 60), rel=0.01)
+
+    def test_invalid_share_rejected(self):
+        _, mem = make_memory()
+        with pytest.raises(ConfigError):
+            mem.stream_cycles(100, bandwidth_share=0.0)
+        with pytest.raises(ConfigError):
+            mem.stream_cycles(100, bandwidth_share=1.5)
+
+    def test_zero_bytes_is_free(self):
+        _, mem = make_memory()
+        assert mem.stream_cycles(0) == 0
+
+    def test_vmid_accounting(self):
+        _, mem = make_memory()
+        mem.stream_cycles(1000, vmid=1)
+        mem.stream_cycles(500, vmid=1)
+        mem.stream_cycles(200, vmid=2)
+        assert mem.bytes_by_vmid == {1: 1500, 2: 200}
+        assert mem.total_bytes == 1700
+
+    def test_warmup_proportional_to_interfaces(self):
+        _, mem = make_memory()
+        quarter = mem.warmup_cycles(8 << 20, interface_count=1, total_interfaces=4)
+        half = mem.warmup_cycles(8 << 20, interface_count=2, total_interfaces=4)
+        assert (quarter - 60) == pytest.approx(2 * (half - 60), rel=0.01)
+
+    def test_warmup_requires_interfaces(self):
+        _, mem = make_memory()
+        with pytest.raises(ConfigError):
+            mem.warmup_cycles(100, interface_count=0, total_interfaces=4)
+
+
+class TestEventMode:
+    def test_request_latency_includes_access_and_transfer(self):
+        sim, mem = make_memory(bw=16 * GB, channels=2, latency=60)
+        proc = mem.request("read", 1600)
+        sim.run_until_processes_done()
+        record = proc.value
+        import math
+        expected = 60 + math.ceil(1600 / mem.channel_bytes_per_cycle)
+        assert record.latency == expected
+
+    def test_same_channel_requests_serialize(self):
+        sim, mem = make_memory(channels=1)
+        proc_a = mem.request("read", 1600)
+        proc_b = mem.request("read", 1600)
+        sim.run_until_processes_done()
+        assert proc_b.value.end_cycle >= proc_a.value.end_cycle + proc_a.value.latency
+
+    def test_distinct_channels_overlap(self):
+        sim, mem = make_memory(channels=2)
+        proc_a = mem.request("read", 1600)
+        proc_b = mem.request("read", 1600)
+        sim.run_until_processes_done()
+        assert proc_a.value.end_cycle == proc_b.value.end_cycle
+
+    def test_invalid_kind_rejected(self):
+        sim, mem = make_memory()
+        with pytest.raises(ConfigError):
+            mem.request("fetch", 100)
+
+    def test_invalid_size_rejected(self):
+        sim, mem = make_memory()
+        with pytest.raises(ConfigError):
+            mem.request("read", 0)

@@ -1,0 +1,184 @@
+"""Unit tests for the hypervisor: lifecycle, meta tables, memory."""
+
+import pytest
+
+from repro.arch.chip import Chip
+from repro.arch.config import MB, fpga_config, sim_config
+from repro.arch.topology import MeshShape, Topology
+from repro.core.hypervisor import GUEST_VA_BASE, Hypervisor
+from repro.core.routing_table import ShapedRoutingTable, StandardRoutingTable
+from repro.core.vnpu import VNpuSpec
+from repro.errors import (
+    AllocationError,
+    ConfigError,
+    HypervisorError,
+    IsolationViolation,
+)
+
+
+def make_hypervisor(cores=36, **kwargs):
+    return Hypervisor(Chip(sim_config(cores)), **kwargs)
+
+
+def spec(name="vm", rows=2, cols=2, memory=64 * MB, **kwargs):
+    return VNpuSpec(name, MeshShape(rows, cols), memory_bytes=memory, **kwargs)
+
+
+class TestLifecycle:
+    def test_create_assigns_vmid_and_cores(self):
+        hv = make_hypervisor()
+        vnpu = hv.create_vnpu(spec())
+        assert vnpu.vmid == 1
+        assert vnpu.core_count == 4
+        assert hv.core_utilization() == pytest.approx(4 / 36)
+
+    def test_two_vnpus_disjoint(self):
+        hv = make_hypervisor()
+        a = hv.create_vnpu(spec("a"))
+        b = hv.create_vnpu(spec("b", rows=3, cols=3))
+        assert not set(a.physical_cores) & set(b.physical_cores)
+
+    def test_destroy_frees_everything(self):
+        hv = make_hypervisor()
+        vnpu = hv.create_vnpu(spec())
+        free_before = hv.buddy.free_bytes
+        hv.destroy_vnpu(vnpu.vmid)
+        assert hv.core_utilization() == 0.0
+        assert hv.buddy.free_bytes > free_before
+        with pytest.raises(HypervisorError):
+            hv.vnpu(vnpu.vmid)
+
+    def test_destroy_unknown_vmid(self):
+        with pytest.raises(HypervisorError):
+            make_hypervisor().destroy_vnpu(42)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(HypervisorError):
+            make_hypervisor(strategy="vibes")
+        hv = make_hypervisor()
+        with pytest.raises(HypervisorError):
+            hv.create_vnpu(spec(), strategy="vibes")
+
+    def test_vmid_not_reused_after_destroy(self):
+        hv = make_hypervisor()
+        a = hv.create_vnpu(spec("a"))
+        hv.destroy_vnpu(a.vmid)
+        b = hv.create_vnpu(spec("b"))
+        assert b.vmid != a.vmid
+
+
+class TestRoutingTables:
+    def test_contiguous_mesh_gets_shaped_table(self):
+        hv = make_hypervisor()
+        vnpu = hv.create_vnpu(spec())
+        assert isinstance(vnpu.routing_table, ShapedRoutingTable)
+
+    def test_irregular_mapping_gets_standard_table(self):
+        hv = make_hypervisor(cores=25)
+        first = hv.create_vnpu(spec("a", rows=3, cols=3, memory=16 * MB))
+        second = hv.create_vnpu(spec("b", rows=3, cols=3, memory=16 * MB))
+        assert isinstance(second.routing_table, StandardRoutingTable)
+        assert second.mapping.distance > 0
+
+    def test_setup_cycles_recorded(self):
+        hv = make_hypervisor()
+        vnpu = hv.create_vnpu(spec())
+        assert vnpu.setup_cycles > 0
+
+    def test_guest_translation_matches_mapping(self):
+        hv = make_hypervisor()
+        vnpu = hv.create_vnpu(spec())
+        for v_core, p_core in vnpu.mapping.vmap.items():
+            assert vnpu.physical_core(v_core) == p_core
+
+    def test_guest_cannot_reach_other_vm_cores(self):
+        hv = make_hypervisor()
+        a = hv.create_vnpu(spec("a"))
+        outside = max(a.virtual_cores) + 100
+        with pytest.raises(IsolationViolation):
+            a.physical_core(outside)
+
+
+class TestMemory:
+    def test_rtt_entries_sorted_by_va(self):
+        hv = make_hypervisor()
+        vnpu = hv.create_vnpu(spec(memory=48 * MB))  # 32M + 16M blocks
+        entries = vnpu.translator.table.entries
+        vas = [e.virtual_address for e in entries]
+        assert vas == sorted(vas)
+        assert vas[0] == GUEST_VA_BASE
+
+    def test_memory_rounded_up_to_blocks(self):
+        hv = make_hypervisor()
+        vnpu = hv.create_vnpu(spec(memory=3 * MB))
+        assert vnpu.memory_bytes >= 3 * MB
+
+    def test_few_rtt_entries_for_large_allocation(self):
+        """The §5.2 point: whole buddy blocks map to single RTT entries."""
+        hv = make_hypervisor()
+        vnpu = hv.create_vnpu(spec(memory=256 * MB))
+        assert vnpu.translator.entry_count <= 4
+
+    def test_exhausting_memory_raises_and_rolls_back(self):
+        chip = Chip(sim_config(36))
+        hv = Hypervisor(chip)
+        capacity = hv.buddy.capacity
+        with pytest.raises(AllocationError):
+            hv.create_vnpu(spec(memory=capacity * 2))
+        # Rollback: no routing table left behind, no cores allocated.
+        assert hv.core_utilization() == 0.0
+        assert hv.buddy.free_bytes == capacity
+
+    def test_guest_translation_through_vchunk(self):
+        hv = make_hypervisor()
+        vnpu = hv.create_vnpu(spec(memory=64 * MB))
+        result = vnpu.translator.translate(GUEST_VA_BASE + 100)
+        block = vnpu.memory_blocks[0]
+        assert result.physical_address == block.address + 100
+
+    def test_bandwidth_cap_wired(self):
+        hv = make_hypervisor()
+        vnpu = hv.create_vnpu(
+            spec(memory_cap_bytes_per_window=1 * MB))
+        assert vnpu.access_counter is not None
+        assert vnpu.access_counter.max_bytes_per_window == 1 * MB
+
+
+class TestMetaZones:
+    def test_meta_tables_installed_on_owned_cores(self):
+        hv = make_hypervisor()
+        vnpu = hv.create_vnpu(spec())
+        for p_core in vnpu.physical_cores:
+            labels = [r.label for r in hv.chip.core(p_core).scratchpad.meta_regions]
+            assert "routing-table" in labels
+            assert "rtt" in labels
+
+    def test_meta_zones_cleared_on_destroy(self):
+        hv = make_hypervisor()
+        vnpu = hv.create_vnpu(spec())
+        cores = vnpu.physical_cores
+        hv.destroy_vnpu(vnpu.vmid)
+        for p_core in cores:
+            assert hv.chip.core(p_core).scratchpad.meta_regions == []
+
+
+class TestNocModes:
+    def test_isolated_vnpu_gets_confined_router(self):
+        hv = make_hypervisor()
+        vnpu = hv.create_vnpu(spec(noc_isolation=True))
+        assert vnpu.noc_vrouter.mode == "confined"
+
+    def test_non_isolated_gets_dor(self):
+        hv = make_hypervisor()
+        vnpu = hv.create_vnpu(spec(noc_isolation=False))
+        assert vnpu.noc_vrouter.mode == "dor"
+
+
+class TestMigStyleOnFpga:
+    def test_fpga_chip_small_allocations(self):
+        hv = Hypervisor(Chip(fpga_config()), min_block=1 << 16)
+        a = hv.create_vnpu(VNpuSpec("a", MeshShape(2, 2), memory_bytes=1 << 20))
+        b = hv.create_vnpu(VNpuSpec("b", MeshShape(2, 2), memory_bytes=1 << 20))
+        assert hv.core_utilization() == 1.0
+        with pytest.raises(AllocationError):
+            hv.create_vnpu(VNpuSpec("c", MeshShape(1, 1), memory_bytes=1 << 20))

@@ -1,0 +1,103 @@
+"""Unit tests for the instruction set and task programs."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.isa.instructions import Compute, DmaLoad, Receive, Send
+from repro.isa.program import TaskProgram
+
+
+class TestInstructionValidation:
+    def test_dma_load_positive_size(self):
+        with pytest.raises(ProgramError):
+            DmaLoad(0, 0).validate()
+
+    def test_dma_load_negative_va(self):
+        with pytest.raises(ProgramError):
+            DmaLoad(-1, 100).validate()
+
+    def test_compute_kinds_and_arity(self):
+        Compute("matmul", (4, 4, 4)).validate()
+        Compute("conv", (8, 8, 3, 16, 3)).validate()
+        Compute("macs", (1000,)).validate()
+        with pytest.raises(ProgramError):
+            Compute("matmul", (4, 4)).validate()
+        with pytest.raises(ProgramError):
+            Compute("fft", (4,)).validate()
+        with pytest.raises(ProgramError):
+            Compute("matmul", (4, 0, 4)).validate()
+
+    def test_macs_zero_allowed(self):
+        Compute("macs", (0,)).validate()
+
+    def test_send_receive_validation(self):
+        with pytest.raises(ProgramError):
+            Send(-1, 100).validate()
+        with pytest.raises(ProgramError):
+            Send(0, 0).validate()
+        with pytest.raises(ProgramError):
+            Receive(-2).validate()
+
+
+class TestTaskProgram:
+    def test_builder_chains(self):
+        task = TaskProgram("demo")
+        task.core(0).dma_load(0x1000, 4096).matmul(16, 16, 16).send(1, 2048, "x")
+        task.core(1).receive(0, "x").macs(500)
+        assert len(task) == 5
+        assert task.cores == [0, 1]
+        task.validate()
+
+    def test_unpaired_send_rejected(self):
+        task = TaskProgram()
+        task.core(0).send(1, 100, "t")
+        task.core(1)  # no receive
+        with pytest.raises(ProgramError, match="unpaired"):
+            task.validate()
+
+    def test_unpaired_receive_rejected(self):
+        task = TaskProgram()
+        task.core(0).receive(1, "t")
+        task.core(1)
+        with pytest.raises(ProgramError, match="unpaired"):
+            task.validate()
+
+    def test_mismatched_tag_rejected(self):
+        task = TaskProgram()
+        task.core(0).send(1, 100, "a")
+        task.core(1).receive(0, "b")
+        with pytest.raises(ProgramError):
+            task.validate()
+
+    def test_send_to_core_outside_topology(self):
+        task = TaskProgram()
+        task.core(0).send(9, 100, "t")
+        with pytest.raises(ProgramError):
+            task.validate(allowed_cores={0, 1})
+
+    def test_program_on_core_outside_topology(self):
+        task = TaskProgram()
+        task.core(5).macs(10)
+        with pytest.raises(ProgramError, match="outside the topology"):
+            task.validate(allowed_cores={0, 1})
+
+    def test_matched_multiset_counts(self):
+        """Two sends need two receives, not one."""
+        task = TaskProgram()
+        task.core(0).send(1, 100, "t").send(1, 100, "t")
+        task.core(1).receive(0, "t")
+        with pytest.raises(ProgramError):
+            task.validate()
+        task.core(1).receive(0, "t")
+        task.validate()
+
+    def test_byte_accounting(self):
+        task = TaskProgram()
+        task.core(0).dma_load(0, 1000).send(1, 300, "t")
+        task.core(1).receive(0, "t").dma_store(0x100, 500)
+        assert task.total_dma_bytes() == 1500
+        assert task.total_noc_bytes() == 300
+
+    def test_negative_core_id(self):
+        with pytest.raises(ProgramError):
+            TaskProgram().core(-1)

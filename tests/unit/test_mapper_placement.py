@@ -1,0 +1,164 @@
+"""Unit tests for stage mapping and physical placement."""
+
+import pytest
+
+from repro.arch.chip import Chip
+from repro.arch.config import MB, sim_config
+from repro.arch.topology import MeshShape, Topology
+from repro.compiler.mapper import map_stages, snake_order
+from repro.compiler.partitioner import partition
+from repro.compiler.placement import place_bare_metal, place_on_vnpu
+from repro.core.hypervisor import Hypervisor
+from repro.core.vnpu import VNpuSpec
+from repro.errors import CompilationError
+from repro.workloads import resnet, transformer_block
+from repro.workloads.graph import Layer, ModelGraph
+
+
+def chain_model(loads, act_bytes=4096):
+    g = ModelGraph("chain")
+    for index, macs in enumerate(loads):
+        g.add_layer(Layer(f"l{index}", "fc", macs, macs, act_bytes))
+    return g
+
+
+class TestSnakeOrder:
+    def test_mesh_snake_is_adjacent(self):
+        topo = Topology.mesh2d(3, 4)
+        order = snake_order(topo)
+        for a, b in zip(order, order[1:]):
+            assert topo.has_edge(a, b)
+
+    def test_covers_all_nodes(self):
+        topo = Topology.mesh2d(4, 4)
+        assert sorted(snake_order(topo)) == topo.nodes
+
+    def test_non_mesh_uses_bfs(self):
+        ring = Topology.ring(6)
+        order = snake_order(ring)
+        assert sorted(order) == ring.nodes
+
+
+class TestMapStages:
+    def test_pipeline_flows_follow_edges(self):
+        model = chain_model([10, 10, 10])
+        mapped = map_stages(partition(model, 3), Topology.mesh2d(1, 3))
+        assert len(mapped.flows) == 2
+        for flow in mapped.flows:
+            assert flow.kind == "pipeline"
+            assert flow.nbytes == 4096
+
+    def test_zero_byte_edges_skipped(self):
+        model = chain_model([10, 10], act_bytes=0)
+        mapped = map_stages(partition(model, 2), Topology.mesh2d(1, 2))
+        assert mapped.flows == []
+
+    def test_split_stage_gets_allgather_ring(self):
+        model = chain_model([100])
+        mapped = map_stages(partition(model, 4), Topology.mesh2d(2, 2))
+        gathers = [f for f in mapped.flows if f.kind == "allgather"]
+        assert len(gathers) == 4  # ring over 4 replicas
+
+    def test_too_many_slots_rejected(self):
+        model = chain_model([10, 10, 10])
+        with pytest.raises(CompilationError):
+            map_stages(partition(model, 3), Topology.mesh2d(1, 2))
+
+    def test_compute_and_weights_per_core(self):
+        model = chain_model([100, 50])
+        mapped = map_stages(partition(model, 2), Topology.mesh2d(1, 2))
+        assert sorted(mapped.compute_macs.values()) == [50, 100]
+        assert sum(mapped.weight_bytes.values()) == 150
+
+    def test_streaming_stage_reports_stream_bytes(self):
+        model = chain_model([1000])
+        plan = partition(model, 1, weight_zone_bytes=10)
+        mapped = map_stages(plan, Topology.mesh2d(1, 1))
+        assert mapped.stream_bytes == {0: 1000}
+        assert mapped.weight_bytes == {0: 0}
+
+
+class TestPlacement:
+    def make_vnpu(self):
+        chip = Chip(sim_config(36))
+        hv = Hypervisor(chip)
+        vnpu = hv.create_vnpu(VNpuSpec("t", MeshShape(2, 2), 64 * MB))
+        return chip, vnpu
+
+    def test_vnpu_placement_translates_cores(self):
+        chip, vnpu = self.make_vnpu()
+        model = chain_model([10, 10, 10, 10])
+        mapped = map_stages(partition(model, 4), vnpu.virtual_topology())
+        placed = place_on_vnpu(mapped, vnpu, chip.topology)
+        assert set(placed.cores) == set(vnpu.physical_cores)
+        assert placed.vmid == vnpu.vmid
+        assert placed.vrouter_overhead > 0
+
+    def test_flows_have_physical_paths(self):
+        chip, vnpu = self.make_vnpu()
+        model = chain_model([10, 10, 10, 10])
+        mapped = map_stages(partition(model, 4), vnpu.virtual_topology())
+        placed = place_on_vnpu(mapped, vnpu, chip.topology)
+        for flow in placed.flows:
+            assert flow.path[0] == flow.src
+            assert flow.path[-1] == flow.dst
+            for u, v in zip(flow.path, flow.path[1:]):
+                assert chip.topology.has_edge(u, v)
+
+    def test_confined_flows_stay_inside_vnpu(self):
+        chip, vnpu = self.make_vnpu()
+        model = chain_model([10, 10, 10, 10])
+        mapped = map_stages(partition(model, 4), vnpu.virtual_topology())
+        placed = place_on_vnpu(mapped, vnpu, chip.topology)
+        assert placed.foreign_traversals() == 0
+
+    def test_unknown_virtual_core_rejected(self):
+        chip, vnpu = self.make_vnpu()
+        model = chain_model([10] * 9)
+        mapped = map_stages(partition(model, 9), Topology.mesh2d(3, 3))
+        with pytest.raises(CompilationError):
+            place_on_vnpu(mapped, vnpu, chip.topology)
+
+    def test_bare_metal_identity(self):
+        chip = Chip(sim_config(36))
+        model = chain_model([10, 10, 10, 10])
+        mapped = map_stages(partition(model, 4),
+                            chip.topology.subtopology([0, 1, 6, 7]))
+        placed = place_bare_metal(mapped, chip.topology)
+        assert placed.vmid is None
+        assert placed.vrouter_overhead == 0
+        assert set(placed.cores) == {0, 1, 6, 7}
+
+    def test_bare_metal_unknown_core(self):
+        chip = Chip(sim_config(36))
+        model = chain_model([10])
+        mapped = map_stages(partition(model, 1), Topology.mesh2d(1, 1))
+        bad = Topology([99], [])
+        mapped2 = map_stages(partition(model, 1), bad)
+        with pytest.raises(CompilationError):
+            place_bare_metal(mapped2, chip.topology)
+
+
+class TestRealModels:
+    def test_resnet34_on_24_cores(self):
+        chip = Chip(sim_config(36))
+        hv = Hypervisor(chip)
+        vnpu = hv.create_vnpu(VNpuSpec("r", MeshShape(4, 6), 128 * MB))
+        model = resnet(34)
+        mapped = map_stages(
+            partition(model, 24,
+                      weight_zone_bytes=chip.config.core.weight_zone_bytes),
+            vnpu.virtual_topology(),
+        )
+        placed = place_on_vnpu(mapped, vnpu, chip.topology)
+        assert len(placed.cores) == 24
+        assert placed.flows  # residual edges generate traffic
+
+    def test_transformer_block_on_4(self):
+        chip = Chip(sim_config(36))
+        hv = Hypervisor(chip)
+        vnpu = hv.create_vnpu(VNpuSpec("t", MeshShape(2, 2), 64 * MB))
+        mapped = map_stages(partition(transformer_block(128, 16), 4),
+                            vnpu.virtual_topology())
+        placed = place_on_vnpu(mapped, vnpu, chip.topology)
+        assert len(placed.cores) == 4

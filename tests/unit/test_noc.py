@@ -1,0 +1,159 @@
+"""Unit tests for the NoC model: routing, serialization, contention."""
+
+import pytest
+
+from repro.arch.config import NoCConfig
+from repro.arch.noc import NoC
+from repro.arch.topology import Topology
+from repro.errors import RoutingError
+from repro.sim import Simulator
+
+
+def make_noc(rows=3, cols=3, **cfg):
+    sim = Simulator()
+    topo = Topology.mesh2d(rows, cols)
+    noc = NoC(sim, topo, NoCConfig(**cfg) if cfg else None)
+    return sim, noc
+
+
+def run_transfer(sim, noc, **kwargs):
+    proc = noc.transfer(**kwargs)
+    sim.run_until_processes_done()
+    return proc.value
+
+
+class TestRouting:
+    def test_route_is_dor_on_mesh(self):
+        _, noc = make_noc()
+        assert noc.route(0, 8) == [0, 1, 2, 5, 8]
+
+    def test_route_bfs_without_coords(self):
+        sim = Simulator()
+        ring = Topology.ring(6)
+        noc = NoC(sim, ring)
+        path = noc.route(0, 3)
+        assert path[0] == 0 and path[-1] == 3
+        assert len(path) == 4
+
+    def test_validate_rejects_non_link_steps(self):
+        _, noc = make_noc()
+        with pytest.raises(RoutingError):
+            noc.validate_path([0, 8])
+
+    def test_transfer_rejects_mismatched_path(self):
+        sim, noc = make_noc()
+        with pytest.raises(RoutingError):
+            noc.transfer(0, 8, 100, path=[0, 1, 2])
+
+    def test_transfer_rejects_empty_payload(self):
+        sim, noc = make_noc()
+        with pytest.raises(RoutingError):
+            noc.transfer(0, 1, 0)
+
+
+class TestLatency:
+    def test_single_hop_single_packet(self):
+        sim, noc = make_noc()
+        record = run_transfer(sim, noc, src=0, dst=1, payload_bytes=2048)
+        cfg = noc.config
+        expected = (
+            cfg.transfer_setup
+            + cfg.packet_serialization() + cfg.packet_handshake
+            + cfg.router_latency
+        )
+        assert record.latency == expected
+
+    def test_table3_slope_and_intercept(self):
+        """2 packets over 1 hop ~ 309 clk; 30 packets ~ 4236 clk (Table 3)."""
+        for packets, paper_clk in [(2, 309), (10, 1430), (20, 2810), (30, 4236)]:
+            sim, noc = make_noc()
+            record = run_transfer(
+                sim, noc, src=0, dst=1, payload_bytes=2048 * packets,
+            )
+            assert record.packet_count == packets
+            assert abs(record.latency - paper_clk) / paper_clk < 0.05
+
+    def test_packets_pipeline_across_hops(self):
+        """Multi-hop adds per-hop latency once, not per packet."""
+        sim1, noc1 = make_noc()
+        one_hop = run_transfer(sim1, noc1, src=0, dst=1, payload_bytes=2048 * 10)
+        sim3, noc3 = make_noc()
+        three_hop = run_transfer(sim3, noc3, src=0, dst=3, payload_bytes=2048 * 10)
+        per_hop = (
+            noc1.config.packet_serialization()
+            + noc1.config.packet_handshake
+            + noc1.config.router_latency
+        )
+        assert three_hop.latency - one_hop.latency <= 2 * per_hop + 2
+
+    def test_first_packet_and_completion_delays(self):
+        sim, noc = make_noc()
+        base = run_transfer(sim, noc, src=0, dst=1, payload_bytes=2048)
+        sim2, noc2 = make_noc()
+        delayed = run_transfer(
+            sim2, noc2, src=0, dst=1, payload_bytes=2048,
+            first_packet_delay=30, completion_delay=60,
+        )
+        assert delayed.latency == base.latency + 90
+
+
+class TestContention:
+    def test_two_transfers_sharing_a_link_serialize(self):
+        sim, noc = make_noc(rows=1, cols=3)
+        proc_a = noc.transfer(0, 2, 2048)
+        proc_b = noc.transfer(0, 2, 2048)
+        sim.run_until_processes_done()
+        lat_a = proc_a.value.latency
+        lat_b = proc_b.value.latency
+        occupancy = noc.config.packet_serialization() + noc.config.packet_handshake
+        assert max(lat_a, lat_b) >= min(lat_a, lat_b) + occupancy
+
+    def test_disjoint_transfers_do_not_interact(self):
+        sim, noc = make_noc(rows=2, cols=2)
+        proc_a = noc.transfer(0, 1, 2048)
+        proc_b = noc.transfer(2, 3, 2048)
+        sim.run_until_processes_done()
+        assert proc_a.value.latency == proc_b.value.latency
+
+    def test_link_stats_accumulate(self):
+        sim, noc = make_noc()
+        run_transfer(sim, noc, src=0, dst=2, payload_bytes=2048 * 3, vmid=7)
+        stats = noc.link_stats[(0, 1)]
+        assert stats.packets == 3
+        assert stats.vmids == {7}
+        assert noc.busiest_links(top=1)[0][1] > 0
+
+    def test_shared_links_detects_cross_vm_traffic(self):
+        sim, noc = make_noc(rows=1, cols=3)
+        noc.transfer(0, 2, 2048, vmid=1)
+        noc.transfer(0, 2, 2048, vmid=2)
+        sim.run_until_processes_done()
+        assert (0, 1) in noc.shared_links()
+
+
+class TestInterference:
+    def test_foreign_traversal_recorded(self):
+        sim, noc = make_noc()
+        record = run_transfer(
+            sim, noc, src=0, dst=8, payload_bytes=2048,
+            allowed_nodes={0, 3, 6, 7, 8},
+        )
+        # DOR goes 0-1-2-5-8; nodes 1, 2, 5 are foreign.
+        assert record.foreign_nodes == [1, 2, 5]
+        assert record.interfered
+        assert noc.total_foreign_traversals == 3
+
+    def test_explicit_path_confines_packets(self):
+        sim, noc = make_noc()
+        record = run_transfer(
+            sim, noc, src=0, dst=8, payload_bytes=2048,
+            path=[0, 3, 6, 7, 8],
+            allowed_nodes={0, 3, 6, 7, 8},
+        )
+        assert not record.interfered
+
+    def test_local_transfer_zero_hops(self):
+        sim, noc = make_noc()
+        record = run_transfer(sim, noc, src=4, dst=4, payload_bytes=4096)
+        assert record.path == [4]
+        assert record.latency > 0

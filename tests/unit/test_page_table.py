@@ -1,0 +1,124 @@
+"""Unit tests for the page-table + IOTLB baseline."""
+
+import pytest
+
+from repro.errors import PermissionFault, TranslationFault
+from repro.mem.page_table import IoTlb, PageTableEntry, PageTableTranslator
+
+
+def make_translator(entries=4, **kwargs):
+    translator = PageTableTranslator(tlb_entries=entries, **kwargs)
+    translator.map_range(0x10000, 0x200000, 64 * 4096)
+    return translator
+
+
+class TestMapping:
+    def test_map_creates_one_entry_per_page(self):
+        translator = PageTableTranslator()
+        pages = translator.map_range(0, 0x100000, 10 * 4096)
+        assert pages == 10
+        assert translator.entry_count == 10
+
+    def test_map_rounds_partial_page_up(self):
+        translator = PageTableTranslator()
+        assert translator.map_range(0, 0, 4097) == 2
+
+    def test_unaligned_mapping_rejected(self):
+        translator = PageTableTranslator()
+        with pytest.raises(TranslationFault):
+            translator.map_range(100, 0, 4096)
+
+    def test_unmap_flushes_tlb(self):
+        translator = make_translator()
+        translator.translate(0x10000)
+        translator.unmap_range(0x10000, 64 * 4096)
+        with pytest.raises(TranslationFault):
+            translator.translate(0x10000)
+
+
+class TestTranslation:
+    def test_offset_preserved(self):
+        translator = make_translator()
+        result = translator.translate(0x10000 + 123)
+        assert result.physical_address == 0x200000 + 123
+
+    def test_contiguous_bytes_to_page_end(self):
+        translator = make_translator()
+        result = translator.translate(0x10000 + 100)
+        assert result.contiguous_bytes == 4096 - 100
+
+    def test_first_access_misses_second_hits(self):
+        translator = make_translator()
+        first = translator.translate(0x10000)
+        second = translator.translate(0x10008)
+        assert not first.hit and second.hit
+        assert first.cycles > second.cycles
+
+    def test_unmapped_address_faults(self):
+        translator = make_translator()
+        with pytest.raises(TranslationFault):
+            translator.translate(0xDEAD0000)
+
+    def test_permission_fault(self):
+        translator = PageTableTranslator()
+        translator.map_range(0, 0, 4096, permissions="R")
+        with pytest.raises(PermissionFault):
+            translator.translate(0, access="W")
+
+    def test_invalid_access_string(self):
+        translator = make_translator()
+        with pytest.raises(TranslationFault):
+            translator.translate(0x10000, access="Q")
+
+    def test_translate_span_one_lookup_per_page(self):
+        translator = make_translator()
+        results = translator.translate_span(0x10000, 3 * 4096)
+        assert len(results) == 3
+
+    def test_translate_span_rejects_empty(self):
+        translator = make_translator()
+        with pytest.raises(TranslationFault):
+            translator.translate_span(0x10000, 0)
+
+
+class TestTlbBehaviour:
+    def test_lru_eviction(self):
+        tlb = IoTlb(entries=2)
+        a = PageTableEntry(1, 11, "RW")
+        b = PageTableEntry(2, 12, "RW")
+        c = PageTableEntry(3, 13, "RW")
+        tlb.insert(a)
+        tlb.insert(b)
+        tlb.lookup(1)  # touch a: b becomes LRU
+        tlb.insert(c)
+        assert tlb.lookup(2) is None
+        assert tlb.lookup(1) is not None
+
+    def test_cyclic_working_set_larger_than_tlb_thrashes(self):
+        """The Fig 14 pathology: looping over > capacity pages never hits."""
+        translator = PageTableTranslator(tlb_entries=4)
+        translator.map_range(0, 0, 16 * 4096)
+        for _ in range(3):  # three "iterations"
+            for page in range(16):
+                translator.translate(page * 4096)
+        # Only misses (after any warmup, all are capacity misses).
+        assert translator.misses == 48
+
+    def test_working_set_within_tlb_hits_across_iterations(self):
+        translator = PageTableTranslator(tlb_entries=32)
+        translator.map_range(0, 0, 16 * 4096)
+        for _ in range(3):
+            for page in range(16):
+                translator.translate(page * 4096)
+        assert translator.misses == 16  # cold only
+        assert translator.hits == 32
+
+    def test_invalid_tlb_size(self):
+        with pytest.raises(TranslationFault):
+            IoTlb(entries=0)
+
+    def test_hit_rate_property(self):
+        translator = make_translator()
+        translator.translate(0x10000)
+        translator.translate(0x10000)
+        assert translator.hit_rate == pytest.approx(0.5)

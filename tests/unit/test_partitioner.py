@@ -1,0 +1,96 @@
+"""Unit tests for the pipeline partitioner."""
+
+import pytest
+
+from repro.compiler.partitioner import Stage, partition
+from repro.errors import CompilationError
+from repro.workloads import gpt2, resnet, transformer_block
+from repro.workloads.graph import Layer, ModelGraph
+
+
+def chain_model(loads):
+    g = ModelGraph("chain")
+    for index, macs in enumerate(loads):
+        g.add_layer(Layer(f"l{index}", "fc", macs, macs, 64))
+    return g
+
+
+class TestContiguousSplit:
+    def test_one_core_gets_everything(self):
+        plan = partition(chain_model([10, 20, 30]), 1)
+        assert plan.stage_count == 1
+        assert plan.stages[0].layer_indices == [0, 1, 2]
+
+    def test_stage_per_layer_when_cores_match(self):
+        plan = partition(chain_model([10, 20, 30]), 3)
+        assert plan.stage_count == 3
+
+    def test_min_bottleneck_balance(self):
+        # loads 10,10,10,30: with 2 stages best bottleneck is 30 (not 50).
+        plan = partition(chain_model([10, 10, 10, 30]), 2)
+        assert plan.bottleneck_macs() == 30
+
+    def test_layers_stay_contiguous_and_ordered(self):
+        plan = partition(resnet(18), 8)
+        covered = [i for stage in plan.stages for i in stage.layer_indices]
+        assert covered == list(range(resnet(18).layer_count))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(CompilationError):
+            partition(chain_model([1]), 0)
+        with pytest.raises(CompilationError):
+            partition(ModelGraph("empty"), 2)
+
+
+class TestTensorSplit:
+    def test_spare_cores_split_heaviest(self):
+        plan = partition(chain_model([100, 10]), 4)
+        heavy = plan.stages[0]
+        assert heavy.parallelism == 3
+        assert plan.stages[1].parallelism == 1
+        assert sum(s.parallelism for s in plan.stages) == 4
+
+    def test_macs_per_core_divides(self):
+        plan = partition(chain_model([100, 10]), 4)
+        assert plan.stages[0].macs_per_core(plan.graph) == pytest.approx(34, abs=1)
+
+    def test_slots_are_consecutive(self):
+        plan = partition(chain_model([100, 10]), 4)
+        flat = [slot for slots in plan.stage_slots for slot in slots]
+        assert flat == list(range(4))
+
+
+class TestWeightCapacity:
+    def test_oversized_stage_gets_extra_cores_first(self):
+        g = chain_model([100, 100])
+        # Layer weights are 100 bytes each; cap at 60 -> must split.
+        plan = partition(g, 4, weight_zone_bytes=60)
+        for stage in plan.stages:
+            assert stage.weight_bytes_per_core(g) <= 60
+            assert not stage.streaming
+
+    def test_unfittable_stage_marked_streaming(self):
+        g = chain_model([1000, 10])
+        plan = partition(g, 2, weight_zone_bytes=100)
+        assert plan.stages[0].streaming
+        assert not plan.stages[1].streaming
+
+    def test_gpt2_large_fits_36_cores_sim_scratchpad(self):
+        """§6.3.2: GPT2-large occupies exactly 36 cores, weights resident."""
+        from repro.arch.config import sim_config
+
+        weight_zone = sim_config(36).core.weight_zone_bytes
+        plan = partition(gpt2("large", 256), 36,
+                         weight_zone_bytes=weight_zone)
+        assert not any(stage.streaming for stage in plan.stages)
+        assert sum(s.parallelism for s in plan.stages) == 36
+
+    def test_stage_of_layer(self):
+        plan = partition(chain_model([10, 20, 30]), 3)
+        assert plan.stage_of_layer(2) == 2
+        with pytest.raises(CompilationError):
+            plan.stage_of_layer(99)
+
+    def test_small_block_on_many_cores(self):
+        plan = partition(transformer_block(128, 16), 4)
+        assert sum(s.parallelism for s in plan.stages) == 4

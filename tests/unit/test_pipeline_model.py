@@ -1,0 +1,151 @@
+"""Unit tests for the steady-state pipeline model."""
+
+import pytest
+
+from repro.arch.config import fpga_config, sim_config
+from repro.compiler.placement import PhysicalFlow, PlacedTask
+from repro.errors import ConfigError
+from repro.runtime.pipeline import SteadyStateModel
+
+
+def task(name, core_macs, flows=(), vrouter_overhead=0, stream_bytes=None,
+         owned=None):
+    return PlacedTask(
+        name=name,
+        vmid=None,
+        core_macs=dict(core_macs),
+        weight_bytes={c: 1000 for c in core_macs},
+        stream_bytes=dict(stream_bytes or {}),
+        flows=list(flows),
+        vrouter_overhead=vrouter_overhead,
+        owned_cores=frozenset(owned or core_macs),
+    )
+
+
+def flow(src, dst, nbytes, path=None):
+    return PhysicalFlow(src=src, dst=dst, nbytes=nbytes,
+                        path=tuple(path or (src, dst)), kind="pipeline")
+
+
+@pytest.fixture
+def model():
+    return SteadyStateModel(fpga_config())
+
+
+class TestBottleneck:
+    def test_compute_bound_single_core(self, model):
+        estimate = model.estimate([task("t", {0: 1_000_000})])["t"]
+        assert estimate.bottleneck == ("core", 0)
+        assert estimate.iteration_cycles == model.compute.cycles_for_macs(1_000_000)
+
+    def test_pipeline_bounded_by_heaviest_stage(self, model):
+        estimate = model.estimate(
+            [task("t", {0: 1_000_000, 1: 4_000_000})])["t"]
+        assert estimate.bottleneck == ("core", 1)
+
+    def test_link_bound_when_flows_dominate(self, model):
+        heavy_flow = flow(0, 1, 1 << 20)
+        estimate = model.estimate(
+            [task("t", {0: 100, 1: 100}, [heavy_flow])])["t"]
+        assert estimate.bottleneck[0] == "link"
+
+    def test_fps_inverse_of_interval(self, model):
+        estimate = model.estimate([task("t", {0: 1_000_000})])["t"]
+        assert estimate.fps == pytest.approx(
+            model.config.frequency_hz / estimate.iteration_cycles)
+
+    def test_empty_rejected(self, model):
+        with pytest.raises(ConfigError):
+            model.estimate([])
+
+
+class TestSharing:
+    def test_tdm_core_sharing_sums_compute(self, model):
+        a = task("a", {0: 1_000_000})
+        b = task("b", {0: 1_000_000})
+        estimates = model.estimate([a, b])
+        solo = model.estimate([task("a", {0: 1_000_000})])["a"]
+        assert estimates["a"].iteration_cycles == 2 * solo.iteration_cycles
+        assert estimates["a"].interference_fraction == pytest.approx(0.5)
+
+    def test_disjoint_tasks_do_not_interact(self, model):
+        a = task("a", {0: 1_000_000})
+        b = task("b", {5: 9_000_000})
+        estimates = model.estimate([a, b])
+        assert estimates["a"].interference_cycles == 0
+
+    def test_shared_link_interference(self, model):
+        a = task("a", {0: 100, 2: 100}, [flow(0, 2, 1 << 18, path=(0, 1, 2))])
+        b = task("b", {4: 100, 1: 100}, [flow(4, 2, 1 << 18, path=(4, 0, 1, 2))])
+        estimates = model.estimate([a, b])
+        # Both route over link (1, 2): each sees the other's serialization.
+        assert estimates["a"].interference_cycles > 0
+
+
+class TestUvmMode:
+    def test_uvm_slower_than_noc(self, model):
+        flows = [flow(0, 1, 65536)]
+        noc = model.estimate([task("t", {0: 10_000, 1: 10_000}, flows)])["t"]
+        uvm = model.estimate([task("t", {0: 10_000, 1: 10_000}, flows)],
+                             uvm_tasks={"t"})["t"]
+        assert uvm.iteration_cycles > noc.iteration_cycles
+
+    def test_uvm_tasks_contend_on_memory(self, model):
+        tasks = [
+            task(f"t{i}", {2 * i: 100, 2 * i + 1: 100},
+                 [flow(2 * i, 2 * i + 1, 1 << 20)])
+            for i in range(3)
+        ]
+        solo = model.estimate([tasks[0]], uvm_tasks={"t0"})["t0"]
+        together = model.estimate(
+            tasks, uvm_tasks={"t0", "t1", "t2"})["t0"]
+        assert together.iteration_cycles > solo.iteration_cycles
+        assert together.bottleneck == ("mem",)
+
+    def test_noc_tasks_do_not_touch_memory(self, model):
+        a = task("a", {0: 100, 1: 100}, [flow(0, 1, 1 << 20)])
+        estimate = model.estimate([a])["a"]
+        assert estimate.bottleneck[0] in ("core", "link")
+
+
+class TestVirtualizationOverhead:
+    def test_vrouter_overhead_is_small(self, model):
+        """§6.3.3: < 1 % end-to-end for realistic stage sizes."""
+        flows = [flow(0, 1, 16384)]
+        bare = model.estimate(
+            [task("t", {0: 5_000_000, 1: 5_000_000}, flows)])["t"]
+        virt = model.estimate(
+            [task("t", {0: 5_000_000, 1: 5_000_000}, flows,
+                  vrouter_overhead=91)])["t"]
+        overhead = (virt.iteration_cycles - bare.iteration_cycles)
+        assert overhead / bare.iteration_cycles < 0.01
+
+
+class TestStreamingAndWarmup:
+    def test_stream_bytes_charge_core_and_memory(self, model):
+        resident = model.estimate([task("t", {0: 1000})])["t"]
+        streaming = model.estimate(
+            [task("t", {0: 1000}, stream_bytes={0: 10 << 20})])["t"]
+        assert streaming.iteration_cycles > resident.iteration_cycles
+
+    def test_warmup_scales_with_interfaces(self, model):
+        placed = task("t", {0: 1000})
+        placed.weight_bytes = {0: 64 << 20}
+        slow = model.warmup_cycles(placed, interface_count=1,
+                                   total_interfaces=4)
+        fast = model.warmup_cycles(placed, interface_count=4,
+                                   total_interfaces=4)
+        assert slow > 3 * fast
+
+    def test_warmup_needs_interfaces(self, model):
+        with pytest.raises(ConfigError):
+            model.warmup_cycles(task("t", {0: 1}), 1, 0)
+
+
+class TestSimConfigScale:
+    def test_sim_chip_is_much_faster(self):
+        fpga = SteadyStateModel(fpga_config())
+        sim = SteadyStateModel(sim_config(36))
+        work = [task("t", {0: 50_000_000})]
+        assert (sim.estimate(work)["t"].iteration_cycles
+                < fpga.estimate(work)["t"].iteration_cycles / 10)

@@ -1,0 +1,180 @@
+"""Cross-cutting property-based tests on core invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.config import NoCConfig
+from repro.arch.noc import NoC
+from repro.arch.topology import Topology
+from repro.compiler.partitioner import partition
+from repro.sim import Simulator
+from repro.workloads.graph import Layer, ModelGraph
+
+
+def chain_model(loads):
+    g = ModelGraph("chain")
+    for index, macs in enumerate(loads):
+        g.add_layer(Layer(f"l{index}", "fc", macs, max(1, macs), 64))
+    return g
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=st.integers(1, 5), cols=st.integers(1, 5),
+       src=st.integers(0, 24), dst=st.integers(0, 24))
+def test_property_dor_paths_valid_and_minimal(rows, cols, src, dst):
+    """DOR paths use only physical links and have Manhattan length."""
+    mesh = Topology.mesh2d(rows, cols)
+    n = mesh.node_count
+    src, dst = src % n, dst % n
+    path = mesh.dor_path(src, dst)
+    assert path[0] == src and path[-1] == dst
+    for u, v in zip(path, path[1:]):
+        assert mesh.has_edge(u, v)
+    assert len(path) - 1 == mesh.hop_distance(src, dst)
+    assert len(set(path)) == len(path)  # no loops -> deadlock-free order
+
+
+@settings(max_examples=25, deadline=None)
+@given(payloads=st.lists(st.integers(1, 5 * 2048), min_size=1, max_size=5))
+def test_property_noc_conservation(payloads):
+    """Every transfer completes; latency grows with payload; stats add up."""
+    sim = Simulator()
+    noc = NoC(sim, Topology.mesh2d(2, 3), NoCConfig())
+    procs = [noc.transfer(0, 5, payload) for payload in payloads]
+    sim.run_until_processes_done()
+    total_packets = 0
+    for proc, payload in zip(procs, payloads):
+        record = proc.value
+        assert record.end_cycle > record.start_cycle
+        assert record.payload_bytes == payload
+        total_packets += record.packet_count
+    first_hop = noc.link_stats[(0, 1)]
+    assert first_hop.packets == total_packets
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    loads=st.lists(st.integers(0, 10_000), min_size=1, max_size=30),
+    cores=st.integers(1, 12),
+)
+def test_property_partition_covers_all_layers_once(loads, cores):
+    plan = partition(chain_model(loads), cores)
+    covered = [i for stage in plan.stages for i in stage.layer_indices]
+    assert covered == list(range(len(loads)))
+    assert sum(stage.parallelism for stage in plan.stages) <= cores
+    # Bottleneck is at least the mean and at least the max single layer.
+    if any(loads):
+        assert plan.bottleneck_macs() * cores >= sum(loads) / 2
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    loads=st.lists(st.integers(1, 10_000), min_size=2, max_size=20),
+    cores=st.integers(2, 8),
+)
+def test_property_more_cores_never_raise_bottleneck(loads, cores):
+    model = chain_model(loads)
+    few = partition(model, cores).bottleneck_macs()
+    many = partition(model, cores + 2).bottleneck_macs()
+    assert many <= few
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_mapping_bijection_is_valid(seed):
+    """Similar mapping always returns a proper bijection onto free cores."""
+    from repro.core.topology_mapping import TopologyMapper
+
+    chip = Topology.mesh2d(4, 4)
+    rng_allocated = {(seed + i * 7) % 16 for i in range(seed % 5)}
+    request_size = 2 + seed % 4
+    request = Topology.line(request_size)
+    free = 16 - len(rng_allocated)
+    if free < request_size:
+        return
+    mapper = TopologyMapper(chip)
+    try:
+        result = mapper.map_similar(request, rng_allocated)
+    except Exception:
+        return  # disconnected free sets may legitimately fail
+    values = list(result.vmap.values())
+    assert len(set(values)) == len(values)
+    assert not set(values) & rng_allocated
+    assert set(result.vmap) == set(request.nodes)
+
+
+class TestFailureInjection:
+    def test_dma_fault_on_unmapped_address(self):
+        from repro.arch.dma import DmaEngine, TensorAccess
+        from repro.core.vchunk import RangeTranslator
+        from repro.errors import TranslationFault
+
+        translator = RangeTranslator()
+        translator.map_range(0, 0, 0x1000)
+        engine = DmaEngine(0, translator)
+        with pytest.raises(TranslationFault):
+            engine.stream_weights([TensorAccess(0x9000, 256)])
+
+    def test_dma_fault_on_permission(self):
+        from repro.arch.dma import DmaEngine, TensorAccess
+        from repro.core.vchunk import RangeTranslator
+        from repro.errors import PermissionFault
+        from repro.mem.address_space import Translator
+
+        translator = RangeTranslator()
+        translator.map_range(0, 0, 0x1000, permissions="W")
+        engine = DmaEngine(0, translator)
+        with pytest.raises(PermissionFault):
+            engine.stream_weights([TensorAccess(0, 256)])
+
+    def test_executor_guest_cannot_escape_vnpu(self):
+        """Send to a virtual core outside the vNPU is caught up front."""
+        from repro.arch.chip import Chip
+        from repro.arch.config import fpga_config
+        from repro.core.hypervisor import Hypervisor
+        from repro.core.vnpu import VNpuSpec
+        from repro.arch.topology import MeshShape
+        from repro.errors import ProgramError
+        from repro.isa.program import TaskProgram
+        from repro.runtime.executor import Executor
+
+        chip = Chip(fpga_config())
+        hv = Hypervisor(chip, min_block=1 << 16)
+        vnpu = hv.create_vnpu(VNpuSpec("v", MeshShape(1, 2), 1 << 20))
+        program = TaskProgram("escape")
+        v0 = vnpu.virtual_cores[0]
+        program.core(v0).send(99, 128, "x")
+        with pytest.raises(ProgramError):
+            Executor(chip).run(program, vnpu=vnpu)
+
+    def test_mismatched_receive_deadlocks_detectably(self):
+        """A receive with no matching send fails validation, not a hang."""
+        from repro.arch.chip import Chip
+        from repro.arch.config import fpga_config
+        from repro.errors import ProgramError
+        from repro.isa.program import TaskProgram
+        from repro.runtime.executor import Executor
+
+        chip = Chip(fpga_config())
+        program = TaskProgram("orphan")
+        program.core(0).receive(1, "never")
+        program.core(1)
+        with pytest.raises(ProgramError, match="unpaired"):
+            Executor(chip).run(program)
+
+    def test_hypervisor_core_exhaustion_is_clean(self):
+        from repro.arch.chip import Chip
+        from repro.arch.config import sim_config
+        from repro.arch.topology import MeshShape
+        from repro.core.hypervisor import Hypervisor
+        from repro.core.vnpu import VNpuSpec
+        from repro.errors import AllocationError
+
+        chip = Chip(sim_config(36))
+        hv = Hypervisor(chip)
+        hv.create_vnpu(VNpuSpec("big", MeshShape(6, 6), 1 << 26))
+        before = hv.buddy.free_bytes
+        with pytest.raises(AllocationError):
+            hv.create_vnpu(VNpuSpec("late", MeshShape(1, 1), 1 << 20))
+        assert hv.buddy.free_bytes == before  # no leak on failure

@@ -1,0 +1,112 @@
+"""Unit tests for standard and shaped routing tables (Fig 4)."""
+
+import pytest
+
+from repro.arch.topology import MeshShape
+from repro.core.routing_table import (
+    SHAPED_ENTRY_BITS,
+    STANDARD_ENTRY_BITS,
+    ShapedRoutingTable,
+    StandardRoutingTable,
+)
+from repro.errors import IsolationViolation, RoutingError
+
+
+class TestStandard:
+    def test_translate(self):
+        table = StandardRoutingTable(1, {0: 0, 1: 1, 2: 3, 3: 4})
+        assert table.translate(2) == 3
+
+    def test_figure4_vm1_example(self):
+        """Fig 4: VM1 maps v1..v4 -> p1, p2, p4, p5 (0-based here)."""
+        table = StandardRoutingTable(1, {0: 0, 1: 1, 2: 3, 3: 4})
+        assert table.physical_cores() == [0, 1, 3, 4]
+        assert table.entry_count == 4
+
+    def test_unmapped_core_is_isolation_violation(self):
+        table = StandardRoutingTable(1, {0: 5})
+        with pytest.raises(IsolationViolation):
+            table.translate(1)
+
+    def test_duplicate_physical_rejected(self):
+        with pytest.raises(RoutingError):
+            StandardRoutingTable(1, {0: 5, 1: 5})
+
+    def test_empty_rejected(self):
+        with pytest.raises(RoutingError):
+            StandardRoutingTable(1, {})
+
+    def test_negative_vmid_rejected(self):
+        with pytest.raises(RoutingError):
+            StandardRoutingTable(-1, {0: 0})
+
+    def test_directions(self):
+        table = StandardRoutingTable(
+            1, {0: 0, 1: 1, 2: 4, 3: 5},
+            directions={0: "left", 3: "down"},
+        )
+        assert table.direction(0) == "left"
+        assert table.direction(1) == ""
+
+    def test_direction_for_unmapped_core_rejected(self):
+        with pytest.raises(RoutingError):
+            StandardRoutingTable(1, {0: 0}, directions={5: "left"})
+
+    def test_reverse(self):
+        table = StandardRoutingTable(1, {0: 7, 1: 8})
+        assert table.reverse(8) == 1
+        with pytest.raises(IsolationViolation):
+            table.reverse(9)
+
+    def test_sram_bits(self):
+        table = StandardRoutingTable(1, {0: 0, 1: 1})
+        assert table.sram_bits == 2 * STANDARD_ENTRY_BITS
+
+
+class TestShaped:
+    def test_figure4_vm2_example(self):
+        """Fig 4: VM2's 2x2 block described by one shaped entry."""
+        # 3x3 chip, block based at physical core 4 (center-bottom 2x2).
+        table = ShapedRoutingTable(2, MeshShape(2, 2), p_base=4, chip_cols=3)
+        assert table.entry_count == 1
+        assert table.translate(0) == 4
+        assert table.translate(1) == 5
+        assert table.translate(2) == 7
+        assert table.translate(3) == 8
+
+    def test_out_of_block_is_isolation_violation(self):
+        table = ShapedRoutingTable(2, MeshShape(2, 2), p_base=0, chip_cols=4)
+        with pytest.raises(IsolationViolation):
+            table.translate(4)
+
+    def test_v_base_offset(self):
+        table = ShapedRoutingTable(2, MeshShape(1, 2), p_base=0, chip_cols=4,
+                                   v_base=10)
+        assert table.translate(10) == 0
+        assert table.translate(11) == 1
+        with pytest.raises(IsolationViolation):
+            table.translate(0)
+
+    def test_block_cannot_wrap_mesh_row(self):
+        with pytest.raises(RoutingError):
+            ShapedRoutingTable(2, MeshShape(2, 3), p_base=2, chip_cols=4)
+
+    def test_block_wider_than_chip_rejected(self):
+        with pytest.raises(RoutingError):
+            ShapedRoutingTable(2, MeshShape(1, 5), p_base=0, chip_cols=4)
+
+    def test_sram_savings_vs_standard(self):
+        """The Fig 4 point: shaped form is O(1) entries, not O(cores)."""
+        shaped = ShapedRoutingTable(2, MeshShape(4, 4), p_base=0, chip_cols=6)
+        standard = StandardRoutingTable(
+            3, {v: p for v, p in enumerate(shaped.physical_cores())})
+        assert shaped.sram_bits == SHAPED_ENTRY_BITS
+        assert standard.sram_bits == 16 * STANDARD_ENTRY_BITS
+        assert shaped.sram_bits < standard.sram_bits / 10
+
+    def test_shaped_and_standard_agree(self):
+        shaped = ShapedRoutingTable(2, MeshShape(2, 3), p_base=6, chip_cols=6)
+        mapping = {v: shaped.translate(v) for v in shaped.virtual_cores()}
+        standard = StandardRoutingTable(2, mapping)
+        for v_core in shaped.virtual_cores():
+            assert shaped.translate(v_core) == standard.translate(v_core)

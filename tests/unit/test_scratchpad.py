@@ -1,0 +1,63 @@
+"""Unit tests for the scratchpad meta/weight zone split."""
+
+import pytest
+
+from repro.arch.config import KB, CoreConfig
+from repro.arch.scratchpad import Scratchpad
+from repro.errors import AllocationError, HyperModeViolation
+
+
+@pytest.fixture
+def spad():
+    return Scratchpad(CoreConfig(scratchpad_bytes=64 * KB, meta_zone_bytes=8 * KB))
+
+
+class TestWeightZone:
+    def test_alloc_advances_cursor(self, spad):
+        first = spad.alloc_weight(1024, label="w0")
+        second = spad.alloc_weight(2048)
+        assert first.offset == 0
+        assert second.offset == 1024
+        assert spad.weight_free == spad.weight_capacity - 3072
+
+    def test_exhaustion_raises(self, spad):
+        spad.alloc_weight(spad.weight_capacity)
+        with pytest.raises(AllocationError):
+            spad.alloc_weight(1)
+
+    def test_zero_alloc_rejected(self, spad):
+        with pytest.raises(AllocationError):
+            spad.alloc_weight(0)
+
+    def test_reset_frees_everything(self, spad):
+        spad.alloc_weight(4096)
+        spad.reset_weight_zone()
+        assert spad.weight_free == spad.weight_capacity
+        assert spad.weight_regions == []
+
+
+class TestMetaZone:
+    def test_guest_cannot_install_meta(self, spad):
+        with pytest.raises(HyperModeViolation):
+            spad.install_meta(128)
+
+    def test_hyper_mode_install(self, spad):
+        region = spad.install_meta(128, label="rt", hyper_mode=True)
+        assert region.zone == "meta"
+        assert spad.meta_free == spad.meta_capacity - 128
+
+    def test_meta_zone_capacity_enforced(self, spad):
+        with pytest.raises(AllocationError):
+            spad.install_meta(spad.meta_capacity + 1, hyper_mode=True)
+
+    def test_guest_cannot_reset_meta(self, spad):
+        with pytest.raises(HyperModeViolation):
+            spad.reset_meta_zone()
+
+    def test_hyper_reset(self, spad):
+        spad.install_meta(64, hyper_mode=True)
+        spad.reset_meta_zone(hyper_mode=True)
+        assert spad.meta_free == spad.meta_capacity
+
+    def test_zones_are_disjoint_capacities(self, spad):
+        assert spad.weight_capacity + spad.meta_capacity == 64 * KB

@@ -1,0 +1,183 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    seen = []
+
+    def proc(sim):
+        yield sim.timeout(5)
+        seen.append(sim.now)
+        yield sim.timeout(7)
+        seen.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert seen == [5, 12]
+
+
+def test_zero_timeout_runs_same_cycle():
+    sim = Simulator()
+    seen = []
+
+    def proc(sim):
+        yield sim.timeout(0)
+        seen.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert seen == [0]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1)
+
+
+def test_processes_interleave_in_time_order():
+    sim = Simulator()
+    order = []
+
+    def worker(sim, name, delay):
+        yield sim.timeout(delay)
+        order.append((sim.now, name))
+
+    sim.process(worker(sim, "slow", 10))
+    sim.process(worker(sim, "fast", 3))
+    sim.run()
+    assert order == [(3, "fast"), (10, "slow")]
+
+
+def test_event_wakes_waiter_with_value():
+    sim = Simulator()
+    gate = sim.event("gate")
+    got = []
+
+    def waiter(sim):
+        value = yield gate
+        got.append((sim.now, value))
+
+    def firer(sim):
+        yield sim.timeout(4)
+        gate.succeed("payload")
+
+    sim.process(waiter(sim))
+    sim.process(firer(sim))
+    sim.run()
+    assert got == [(4, "payload")]
+
+
+def test_event_cannot_fire_twice():
+    sim = Simulator()
+    gate = sim.event()
+    gate.succeed()
+    with pytest.raises(SimulationError):
+        gate.succeed()
+
+
+def test_join_running_process_returns_value():
+    sim = Simulator()
+    results = []
+
+    def child(sim):
+        yield sim.timeout(6)
+        return 42
+
+    def parent(sim):
+        value = yield sim.process(child(sim))
+        results.append((sim.now, value))
+
+    sim.process(parent(sim))
+    sim.run()
+    assert results == [(6, 42)]
+
+
+def test_join_already_finished_process_does_not_hang():
+    sim = Simulator()
+    results = []
+
+    def child(sim):
+        yield sim.timeout(1)
+        return "done"
+
+    child_proc = sim.process(child(sim))
+
+    def parent(sim):
+        yield sim.timeout(10)  # child finished long ago
+        value = yield child_proc
+        results.append(value)
+
+    sim.process(parent(sim))
+    sim.run_until_processes_done()
+    assert results == ["done"]
+
+
+def test_run_until_bounds_time():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(100)
+
+    sim.process(proc(sim))
+    assert sim.run(until=40) == 40
+    assert sim.now == 40
+
+
+def test_deadlock_detection():
+    sim = Simulator()
+    gate = sim.event("never")
+
+    def proc(sim):
+        yield gate
+
+    sim.process(proc(sim), name="stuck")
+    with pytest.raises(SimulationError, match="stuck"):
+        sim.run_until_processes_done()
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+    done_at = []
+
+    def child(sim, delay):
+        yield sim.timeout(delay)
+        return delay
+
+    def parent(sim):
+        procs = [sim.process(child(sim, d)) for d in (3, 9, 5)]
+        values = yield sim.all_of(procs)
+        done_at.append((sim.now, values))
+
+    sim.process(parent(sim))
+    sim.run()
+    assert done_at == [(9, [3, 9, 5])]
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+    fired = []
+
+    def parent(sim):
+        values = yield sim.all_of([])
+        fired.append((sim.now, values))
+
+    sim.process(parent(sim))
+    sim.run()
+    assert fired == [(0, [])]
+
+
+def test_yielding_non_event_is_an_error():
+    sim = Simulator()
+
+    def bad(sim):
+        yield 17
+
+    sim.process(bad(sim))
+    with pytest.raises(SimulationError, match="expected an Event"):
+        sim.run()

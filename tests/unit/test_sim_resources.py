@@ -1,0 +1,154 @@
+"""Unit tests for Resource / Store primitives."""
+
+import pytest
+
+from repro.sim import Resource, Simulator, Store
+
+
+def test_resource_capacity_one_serializes_holders():
+    sim = Simulator()
+    res = Resource(sim, capacity=1, name="link")
+    spans = []
+
+    def user(sim, name, hold):
+        yield res.acquire()
+        start = sim.now
+        yield sim.timeout(hold)
+        res.release()
+        spans.append((name, start, sim.now))
+
+    sim.process(user(sim, "a", 10))
+    sim.process(user(sim, "b", 10))
+    sim.run_until_processes_done()
+    assert spans == [("a", 0, 10), ("b", 10, 20)]
+
+
+def test_resource_capacity_two_allows_parallel_holders():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    ends = []
+
+    def user(sim):
+        yield res.acquire()
+        yield sim.timeout(5)
+        res.release()
+        ends.append(sim.now)
+
+    for _ in range(3):
+        sim.process(user(sim))
+    sim.run_until_processes_done()
+    assert ends == [5, 5, 10]
+
+
+def test_resource_fifo_ordering():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def user(sim, name, arrive):
+        yield sim.timeout(arrive)
+        yield res.acquire()
+        order.append(name)
+        yield sim.timeout(100)
+        res.release()
+
+    sim.process(user(sim, "first", 1))
+    sim.process(user(sim, "second", 2))
+    sim.process(user(sim, "third", 3))
+    sim.run_until_processes_done()
+    assert order == ["first", "second", "third"]
+
+
+def test_resource_tracks_wait_cycles():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def holder(sim):
+        yield res.acquire()
+        yield sim.timeout(8)
+        res.release()
+
+    def waiter(sim):
+        yield sim.timeout(2)
+        yield res.acquire()
+        res.release()
+
+    sim.process(holder(sim))
+    sim.process(waiter(sim))
+    sim.run_until_processes_done()
+    assert res.total_wait_cycles == 6
+    assert res.total_acquisitions == 2
+
+
+def test_release_idle_resource_raises():
+    sim = Simulator()
+    res = Resource(sim)
+    with pytest.raises(RuntimeError):
+        res.release()
+
+
+def test_invalid_capacity_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer(sim):
+        item = yield store.get()
+        got.append((sim.now, item))
+
+    store.put("x")
+    sim.process(consumer(sim))
+    sim.run()
+    assert got == [(0, "x")]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer(sim):
+        item = yield store.get()
+        got.append((sim.now, item))
+
+    def producer(sim):
+        yield sim.timeout(7)
+        store.put("late")
+
+    sim.process(consumer(sim))
+    sim.process(producer(sim))
+    sim.run()
+    assert got == [(7, "late")]
+
+
+def test_store_fifo_order_many_items():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer(sim):
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    for item in (1, 2, 3):
+        store.put(item)
+    sim.process(consumer(sim))
+    sim.run()
+    assert got == [1, 2, 3]
+    assert len(store) == 0
+
+
+def test_store_peek_all_is_nondestructive():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("a")
+    store.put("b")
+    assert store.peek_all() == ["a", "b"]
+    assert len(store) == 2

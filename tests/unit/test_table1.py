@@ -1,0 +1,45 @@
+"""Unit tests for the Table 1 comparison data."""
+
+from repro.analysis.table1 import (
+    MECHANISMS,
+    hypervisor_isolated,
+    only_interconnect_virtualizer,
+    vnpu_row,
+)
+
+
+def test_vnpu_is_full_virtualization_with_all_three_metrics():
+    row = vnpu_row()
+    assert row.full_virtualization
+    assert row.virtualizes_instruction
+    assert row.virtualizes_memory
+    assert row.virtualizes_interconnect
+    assert row.instance_limit is None
+
+
+def test_vnpu_uniquely_virtualizes_the_interconnect():
+    assert only_interconnect_virtualizer().method == "vNPU"
+
+
+def test_mig_limited_to_seven_instances():
+    mig = next(m for m in MECHANISMS if m.method == "MIG")
+    assert mig.instance_limit == 7
+    assert mig.full_virtualization
+
+
+def test_time_sliced_virtualizes_nothing_spatially():
+    ts = next(m for m in MECHANISMS if m.method == "Time-sliced")
+    assert not (ts.virtualizes_instruction or ts.virtualizes_memory
+                or ts.virtualizes_interconnect)
+
+
+def test_hypervisor_threat_model_rows():
+    methods = {m.method for m in hypervisor_isolated()}
+    assert methods == {"MIG", "V10", "vNPU"}
+
+
+def test_prior_npu_work_is_para_virtualization():
+    for method in ("AuRORA", "V10"):
+        row = next(m for m in MECHANISMS if m.method == method)
+        assert not row.full_virtualization
+        assert not row.virtualizes_interconnect

@@ -1,0 +1,190 @@
+"""Unit tests for Topology: meshes, DOR routing, shapes, certificates."""
+
+import pytest
+
+from repro.arch.topology import MeshShape, Topology
+from repro.errors import TopologyError
+
+
+class TestConstruction:
+    def test_mesh_node_and_edge_counts(self):
+        mesh = Topology.mesh2d(3, 4)
+        assert mesh.node_count == 12
+        # 3 rows * 3 horizontal + 4 cols * 2 vertical = 9 + 8
+        assert mesh.edge_count == 3 * 3 + 4 * 2
+
+    def test_mesh_coordinates_are_row_major(self):
+        mesh = Topology.mesh2d(2, 3)
+        assert mesh.coords[0] == (0, 0)
+        assert mesh.coords[5] == (1, 2)
+
+    def test_line_is_1xn_mesh(self):
+        line = Topology.line(5)
+        assert line.node_count == 5
+        assert line.edge_count == 4
+        assert line.degree_sequence() == (1, 1, 2, 2, 2)
+
+    def test_ring(self):
+        ring = Topology.ring(6)
+        assert ring.edge_count == 6
+        assert all(ring.degree(n) == 2 for n in ring.nodes)
+
+    def test_ring_too_small_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology.ring(2)
+
+    def test_unknown_edge_endpoint_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology([0, 1], [(0, 9)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology([0, 1], [(0, 0)])
+
+    def test_partial_coords_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology([0, 1], [(0, 1)], coords={0: (0, 0)})
+
+    def test_invalid_mesh_shape(self):
+        with pytest.raises(TopologyError):
+            MeshShape(0, 3)
+
+
+class TestQueries:
+    def test_neighbors_of_mesh_corner_and_center(self):
+        mesh = Topology.mesh2d(3, 3)
+        assert mesh.neighbors(0) == [1, 3]
+        assert mesh.neighbors(4) == [1, 3, 5, 7]
+
+    def test_neighbors_unknown_node(self):
+        mesh = Topology.mesh2d(2, 2)
+        with pytest.raises(TopologyError):
+            mesh.neighbors(99)
+
+    def test_hop_distance_manhattan_on_mesh(self):
+        mesh = Topology.mesh2d(4, 4)
+        assert mesh.hop_distance(0, 15) == 6
+        assert mesh.hop_distance(5, 5) == 0
+        assert mesh.hop_distance(0, 1) == 1
+
+    def test_hop_distance_unreachable(self):
+        topo = Topology([0, 1, 2], [(0, 1)])
+        with pytest.raises(TopologyError):
+            topo.hop_distance(0, 2)
+
+    def test_is_connected_whole_and_subset(self):
+        mesh = Topology.mesh2d(3, 3)
+        assert mesh.is_connected()
+        assert mesh.is_connected({0, 1, 2})
+        assert not mesh.is_connected({0, 8})  # two opposite corners
+
+    def test_empty_subset_is_connected(self):
+        assert Topology.mesh2d(2, 2).is_connected(set())
+
+    def test_bfs_order_starts_at_seed_and_covers_component(self):
+        mesh = Topology.mesh2d(2, 3)
+        order = mesh.bfs_order(0)
+        assert order[0] == 0
+        assert sorted(order) == mesh.nodes
+
+
+class TestSubtopology:
+    def test_induced_edges_only(self):
+        mesh = Topology.mesh2d(3, 3)
+        sub = mesh.subtopology({0, 1, 3, 4})
+        assert sub.node_count == 4
+        assert sub.edge_count == 4  # the 2x2 corner block
+
+    def test_subtopology_preserves_coords(self):
+        mesh = Topology.mesh2d(3, 3)
+        sub = mesh.subtopology({4, 5})
+        assert sub.coords[4] == (1, 1)
+
+    def test_subtopology_unknown_node(self):
+        with pytest.raises(TopologyError):
+            Topology.mesh2d(2, 2).subtopology({0, 77})
+
+
+class TestDorRouting:
+    def test_x_then_y(self):
+        mesh = Topology.mesh2d(3, 3)
+        # 0 at (0,0) -> 8 at (2,2): columns first, then rows.
+        assert mesh.dor_path(0, 8) == [0, 1, 2, 5, 8]
+
+    def test_same_node_path(self):
+        mesh = Topology.mesh2d(3, 3)
+        assert mesh.dor_path(4, 4) == [4]
+
+    def test_negative_direction(self):
+        mesh = Topology.mesh2d(3, 3)
+        assert mesh.dor_path(8, 0) == [8, 7, 6, 3, 0]
+
+    def test_path_length_is_manhattan(self):
+        mesh = Topology.mesh2d(5, 5)
+        for src, dst in [(0, 24), (3, 21), (7, 17)]:
+            path = mesh.dor_path(src, dst)
+            assert len(path) - 1 == mesh.hop_distance(src, dst)
+
+    def test_requires_coords(self):
+        ring = Topology.ring(4)
+        with pytest.raises(TopologyError):
+            ring.dor_path(0, 2)
+
+    def test_dor_through_missing_node_raises(self):
+        # L-shaped fragment: going 0 -> 5 needs coordinate (0,1) or (1,0)...
+        mesh = Topology.mesh2d(2, 3)
+        frag = mesh.subtopology({0, 3, 4, 5})
+        # DOR from 0 to 5 moves along row 0 first: (0,1) == node 1, missing.
+        with pytest.raises(TopologyError):
+            frag.dor_path(0, 5)
+
+
+class TestShapesAndIsomorphism:
+    def test_mesh_shape_detected(self):
+        assert Topology.mesh2d(3, 4).mesh_shape() == MeshShape(3, 4)
+
+    def test_mesh_shape_of_submesh_block(self):
+        mesh = Topology.mesh2d(5, 5)
+        block = mesh.subtopology({6, 7, 8, 11, 12, 13, 16, 17, 18})
+        assert block.mesh_shape() == MeshShape(3, 3)
+
+    def test_non_mesh_has_no_shape(self):
+        assert Topology.ring(6).mesh_shape() is None
+        mesh = Topology.mesh2d(3, 3)
+        lshape = mesh.subtopology({0, 1, 3})
+        assert lshape.mesh_shape() is None
+
+    def test_structural_mesh_detection_without_coords(self):
+        mesh = Topology.mesh2d(2, 3)
+        stripped = Topology(mesh.nodes, mesh.edges)  # drop coords
+        assert stripped.mesh_shape() in (MeshShape(2, 3), MeshShape(3, 2))
+
+    def test_isomorphic_meshes(self):
+        a = Topology.mesh2d(2, 3)
+        b = Topology.mesh2d(3, 2)
+        assert a.is_isomorphic_to(b)
+
+    def test_non_isomorphic_same_size(self):
+        line = Topology.line(4)
+        star = Topology([0, 1, 2, 3], [(0, 1), (0, 2), (0, 3)])
+        assert not line.is_isomorphic_to(star)
+
+    def test_certificate_matches_for_isomorphic_graphs(self):
+        a = Topology.mesh2d(2, 3)
+        relabeled = a.relabel({n: n + 100 for n in a.nodes})
+        assert a.wl_certificate() == relabeled.wl_certificate()
+
+    def test_certificate_differs_for_different_structure(self):
+        assert Topology.line(4).wl_certificate() != Topology.ring(4).wl_certificate()
+
+    def test_attr_aware_isomorphism(self):
+        a = Topology([0, 1], [(0, 1)], node_attrs={0: "mem"})
+        b = Topology([0, 1], [(0, 1)], node_attrs={1: "mem"})
+        c = Topology([0, 1], [(0, 1)])
+        assert a.is_isomorphic_to(b)
+        assert not a.is_isomorphic_to(c)
+
+    def test_relabel_requires_total_mapping(self):
+        mesh = Topology.mesh2d(2, 2)
+        with pytest.raises(TopologyError):
+            mesh.relabel({0: 10})

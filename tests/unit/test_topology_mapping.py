@@ -1,0 +1,174 @@
+"""Unit and property tests for topology-mapping strategies (§4.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.topology import Topology
+from repro.core.topology_mapping import (
+    TopologyMapper,
+    enumerate_connected_subsets,
+)
+from repro.errors import AllocationError, TopologyError, TopologyLockIn
+
+
+class TestEnumeration:
+    def test_counts_on_small_mesh(self):
+        mesh = Topology.mesh2d(2, 2)
+        assert len(enumerate_connected_subsets(mesh, 1)) == 4
+        assert len(enumerate_connected_subsets(mesh, 2)) == 4  # the edges
+        assert len(enumerate_connected_subsets(mesh, 3)) == 4
+        assert len(enumerate_connected_subsets(mesh, 4)) == 1
+
+    def test_all_results_connected_and_unique(self):
+        mesh = Topology.mesh2d(3, 3)
+        subsets = enumerate_connected_subsets(mesh, 4)
+        assert len(subsets) == len(set(subsets))
+        for subset in subsets:
+            assert mesh.is_connected(set(subset))
+
+    def test_limit_respected(self):
+        mesh = Topology.mesh2d(4, 4)
+        assert len(enumerate_connected_subsets(mesh, 5, limit=10)) == 10
+
+    def test_invalid_size(self):
+        with pytest.raises(TopologyError):
+            enumerate_connected_subsets(Topology.mesh2d(2, 2), 0)
+
+
+class TestExactMapping:
+    def test_paper_lock_in_scenario(self):
+        """5x5 chip, two 3x3 requests: first fits, second hits lock-in."""
+        mapper = TopologyMapper(Topology.mesh2d(5, 5))
+        request = Topology.mesh2d(3, 3)
+        first = mapper.map_exact(request)
+        assert first.is_exact
+        with pytest.raises(TopologyLockIn):
+            mapper.map_exact(request, allocated=set(first.physical_cores))
+
+    def test_exact_preserves_adjacency(self):
+        mapper = TopologyMapper(Topology.mesh2d(4, 4))
+        request = Topology.mesh2d(2, 3)
+        result = mapper.map_exact(request)
+        chip = mapper.chip
+        for u, v in request.edges:
+            assert chip.has_edge(result.vmap[u], result.vmap[v])
+
+    def test_rotated_placement_found(self):
+        # 2x5 chip cannot host 5x2 without rotation.
+        mapper = TopologyMapper(Topology.mesh2d(2, 5))
+        request = Topology.mesh2d(5, 2)
+        result = mapper.map_exact(request)
+        assert result.is_exact
+
+    def test_capacity_error_before_lock_in(self):
+        mapper = TopologyMapper(Topology.mesh2d(2, 2))
+        with pytest.raises(AllocationError):
+            mapper.map_exact(Topology.mesh2d(3, 3))
+
+    def test_non_mesh_request_exact(self):
+        mapper = TopologyMapper(Topology.mesh2d(3, 3))
+        lshape = Topology([0, 1, 2], [(0, 1), (1, 2)])
+        result = mapper.map_exact(lshape)
+        assert result.is_exact
+
+
+class TestSimilarMapping:
+    def test_exact_match_short_circuits(self):
+        mapper = TopologyMapper(Topology.mesh2d(4, 4))
+        result = mapper.map_similar(Topology.mesh2d(2, 2))
+        assert result.is_exact
+
+    def test_paper_figure8_second_vnpu(self):
+        """The second 3x3 vNPU on a 5x5 chip maps with small distance."""
+        mapper = TopologyMapper(Topology.mesh2d(5, 5))
+        request = Topology.mesh2d(3, 3)
+        first = mapper.map_exact(request)
+        second = mapper.map_similar(request,
+                                    allocated=set(first.physical_cores))
+        assert second.connected
+        assert 0 < second.distance <= 8
+        assert len(second.vmap) == 9
+        # No overlap with the first vNPU.
+        assert not set(second.physical_cores) & set(first.physical_cores)
+
+    def test_requires_enough_cores(self):
+        mapper = TopologyMapper(Topology.mesh2d(3, 3))
+        with pytest.raises(AllocationError):
+            mapper.map_similar(Topology.mesh2d(2, 2),
+                               allocated=set(range(6)))
+
+    def test_disconnected_free_set_falls_back(self):
+        # Free cores split into two fragments of 2; request 3 connected.
+        chip = Topology.mesh2d(1, 7)
+        allocated = {2, 4}  # free: {0,1}, {3}, {5,6}
+        mapper = TopologyMapper(chip)
+        with pytest.raises(AllocationError):
+            mapper.map_similar(Topology.line(3), allocated=allocated,
+                               require_connected=True)
+        result = mapper.map_similar(Topology.line(3), allocated=allocated,
+                                    require_connected=False)
+        assert result.strategy == "fragmented"
+        assert not result.connected
+
+    def test_large_request_uses_compact_candidates(self):
+        mapper = TopologyMapper(Topology.mesh2d(6, 6))
+        request = Topology.mesh2d(4, 7)  # 28 cores: beyond ESU threshold
+        result = mapper.map_similar(request, allocated={0, 1, 6, 7})
+        assert len(result.vmap) == 28
+        assert result.connected
+
+
+class TestStraightforwardMapping:
+    def test_takes_lowest_zigzag_cores(self):
+        mapper = TopologyMapper(Topology.mesh2d(3, 3))
+        result = mapper.map_straightforward(Topology.mesh2d(2, 2))
+        # zigzag over 3x3: 0,1,2,5,4,3,6,7,8 -> first 4: 0,1,2,5
+        assert result.physical_cores == [0, 1, 2, 5]
+
+    def test_distance_at_least_similar(self):
+        """The similar strategy never does worse than zig-zag."""
+        chip = Topology.mesh2d(5, 5)
+        mapper = TopologyMapper(chip)
+        allocated = {0, 6, 12, 18, 24}  # diagonal occupied
+        request = Topology.mesh2d(3, 3)
+        similar = mapper.map_similar(request, allocated=allocated)
+        zigzag = mapper.map_straightforward(request, allocated=allocated)
+        assert similar.distance <= zigzag.distance
+
+
+class TestFragmentedMapping:
+    def test_uses_fragments_when_needed(self):
+        chip = Topology.mesh2d(1, 9)
+        allocated = {3, 7}
+        mapper = TopologyMapper(chip)
+        result = mapper.map_fragmented(Topology.line(5), allocated=allocated)
+        assert len(result.vmap) == 5
+        assert not set(result.physical_cores) & allocated
+
+    def test_prefers_largest_fragment(self):
+        chip = Topology.mesh2d(1, 9)
+        allocated = {2}  # fragments: {0,1} and {3..8}
+        mapper = TopologyMapper(chip)
+        result = mapper.map_fragmented(Topology.line(4), allocated=allocated)
+        assert set(result.physical_cores) <= {3, 4, 5, 6, 7, 8}
+        assert result.connected
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rows=st.integers(2, 4), cols=st.integers(2, 4),
+    req_rows=st.integers(1, 2), req_cols=st.integers(1, 3),
+)
+def test_property_mapping_requirements(rows, cols, req_rows, req_cols):
+    """R-1 (node count), R-3 (connected) hold for every similar mapping."""
+    chip = Topology.mesh2d(rows, cols)
+    request = Topology.mesh2d(req_rows, req_cols)
+    if request.node_count > chip.node_count:
+        return
+    mapper = TopologyMapper(chip)
+    result = mapper.map_similar(request)
+    assert len(result.vmap) == request.node_count          # R-1
+    assert len(set(result.vmap.values())) == request.node_count
+    assert chip.is_connected(set(result.vmap.values()))    # R-3
+    assert result.distance >= 0                            # R-2 metric sane

@@ -1,0 +1,59 @@
+"""Unit tests for memory-trace pattern analysis (Fig 6)."""
+
+import pytest
+
+from repro.mem.trace import MemoryTrace
+
+
+def record_iterations(trace, core, sequences, nbytes=4096):
+    for iteration, addresses in enumerate(sequences):
+        for va in addresses:
+            trace.record(core, iteration, va, nbytes)
+
+
+class TestPatterns:
+    def test_monotonic_sequences_score_one(self):
+        trace = MemoryTrace()
+        record_iterations(trace, 0, [[0, 100, 200], [0, 100, 200]])
+        stats = trace.analyze_core(0)
+        assert stats.monotonic_fraction == 1.0
+        assert stats.repeat_fraction == 1.0
+
+    def test_non_monotonic_detected(self):
+        trace = MemoryTrace()
+        record_iterations(trace, 0, [[200, 100, 0]])
+        assert trace.analyze_core(0).monotonic_fraction == 0.0
+
+    def test_changed_iteration_breaks_repeat(self):
+        trace = MemoryTrace()
+        record_iterations(trace, 0, [[0, 100], [0, 999]])
+        assert trace.analyze_core(0).repeat_fraction == 0.0
+
+    def test_mean_access_bytes(self):
+        trace = MemoryTrace()
+        trace.record(0, 0, 0, 1000)
+        trace.record(0, 0, 8, 3000)
+        assert trace.analyze_core(0).mean_access_bytes == 2000
+
+    def test_unknown_core_raises(self):
+        with pytest.raises(ValueError):
+            MemoryTrace().analyze_core(5)
+
+    def test_summary_averages_cores(self):
+        trace = MemoryTrace()
+        record_iterations(trace, 0, [[0, 1, 2]])
+        record_iterations(trace, 1, [[2, 1, 0]])
+        report = trace.summary()
+        assert report.monotonic_fraction == pytest.approx(0.5)
+        assert len(report.per_core) == 2
+
+    def test_sequence_accessor(self):
+        trace = MemoryTrace()
+        record_iterations(trace, 2, [[5, 10]])
+        assert trace.sequence(2, 0) == [5, 10]
+        assert trace.sequence(2, 9) == []
+
+    def test_tensor_granular_flag(self):
+        trace = MemoryTrace()
+        trace.record(0, 0, 0, 16)  # word-level accesses
+        assert not trace.summary().tensor_granular

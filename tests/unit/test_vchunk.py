@@ -1,0 +1,211 @@
+"""Unit tests for vChunk: RTT, range TLB, last_v hints, access counter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import calibration
+from repro.core.vchunk import (
+    RTT_ENTRY_BITS,
+    AccessCounter,
+    RangeTranslationTable,
+    RangeTranslator,
+    RttEntry,
+)
+from repro.errors import PermissionFault, TranslationFault
+
+
+def make_table(ranges):
+    """ranges: list of (va, pa, size)."""
+    return RangeTranslationTable([RttEntry(*r) for r in ranges])
+
+
+class TestRttEntry:
+    def test_entry_bit_budget_matches_paper(self):
+        # Fig 14 says each hardware range-TLB entry is 144 bits; the
+        # architectural fields total 140 (48+48+32+4+8).
+        assert RTT_ENTRY_BITS == 140
+
+    def test_field_width_validation(self):
+        with pytest.raises(TranslationFault):
+            RttEntry(1 << 48, 0, 10)
+        with pytest.raises(TranslationFault):
+            RttEntry(0, 1 << 48, 10)
+        with pytest.raises(TranslationFault):
+            RttEntry(0, 0, 1 << 32)
+        with pytest.raises(TranslationFault):
+            RttEntry(0, 0, 0)
+
+    def test_covers(self):
+        entry = RttEntry(0x1000, 0x9000, 0x100)
+        assert entry.covers(0x1000)
+        assert entry.covers(0x10FF)
+        assert not entry.covers(0x1100)
+        assert not entry.covers(0xFFF)
+
+
+class TestTable:
+    def test_entries_sorted_by_va(self):
+        table = make_table([(0x3000, 0, 0x1000), (0x1000, 0, 0x1000)])
+        vas = [e.virtual_address for e in table.entries]
+        assert vas == sorted(vas)
+
+    def test_overlap_rejected(self):
+        table = make_table([(0x1000, 0, 0x1000)])
+        with pytest.raises(TranslationFault):
+            table.insert(RttEntry(0x1800, 0, 0x1000))
+
+    def test_adjacent_ranges_allowed(self):
+        table = make_table([(0x1000, 0, 0x1000)])
+        table.insert(RttEntry(0x2000, 0x5000, 0x1000))
+        assert len(table) == 2
+
+    def test_find_index_binary_search(self):
+        table = make_table([(i * 0x1000, i * 0x10000, 0x1000) for i in range(8)])
+        assert table.find_index(0x3000) == 3
+        assert table.find_index(0x3FFF) == 3
+        assert table.find_index(0x9000) is None
+
+    def test_walk_empty_table_faults(self):
+        with pytest.raises(TranslationFault):
+            RangeTranslationTable().walk(0)
+
+    def test_walk_unmapped_faults_after_full_scan(self):
+        table = make_table([(0x1000, 0, 0x1000)])
+        with pytest.raises(TranslationFault):
+            table.walk(0x9000)
+
+
+class TestWalkOrder:
+    def test_current_entry_is_cheapest(self):
+        table = make_table([(0x1000, 0, 0x1000), (0x2000, 0, 0x1000)])
+        table.cur_index = 0
+        index, cycles = table.walk(0x1800)
+        assert index == 0
+        assert cycles == calibration.RTT_ENTRY_SCAN
+
+    def test_sequential_scan_finds_next_entry(self):
+        table = make_table([(0x1000, 0, 0x1000), (0x2000, 0, 0x1000)])
+        table.cur_index = 0
+        index, cycles = table.walk(0x2500)
+        assert index == 1
+        assert table.cur_index == 1
+
+    def test_scan_wraps_to_base(self):
+        table = make_table([(i * 0x1000, 0x100000 + i * 0x1000, 0x1000)
+                            for i in range(4)])
+        table.cur_index = 3
+        index, _ = table.walk(0x0800)  # entry 0: requires wraparound
+        assert index == 0
+
+    def test_last_v_hint_learned_and_used(self):
+        """Iteration loop: after one pass, jumping back costs one probe."""
+        table = make_table([(i * 0x1000, 0, 0x1000) for i in range(6)])
+        # First iteration walks 0..5 sequentially.
+        for i in range(6):
+            table.walk(i * 0x1000 + 4)
+        # Wrap to entry 0 (start of next iteration): learns last_v.
+        _, first_wrap = table.walk(0x0004)
+        for i in range(1, 6):
+            table.walk(i * 0x1000 + 4)
+        _, second_wrap = table.walk(0x0004)
+        assert second_wrap == calibration.RTT_LAST_V_HIT
+        assert second_wrap < first_wrap
+
+
+class TestRangeTranslator:
+    def test_translation_offsets(self):
+        translator = RangeTranslator()
+        translator.map_range(0x10000, 0x900000, 0x4000)
+        result = translator.translate(0x10123)
+        assert result.physical_address == 0x900123
+        assert result.contiguous_bytes == 0x4000 - 0x123
+
+    def test_one_entry_per_range_vs_pages(self):
+        """The headline footprint win: 1 RTT entry vs thousands of PTEs."""
+        from repro.mem.page_table import PageTableTranslator
+
+        rtt = RangeTranslator()
+        page = PageTableTranslator()
+        rtt.map_range(0, 0x1000000, 8 << 20)
+        page.map_range(0, 0x1000000, 8 << 20)
+        assert rtt.entry_count == 1
+        assert page.entry_count == 2048
+
+    def test_tlb_hit_after_first_access(self):
+        translator = RangeTranslator()
+        translator.map_range(0, 0x100000, 0x10000)
+        first = translator.translate(0)
+        second = translator.translate(0x8000)
+        assert not first.hit and second.hit
+
+    def test_permission_fault(self):
+        translator = RangeTranslator()
+        translator.map_range(0, 0, 0x1000, permissions="R")
+        with pytest.raises(PermissionFault):
+            translator.translate(0, access="W")
+
+    def test_agrees_with_page_table_on_same_mapping(self):
+        from repro.mem.page_table import PageTableTranslator
+
+        rtt = RangeTranslator()
+        page = PageTableTranslator(tlb_entries=64)
+        for va, pa, size in [(0, 0x100000, 0x8000), (0x20000, 0x400000, 0x4000)]:
+            rtt.map_range(va, pa, size)
+            page.map_range(va, pa, size)
+        for va in [0, 0x7FFF, 0x20000, 0x23ABC]:
+            assert (rtt.translate(va).physical_address
+                    == page.translate(va).physical_address)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    offsets=st.lists(st.integers(min_value=0, max_value=0x7FFF),
+                     min_size=1, max_size=30),
+)
+def test_property_rtt_matches_reference_lookup(offsets):
+    """Hardware walk always lands on the same entry as binary search."""
+    table = make_table([(i * 0x8000, i * 0x80000, 0x8000) for i in range(4)])
+    for offset in offsets:
+        base = (offset % 4) * 0x8000
+        va = base + (offset % 0x8000)
+        expected = table.find_index(va)
+        found, _ = table.walk(va)
+        assert found == expected
+
+
+class TestAccessCounter:
+    def test_uncapped_never_stalls(self):
+        counter = AccessCounter(window_cycles=1000, max_bytes_per_window=None)
+        assert counter.charge(10 ** 9, now=0) == 0
+
+    def test_within_budget_no_stall(self):
+        counter = AccessCounter(1000, 4096)
+        assert counter.charge(4096, now=10) == 0
+
+    def test_overflow_stalls_to_next_window(self):
+        counter = AccessCounter(1000, 4096)
+        counter.charge(4096, now=0)
+        stall = counter.charge(1, now=100)
+        assert stall == 900  # wait for the window at cycle 1000
+
+    def test_window_reset_clears_budget(self):
+        counter = AccessCounter(1000, 4096)
+        counter.charge(4096, now=0)
+        assert counter.charge(4096, now=1500) == 0
+
+    def test_totals_accumulate(self):
+        counter = AccessCounter(1000, 4096)
+        counter.charge(3000, now=0)
+        counter.charge(3000, now=10)
+        assert counter.total_bytes == 6000
+        assert counter.total_stall_cycles > 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AccessCounter(0, 100)
+        with pytest.raises(ValueError):
+            AccessCounter(100, 0)
+        counter = AccessCounter(100, 100)
+        with pytest.raises(ValueError):
+            counter.charge(-5, now=0)

@@ -1,0 +1,123 @@
+"""Unit tests for the VirtualNPU abstraction and session API."""
+
+import pytest
+
+from repro.arch.chip import Chip
+from repro.arch.config import MB, sim_config
+from repro.arch.topology import MeshShape, Topology
+from repro.core.hypervisor import Hypervisor
+from repro.core.vnpu import VNpuSpec
+from repro.errors import CompilationError, ConfigError
+from repro.runtime.session import (
+    compile_bare_metal,
+    compile_model,
+    deploy,
+    estimate_together,
+)
+from repro.workloads import resnet, transformer_block
+
+
+def make(rows=2, cols=2, **kwargs):
+    chip = Chip(sim_config(36))
+    hv = Hypervisor(chip)
+    vnpu = hv.create_vnpu(
+        VNpuSpec("t", MeshShape(rows, cols), 64 * MB, **kwargs))
+    return chip, hv, vnpu
+
+
+class TestVNpuSpec:
+    def test_meshshape_coerced_to_topology(self):
+        spec = VNpuSpec("s", MeshShape(2, 3), 1 * MB)
+        assert isinstance(spec.topology, Topology)
+        assert spec.core_count == 6
+
+    def test_explicit_topology_accepted(self):
+        ring = Topology.ring(4)
+        spec = VNpuSpec("s", ring, 1 * MB)
+        assert spec.topology is ring
+
+    def test_zero_memory_rejected(self):
+        with pytest.raises(ConfigError):
+            VNpuSpec("s", MeshShape(1, 1), 0)
+
+
+class TestVirtualNpu:
+    def test_virtual_topology_is_the_request(self):
+        _, _, vnpu = make(2, 3)
+        assert vnpu.virtual_topology().node_count == 6
+
+    def test_mapped_topology_lives_on_chip(self):
+        chip, _, vnpu = make()
+        mapped = vnpu.mapped_topology(chip.topology)
+        assert set(mapped.nodes) == set(vnpu.physical_cores)
+
+    def test_edge_hop_costs_all_one_for_exact(self):
+        chip, _, vnpu = make()
+        assert vnpu.mapping.is_exact
+        hops = vnpu.edge_hop_cost(chip.topology)
+        assert all(h == 1 for h in hops.values())
+
+    def test_memory_bytes_covers_request(self):
+        _, _, vnpu = make()
+        assert vnpu.memory_bytes >= 64 * MB
+
+
+class TestSessionApi:
+    def test_deploy_roundtrip(self):
+        chip, _, vnpu = make(3, 4)
+        report = deploy(transformer_block(256, 32), vnpu, chip)
+        assert report.fps > 0
+        assert report.placed.vmid == vnpu.vmid
+
+    def test_compile_model_uses_all_cores(self):
+        chip, _, vnpu = make(3, 4)
+        placed = compile_model(resnet(18), vnpu, chip)
+        assert len(placed.cores) == 12
+
+    def test_bare_metal_requires_connected_cores(self):
+        chip = Chip(sim_config(36))
+        with pytest.raises(CompilationError):
+            compile_bare_metal(resnet(18), chip, cores=[0, 35])
+
+    def test_bare_metal_defaults_to_whole_chip(self):
+        chip = Chip(sim_config(36))
+        placed = compile_bare_metal(transformer_block(512, 64), chip)
+        assert placed.vmid is None
+        assert len(placed.cores) == 36
+
+    def test_estimate_together_returns_all_tasks(self):
+        chip, hv, v1 = make(2, 2)
+        v2 = hv.create_vnpu(VNpuSpec("u", MeshShape(2, 2), 64 * MB))
+        a = compile_model(transformer_block(128, 16, name="blk-a"), v1, chip)
+        b = compile_model(transformer_block(128, 16, name="blk-b"), v2, chip)
+        reports = estimate_together(chip, [a, b])
+        assert set(reports) == {"blk-a", "blk-b"}
+
+    def test_warmup_reported(self):
+        chip, _, vnpu = make(3, 4)
+        report = deploy(resnet(18), vnpu, chip)
+        assert report.warmup_cycles > 0
+
+
+class TestChipHelpers:
+    def test_seconds_and_fps(self):
+        chip = Chip(sim_config(36))
+        assert chip.seconds(chip.config.frequency_hz) == pytest.approx(1.0)
+        assert chip.fps(chip.config.frequency_hz) == pytest.approx(1.0)
+        with pytest.raises(ConfigError):
+            chip.fps(0)
+
+    def test_unknown_core_raises(self):
+        chip = Chip(sim_config(36))
+        with pytest.raises(ConfigError):
+            chip.core(99)
+
+    def test_memory_interfaces_spanned_floor_one(self):
+        chip = Chip(sim_config(36))
+        no_interface_cores = [1, 2]  # column 0 holds the interfaces
+        assert chip.memory_interfaces_spanned(no_interface_cores) == 1
+
+    def test_memory_interfaces_counted(self):
+        chip = Chip(sim_config(36))
+        interfaces = list(chip.config.memory_interface_cores[:3])
+        assert chip.memory_interfaces_spanned(interfaces) == 3

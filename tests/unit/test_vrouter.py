@@ -1,0 +1,126 @@
+"""Unit tests for the instruction vRouter and NoC vRouter."""
+
+import pytest
+
+from repro.arch import calibration
+from repro.arch.topology import MeshShape, Topology
+from repro.core.routing_table import ShapedRoutingTable, StandardRoutingTable
+from repro.core.vrouter import InstructionVRouter, NocVRouter
+from repro.errors import IsolationViolation, RoutingError
+
+
+class TestInstructionVRouter:
+    def test_redirect_uses_table(self):
+        router = InstructionVRouter()
+        router.install(StandardRoutingTable(1, {0: 4, 1: 5}))
+        redirect = router.redirect(1, 0)
+        assert redirect.p_core == 4
+        assert redirect.cycles == calibration.VROUTER_RT_LOOKUP
+
+    def test_consecutive_same_core_cached(self):
+        """§6.2.1: repeated instructions to one core skip the lookup."""
+        router = InstructionVRouter()
+        router.install(StandardRoutingTable(1, {0: 4, 1: 5}))
+        router.redirect(1, 0)
+        second = router.redirect(1, 0)
+        assert second.cached
+        assert second.cycles == 0
+        third = router.redirect(1, 1)  # different core: lookup again
+        assert not third.cached
+
+    def test_isolation_between_vms(self):
+        router = InstructionVRouter()
+        router.install(StandardRoutingTable(1, {0: 4}))
+        router.install(StandardRoutingTable(2, {0: 9}))
+        assert router.redirect(1, 0).p_core == 4
+        assert router.redirect(2, 0).p_core == 9
+
+    def test_missing_table(self):
+        router = InstructionVRouter()
+        with pytest.raises(IsolationViolation):
+            router.redirect(7, 0)
+
+    def test_remove_table(self):
+        router = InstructionVRouter()
+        router.install(StandardRoutingTable(1, {0: 4}))
+        router.remove(1)
+        with pytest.raises(IsolationViolation):
+            router.redirect(1, 0)
+
+    def test_configure_cycles_linear_in_cores(self):
+        """Fig 11: a few hundred cycles, linear in table size."""
+        one = InstructionVRouter.configure_cycles(1)
+        eight = InstructionVRouter.configure_cycles(8)
+        assert eight - one == 7 * calibration.RT_CONFIG_PER_CORE
+        assert eight < 500
+
+    def test_configure_rejects_zero_cores(self):
+        with pytest.raises(RoutingError):
+            InstructionVRouter.configure_cycles(0)
+
+
+class TestNocVRouter:
+    def setup_method(self):
+        self.chip = Topology.mesh2d(3, 4)
+
+    def test_confined_path_stays_inside_vm(self):
+        """Fig 5's vNPU2 scenario: irregular topology, confined route."""
+        # L-shaped VM: physical cores 3, 7, 11, 10 (right column + bottom).
+        table = StandardRoutingTable(2, {0: 3, 1: 7, 2: 11, 3: 10})
+        router = NocVRouter(self.chip, table, mode="confined")
+        route = router.resolve(0, 3)  # v0 (p3) -> v3 (p10)
+        assert route.path == [3, 7, 11, 10]
+        assert all(node in router.owned for node in route.path)
+
+    def test_dor_mode_no_explicit_path(self):
+        table = StandardRoutingTable(2, {0: 3, 1: 10})
+        router = NocVRouter(self.chip, table, mode="dor")
+        route = router.resolve(0, 1)
+        assert route.path is None
+
+    def test_would_interfere_detects_dor_leakage(self):
+        # p3 -> p10: DOR goes 3-2-10? coords: 3=(0,3), 10=(2,2):
+        # x first: 3->2 (=(0,2)), then down 2->6->10. Nodes 2 and 6 foreign.
+        table = StandardRoutingTable(2, {0: 3, 1: 7, 2: 11, 3: 10})
+        router = NocVRouter(self.chip, table, mode="dor")
+        assert router.would_interfere(0, 3)
+        # Adjacent pair: no interference.
+        assert not router.would_interfere(0, 1)
+
+    def test_disconnected_vm_has_no_confined_path(self):
+        table = StandardRoutingTable(2, {0: 0, 1: 11})  # opposite corners
+        router = NocVRouter(self.chip, table, mode="confined")
+        with pytest.raises(RoutingError, match="R-3"):
+            router.resolve(0, 1)
+
+    def test_unknown_mode_rejected(self):
+        table = StandardRoutingTable(1, {0: 0})
+        with pytest.raises(RoutingError):
+            NocVRouter(self.chip, table, mode="magic")
+
+    def test_resolve_carries_vrouter_latencies(self):
+        table = StandardRoutingTable(1, {0: 0, 1: 1})
+        router = NocVRouter(self.chip, table)
+        route = router.resolve(0, 1)
+        assert route.first_packet_delay == (
+            calibration.VROUTER_RT_LOOKUP + calibration.VROUTER_REWRITE
+        )
+        assert route.completion_delay == calibration.VROUTER_META_FETCH
+
+    def test_same_core_resolve(self):
+        table = StandardRoutingTable(1, {0: 5})
+        router = NocVRouter(self.chip, table)
+        route = router.resolve(0, 0)
+        assert route.p_src == route.p_dst == 5
+        assert route.path is None
+
+    def test_shaped_table_with_vrouter(self):
+        table = ShapedRoutingTable(3, MeshShape(2, 2), p_base=5, chip_cols=4)
+        router = NocVRouter(self.chip, table, mode="confined")
+        route = router.resolve(0, 3)  # p5 -> p10
+        assert set(route.path) <= {5, 6, 9, 10}
+
+    def test_table_mapping_outside_chip_rejected(self):
+        table = StandardRoutingTable(1, {0: 99})
+        with pytest.raises(RoutingError):
+            NocVRouter(self.chip, table)

@@ -1,0 +1,192 @@
+"""Unit tests for the model zoo and graph IR."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CompilationError
+from repro.workloads import (
+    alexnet,
+    bert_base,
+    dlrm,
+    efficientnet_b0,
+    googlenet,
+    gpt2,
+    gpt2_block_count,
+    mobilenet,
+    resnet,
+    resnet_block,
+    retinanet,
+    transformer_block,
+    yolo_lite,
+)
+from repro.workloads.graph import (
+    DTYPE_BYTES,
+    Layer,
+    ModelGraph,
+    attention_layer,
+    conv_layer,
+    fc_layer,
+)
+
+
+class TestGraphIr:
+    def test_chain_edges_default_to_previous(self):
+        g = ModelGraph("m")
+        g.add_layer(Layer("a", "fc", 1, 1, 1))
+        g.add_layer(Layer("b", "fc", 1, 1, 1))
+        assert g.edges == [(0, 1)]
+
+    def test_explicit_multi_input(self):
+        g = ModelGraph("m")
+        a = g.add_layer(Layer("a", "fc", 1, 1, 1))
+        b = g.add_layer(Layer("b", "fc", 1, 1, 1), inputs=[a])
+        c = g.add_layer(Layer("c", "fc", 1, 1, 1), inputs=[a, b])
+        assert g.predecessors(c) == [a, b]
+        assert g.successors(a) == [b, c]
+
+    def test_backward_edge_rejected(self):
+        g = ModelGraph("m")
+        g.add_layer(Layer("a", "fc", 1, 1, 1))
+        g.add_layer(Layer("b", "fc", 1, 1, 1))
+        with pytest.raises(CompilationError):
+            g.add_edge(1, 0)
+
+    def test_unknown_edge_rejected(self):
+        g = ModelGraph("m")
+        g.add_layer(Layer("a", "fc", 1, 1, 1))
+        with pytest.raises(CompilationError):
+            g.add_edge(0, 5)
+
+    def test_negative_layer_volumes_rejected(self):
+        with pytest.raises(CompilationError):
+            Layer("bad", "fc", -1, 0, 0)
+
+    def test_scaled_batch(self):
+        g = ModelGraph("m")
+        g.add_layer(Layer("a", "fc", 100, 50, 10))
+        g.add_layer(Layer("b", "fc", 100, 50, 10))
+        scaled = g.scaled(8)
+        assert scaled.total_macs == 8 * g.total_macs
+        assert scaled.total_weight_bytes == g.total_weight_bytes
+        assert scaled.total_activation_bytes == 8 * g.total_activation_bytes
+        assert scaled.edges == g.edges
+
+    def test_scaled_invalid_batch(self):
+        with pytest.raises(CompilationError):
+            ModelGraph("m").scaled(0)
+
+    def test_activation_bytes_counts_edges(self):
+        g = ModelGraph("m")
+        a = g.add_layer(Layer("a", "fc", 1, 1, 100))
+        g.add_layer(Layer("b", "fc", 1, 1, 1), inputs=[a])
+        g.add_layer(Layer("c", "fc", 1, 1, 1), inputs=[a])
+        assert g.total_activation_bytes == 200  # a's output crosses twice
+
+
+class TestLayerFactories:
+    def test_conv_macs(self):
+        layer = conv_layer("c", 8, 8, 4, 16, 3)
+        assert layer.macs == 8 * 8 * 4 * 16 * 9
+        assert layer.weight_bytes == 4 * 16 * 9 * DTYPE_BYTES
+
+    def test_conv_stride_shrinks_output(self):
+        dense = conv_layer("c", 8, 8, 4, 4, 3)
+        strided = conv_layer("c", 8, 8, 4, 4, 3, stride=2)
+        assert strided.output_bytes == dense.output_bytes // 4
+
+    def test_fc_is_square_matmul(self):
+        layer = fc_layer("f", 128, 256)
+        assert layer.macs == 128 * 256
+
+    def test_attention_includes_projections_and_scores(self):
+        layer = attention_layer("a", seq_len=16, dim=64, heads=4)
+        assert layer.macs == 4 * 64 * 64 * 16 + 2 * 16 * 16 * 64
+        assert layer.weight_bytes == 4 * 64 * 64 * DTYPE_BYTES
+
+
+class TestZooParameterCounts:
+    """Parameter counts should land near the published values."""
+
+    @pytest.mark.parametrize("build,expected_m,tolerance", [
+        (lambda: resnet(50), 25.5, 0.15),
+        (lambda: resnet(18), 11.7, 0.15),
+        (lambda: resnet(34), 21.8, 0.15),
+        (googlenet, 7.0, 0.25),
+        (mobilenet, 4.2, 0.15),
+        (bert_base, 110, 0.15),
+        (alexnet, 61, 0.30),
+    ])
+    def test_parameters_near_published(self, build, expected_m, tolerance):
+        model = build()
+        measured = model.parameter_count / 1e6
+        assert abs(measured - expected_m) / expected_m < tolerance
+
+    def test_unknown_resnet_depth(self):
+        with pytest.raises(CompilationError):
+            resnet(99)
+
+    def test_resnet_has_skip_edges(self):
+        """More edges than a pure chain: the residual signature."""
+        model = resnet(18)
+        assert len(model.edges) > model.layer_count - 1
+
+    def test_googlenet_has_branches(self):
+        model = googlenet()
+        branching = [i for i in range(model.layer_count)
+                     if len(model.successors(i)) > 1]
+        assert len(branching) >= 9  # one fan-out per inception module
+
+    def test_small_models_exist(self):
+        assert yolo_lite().parameter_count < 1e6
+        assert dlrm().total_macs < 1e7  # embedding-dominated
+        assert efficientnet_b0().parameter_count < 10e6
+        assert retinanet().parameter_count > resnet(50).parameter_count
+
+
+class TestTransformers:
+    def test_gpt2_block_counts_match_paper_core_requests(self):
+        assert gpt2_block_count("small") == 12
+        assert gpt2_block_count("medium") == 24
+        assert gpt2_block_count("large") == 36
+
+    def test_gpt2_layers_without_embeddings(self):
+        model = gpt2("small", 128)
+        assert model.layer_count == 24  # attn + mlp per block
+
+    def test_gpt2_with_embeddings(self):
+        model = gpt2("small", 128, include_embeddings=True)
+        assert model.layer_count == 26
+        assert model.total_weight_bytes > gpt2("small", 128).total_weight_bytes
+
+    def test_gpt2_unknown_size(self):
+        with pytest.raises(CompilationError):
+            gpt2("xxl")
+        with pytest.raises(CompilationError):
+            gpt2_block_count("xxl")
+
+    def test_gpt2_sizes_ordered(self):
+        small = gpt2("small", 128).total_macs
+        medium = gpt2("medium", 128).total_macs
+        large = gpt2("large", 128).total_macs
+        assert small < medium < large
+
+    def test_transformer_block_naming(self):
+        block = transformer_block(128, 16)
+        assert block.name == "transformer_128dim_16slen"
+
+    def test_transformer_block_dim_heads_divisibility(self):
+        with pytest.raises(CompilationError):
+            transformer_block(130, 16, heads=4)
+
+    def test_resnet_block_naming(self):
+        assert resnet_block(16, 64).name == "resnet_block_16wh_64c"
+
+
+@settings(max_examples=30, deadline=None)
+@given(batch=st.integers(1, 64))
+def test_property_batch_scaling_is_linear(batch):
+    model = resnet(18)
+    scaled = model.scaled(batch)
+    assert scaled.total_macs == batch * model.total_macs
+    assert scaled.parameter_count == model.parameter_count
