@@ -7,9 +7,12 @@ Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 from repro.analysis.reporting import Table
 
-__all__ = ["Table", "once"]
+__all__ = ["Table", "once", "write_bench_json"]
 
 _printed: set[str] = set()
 
@@ -20,3 +23,20 @@ def once(key: str) -> bool:
         return False
     _printed.add(key)
     return True
+
+
+def write_bench_json(name: str, payload: dict,
+                     directory: str | Path | None = None) -> Path:
+    """Write one bench's results as a comparable ``BENCH_<name>.json``.
+
+    Serialization is canonical — sorted keys, fixed separators, trailing
+    newline — so two runs with identical results produce byte-identical
+    artifacts (the perf trajectory across PRs diffs these files).
+    """
+    target = Path(directory) if directory is not None else Path(__file__).parent
+    target.mkdir(parents=True, exist_ok=True)
+    path = target / f"BENCH_{name}.json"
+    text = json.dumps(payload, indent=2, sort_keys=True,
+                      separators=(",", ": "))
+    path.write_text(text + "\n")
+    return path

@@ -32,6 +32,13 @@ from repro.arch.config import (
 from repro.arch.topology import MeshShape, Topology
 from repro.core.ged import EditCosts, ged
 from repro.core.hypervisor import Hypervisor
+from repro.core.strategies import (
+    MappingStrategy,
+    available_strategies,
+    register_strategy,
+    resolve_strategy,
+    unregister_strategy,
+)
 from repro.core.topology_mapping import MappingResult, TopologyMapper
 from repro.core.vnpu import VirtualNPU, VNpuSpec
 from repro.errors import ReproError
@@ -43,31 +50,40 @@ from repro.runtime.session import (
     deploy,
     estimate_together,
 )
+from repro.serving import ClusterScheduler, ServingMetrics, generate_trace
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Chip",
+    "ClusterScheduler",
     "CoreConfig",
     "EditCosts",
     "Executor",
     "Hypervisor",
     "MappingResult",
+    "MappingStrategy",
     "MemoryConfig",
     "MeshShape",
     "NoCConfig",
     "ReproError",
     "RunReport",
+    "ServingMetrics",
     "SoCConfig",
     "Topology",
     "TopologyMapper",
     "VNpuSpec",
     "VirtualNPU",
+    "available_strategies",
     "compile_bare_metal",
     "compile_model",
     "deploy",
     "estimate_together",
     "fpga_config",
     "ged",
+    "generate_trace",
+    "register_strategy",
+    "resolve_strategy",
     "sim_config",
+    "unregister_strategy",
 ]

@@ -4,7 +4,8 @@ The hypervisor is the only agent allowed to touch hyper-mode state. For
 each ``create_vnpu`` it:
 
 1. allocates physical cores with the configured topology-mapping strategy
-   (exact / similar / straightforward / fragmented);
+   (resolved by name through the :mod:`repro.core.strategies` registry;
+   the built-ins are exact / similar / straightforward / fragmented);
 2. builds the routing table — the compressed *shaped* form when the
    mapping landed on a contiguous 2D-mesh block, per-entry standard form
    otherwise — and installs it through the hyper-mode controller (Fig 11
@@ -27,6 +28,7 @@ from repro.core.routing_table import (
     ShapedRoutingTable,
     StandardRoutingTable,
 )
+from repro.core.strategies import MappingStrategy, resolve_strategy
 from repro.core.topology_mapping import MappingResult, TopologyMapper
 from repro.core.vchunk import AccessCounter, RangeTranslator, RTT_ENTRY_BITS
 from repro.core.vnpu import VirtualNPU, VNpuSpec
@@ -38,6 +40,9 @@ from repro.mem.buddy import Block, BuddyAllocator
 #: Guest virtual addresses start here (a nonzero base catches null derefs).
 GUEST_VA_BASE = 0x1_0000
 
+#: Built-in strategy names (kept for backward compatibility; the live
+#: set — including user-registered strategies — is
+#: :func:`repro.core.strategies.available_strategies`).
 STRATEGIES = ("exact", "similar", "straightforward", "fragmented")
 
 
@@ -52,10 +57,7 @@ class Hypervisor:
                  costs: EditCosts | None = None,
                  rtt_tlb_entries: int = 4,
                  min_block: int = 1 << 20) -> None:
-        if strategy not in STRATEGIES:
-            raise HypervisorError(
-                f"unknown strategy {strategy!r}; choose from {STRATEGIES}"
-            )
+        resolve_strategy(strategy)  # fail fast on unknown names
         self.chip = chip
         self.strategy = strategy
         self.mapper = TopologyMapper(chip.topology, costs=costs)
@@ -94,21 +96,30 @@ class Hypervisor:
                     strategy: str | None = None) -> VirtualNPU:
         """Allocate and configure a virtual NPU for ``spec``."""
         strategy = strategy or self.strategy
-        if strategy not in STRATEGIES:
-            raise HypervisorError(f"unknown strategy {strategy!r}")
-        mapping = self._map_cores(spec, strategy)
+        mapping = self._map_cores(spec, resolve_strategy(strategy))
         vmid = self._next_vmid
 
         routing_table = self._build_routing_table(vmid, mapping)
         setup_cycles = self.chip.controller.install_routing_table(
             routing_table, hyper_mode=True,
         )
+        blocks: list[Block] = []
         try:
             blocks = self._allocate_memory(spec.memory_bytes)
+            translator = self._build_translator(blocks)
+            # Meta installs can also exhaust a core's meta zone; roll back
+            # memory *and* the routing table on any allocation failure so
+            # a refused create leaves no trace (the serving loop keeps
+            # admitting on this hypervisor afterwards).
+            self._install_meta_tables(mapping, routing_table, translator)
         except AllocationError:
+            for block in blocks:
+                self.buddy.free(block.address)
+            for p_core in mapping.physical_cores:
+                self.chip.core(p_core).scratchpad.reset_meta_zone(
+                    hyper_mode=True)
             self.chip.controller.remove_routing_table(vmid, hyper_mode=True)
             raise
-        translator = self._build_translator(blocks)
         counter = None
         if spec.memory_cap_bytes_per_window is not None:
             counter = AccessCounter(
@@ -118,7 +129,6 @@ class Hypervisor:
 
         mode = "confined" if spec.noc_isolation and mapping.connected else "dor"
         vrouter = NocVRouter(self.chip.topology, routing_table, mode=mode)
-        self._install_meta_tables(mapping, routing_table, translator)
 
         vnpu = VirtualNPU(
             vmid=vmid,
@@ -147,18 +157,9 @@ class Hypervisor:
         del self._vnpus[vmid]
 
     # -- internals ---------------------------------------------------------------
-    def _map_cores(self, spec: VNpuSpec, strategy: str) -> MappingResult:
-        allocated = self.allocated_cores
-        if strategy == "exact":
-            return self.mapper.map_exact(spec.topology, allocated)
-        if strategy == "straightforward":
-            return self.mapper.map_straightforward(spec.topology, allocated)
-        if strategy == "fragmented":
-            return self.mapper.map_fragmented(spec.topology, allocated)
-        return self.mapper.map_similar(
-            spec.topology, allocated,
-            require_connected=spec.noc_isolation,
-        )
+    def _map_cores(self, spec: VNpuSpec,
+                   strategy: MappingStrategy) -> MappingResult:
+        return strategy.map(self.mapper, spec, self.allocated_cores)
 
     def _build_routing_table(self, vmid: int,
                              mapping: MappingResult) -> RoutingTable:

@@ -1,0 +1,59 @@
+"""A tiny name -> plugin registry, shared by pluggable component families.
+
+Mapping strategies (:mod:`repro.core.strategies`) and admission policies
+(:mod:`repro.serving.policies`) both resolve plugins by a ``name``
+attribute with the same rules — non-empty string names, no silent
+overwrites, typed errors on unknown lookups. :class:`Registry` holds
+that logic once; each family instantiates it with its own noun and
+error classes so callers keep seeing the domain's historical exception
+types.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, TypeVar
+
+ItemT = TypeVar("ItemT")
+
+
+class Registry(Generic[ItemT]):
+    """Keeps one family of named plugins."""
+
+    def __init__(self, kind: str,
+                 register_error: type[Exception],
+                 resolve_error: type[Exception] | None = None) -> None:
+        self.kind = kind
+        self._register_error = register_error
+        self._resolve_error = resolve_error or register_error
+        self._items: dict[str, ItemT] = {}
+
+    def register(self, item: ItemT, replace: bool = False) -> ItemT:
+        """Add ``item`` under its ``name`` (rejecting silent overwrites)."""
+        name = getattr(item, "name", None)
+        if not name or not isinstance(name, str):
+            raise self._register_error(
+                f"{self.kind} needs a non-empty string name")
+        if not replace and name in self._items:
+            raise self._register_error(
+                f"{self.kind} {name!r} already registered; "
+                f"pass replace=True to override"
+            )
+        self._items[name] = item
+        return item
+
+    def unregister(self, name: str) -> None:
+        if name not in self._items:
+            raise self._register_error(
+                f"{self.kind} {name!r} is not registered")
+        del self._items[name]
+
+    def resolve(self, name: str) -> ItemT:
+        try:
+            return self._items[name]
+        except KeyError:
+            raise self._resolve_error(
+                f"unknown {self.kind} {name!r}; choose from {self.names()}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._items))

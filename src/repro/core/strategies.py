@@ -1,0 +1,111 @@
+"""Pluggable topology-mapping strategies and their registry.
+
+The hypervisor used to hard-code an if/else over the four paper
+strategies. Under a serving workload new policies want to add their own
+placement logic (e.g. "best effort, then fragmented"), so strategies are
+now first-class objects resolved by name through a process-wide registry:
+
+- :class:`MappingStrategy` — the protocol: a ``name`` plus
+  ``map(mapper, spec, allocated)`` returning a
+  :class:`~repro.core.topology_mapping.MappingResult`;
+- :func:`register_strategy` / :func:`unregister_strategy` — extend the
+  registry (duplicates are rejected unless ``replace=True``);
+- :func:`resolve_strategy` — name -> strategy, raising
+  :class:`~repro.errors.HypervisorError` for unknown names (the error the
+  hypervisor has always raised for bad strategy arguments).
+
+The four built-ins ("exact", "similar", "straightforward", "fragmented")
+are registered at import time and behave exactly as the old dispatch.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.core.registry import Registry
+from repro.errors import ConfigError, HypervisorError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.core.topology_mapping import MappingResult, TopologyMapper
+    from repro.core.vnpu import VNpuSpec
+
+
+@runtime_checkable
+class MappingStrategy(Protocol):
+    """One way of carving a requested virtual topology out of free cores."""
+
+    name: str
+
+    def map(self, mapper: "TopologyMapper", spec: "VNpuSpec",
+            allocated: set[int]) -> "MappingResult":
+        """Place ``spec.topology`` avoiding ``allocated`` physical cores."""
+        ...
+
+
+class ExactStrategy:
+    """Isomorphic placement or :class:`~repro.errors.TopologyLockIn`."""
+
+    name = "exact"
+
+    def map(self, mapper, spec, allocated):
+        return mapper.map_exact(spec.topology, allocated)
+
+
+class SimilarStrategy:
+    """Algorithm 1: minimum topology-edit-distance placement."""
+
+    name = "similar"
+
+    def map(self, mapper, spec, allocated):
+        return mapper.map_similar(
+            spec.topology, allocated,
+            require_connected=spec.noc_isolation,
+        )
+
+
+class StraightforwardStrategy:
+    """Zig-zag by core ID, ignoring the requested topology."""
+
+    name = "straightforward"
+
+    def map(self, mapper, spec, allocated):
+        return mapper.map_straightforward(spec.topology, allocated)
+
+
+class FragmentedStrategy:
+    """Relaxed R-3: disconnected placements over free fragments."""
+
+    name = "fragmented"
+
+    def map(self, mapper, spec, allocated):
+        return mapper.map_fragmented(spec.topology, allocated)
+
+
+#: Unknown lookups raise HypervisorError — the error the hypervisor has
+#: always raised for bad strategy arguments.
+_REGISTRY: Registry[MappingStrategy] = Registry(
+    "mapping strategy", ConfigError, resolve_error=HypervisorError,
+)
+
+
+def register_strategy(strategy: MappingStrategy,
+                      replace: bool = False) -> MappingStrategy:
+    """Add ``strategy`` to the registry (rejecting silent overwrites)."""
+    return _REGISTRY.register(strategy, replace=replace)
+
+
+def unregister_strategy(name: str) -> None:
+    return _REGISTRY.unregister(name)
+
+
+def resolve_strategy(name: str) -> MappingStrategy:
+    return _REGISTRY.resolve(name)
+
+
+def available_strategies() -> tuple[str, ...]:
+    return _REGISTRY.names()
+
+
+for _builtin in (ExactStrategy(), SimilarStrategy(),
+                 StraightforwardStrategy(), FragmentedStrategy()):
+    register_strategy(_builtin)

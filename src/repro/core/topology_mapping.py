@@ -23,7 +23,8 @@ keeps worst cases bounded (the paper prunes and parallelizes similarly).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
 
 from repro.arch.topology import Topology
 from repro.core.ged import (
@@ -104,7 +105,8 @@ class TopologyMapper:
     def __init__(self, chip_topology: Topology,
                  costs: EditCosts | None = None,
                  candidate_limit: int = 20_000,
-                 esu_max_request: int = 9) -> None:
+                 esu_max_request: int = 9,
+                 cache_size: int = 512) -> None:
         self.chip = chip_topology
         self.costs = costs or EditCosts()
         self.candidate_limit = candidate_limit
@@ -112,6 +114,44 @@ class TopologyMapper:
         #: exhaustively (ESU); beyond it a compact-region generator is used
         #: (the paper prunes aggressively and parallelizes instead).
         self.esu_max_request = esu_max_request
+        #: LRU memo for :meth:`map_similar`, keyed on (request structure,
+        #: frozen free-core set). Under tenant churn the same shapes recur
+        #: against the same fragmentation states, and candidate enumeration
+        #: plus GED scoring is by far the hot path. ``cache_size=0``
+        #: disables caching.
+        self.cache_size = cache_size
+        self._similar_cache: OrderedDict[tuple, MappingResult] = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- mapping cache -------------------------------------------------------
+    def _cache_key(self, request: Topology, free: Topology,
+                   require_connected: bool) -> tuple:
+        """Structural identity of a ``map_similar`` call.
+
+        The request's name is deliberately excluded (every tenant names its
+        mesh differently); coordinates are included because
+        ``_mesh_placements`` slides the request by its grid layout.
+        """
+        return (
+            tuple(request.nodes),
+            tuple(request.edges),
+            tuple(sorted(request.coords.items())) if request.coords else None,
+            frozenset(free.nodes),
+            require_connected,
+        )
+
+    def clear_mapping_cache(self) -> None:
+        self._similar_cache.clear()
+
+    def cache_stats(self) -> dict[str, int | float]:
+        lookups = self.cache_hits + self.cache_misses
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "entries": len(self._similar_cache),
+            "hit_rate": self.cache_hits / lookups if lookups else 0.0,
+        }
 
     # -- helpers ------------------------------------------------------------
     def free_topology(self, allocated: set[int]) -> Topology:
@@ -265,9 +305,36 @@ class TopologyMapper:
     def map_similar(self, request: Topology,
                     allocated: set[int] | None = None,
                     require_connected: bool = True) -> MappingResult:
-        """Algorithm 1: minimum topology-edit-distance placement."""
-        free = self.free_topology(allocated or set())
+        """Algorithm 1: minimum topology-edit-distance placement.
+
+        Results are memoized per (request structure, free-core set): the
+        placement is a pure function of those inputs, so a cache hit
+        returns a copy of the earlier result without re-enumerating
+        candidates or re-scoring GED.
+        """
+        allocated = allocated or set()
+        free = self.free_topology(allocated)
         self._check_capacity(request, free)
+        if self.cache_size <= 0:
+            return self._map_similar_uncached(request, free, allocated,
+                                              require_connected)
+        key = self._cache_key(request, free, require_connected)
+        cached = self._similar_cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            self._similar_cache.move_to_end(key)
+            return replace(cached, vmap=dict(cached.vmap))
+        self.cache_misses += 1
+        result = self._map_similar_uncached(request, free, allocated,
+                                            require_connected)
+        self._similar_cache[key] = replace(result, vmap=dict(result.vmap))
+        while len(self._similar_cache) > self.cache_size:
+            self._similar_cache.popitem(last=False)
+        return result
+
+    def _map_similar_uncached(self, request: Topology, free: Topology,
+                              allocated: set[int],
+                              require_connected: bool) -> MappingResult:
         request_cert = request.wl_certificate()
 
         for vmap in self._mesh_placements(request, free):

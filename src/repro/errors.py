@@ -84,3 +84,7 @@ class SimulationError(ReproError):
 
 class CompilationError(ReproError):
     """The compiler could not partition or map a workload."""
+
+
+class ServingError(ReproError):
+    """The serving layer was misconfigured (bad policy, bad trace...)."""

@@ -42,9 +42,9 @@ class RunReport:
     interference_fraction: float
     placed: PlacedTask
 
-    @property
-    def warmup_seconds_at(self) -> float:
-        return 0.0  # kept for API symmetry; use Chip.seconds(warmup_cycles)
+    def warmup_seconds(self, chip: Chip) -> float:
+        """Wall-clock warm-up time on ``chip`` (weight-load, §6.3.4)."""
+        return chip.seconds(self.warmup_cycles)
 
 
 def compile_model(model: ModelGraph, vnpu: VirtualNPU,

@@ -1,0 +1,56 @@
+"""Dynamic multi-tenant serving: traces, admission policies, scheduler.
+
+This layer turns the static create/deploy/estimate flow into a serving
+system: :func:`generate_trace` produces a seeded stream of tenant
+sessions, and :class:`ClusterScheduler` replays it on a chip's
+discrete-event simulator — admitting, queueing, provisioning vNPUs and
+freeing them as tenants depart — while :class:`ServingMetrics` tracks
+queue delays, utilization and fragmentation over time.
+"""
+
+from repro.serving.metrics import (
+    ClusterSample,
+    ServingMetrics,
+    SessionRecord,
+    fragmentation_ratio,
+    percentile,
+)
+from repro.serving.policies import (
+    AdmissionPolicy,
+    BestFitPolicy,
+    FCFSPolicy,
+    PriorityPolicy,
+    available_policies,
+    register_policy,
+    resolve_policy,
+    unregister_policy,
+)
+from repro.serving.scheduler import ClusterScheduler, PendingSession
+from repro.serving.workload import (
+    MODEL_BUILDERS,
+    SHAPE_MIX,
+    TenantSession,
+    generate_trace,
+)
+
+__all__ = [
+    "AdmissionPolicy",
+    "BestFitPolicy",
+    "ClusterSample",
+    "ClusterScheduler",
+    "FCFSPolicy",
+    "MODEL_BUILDERS",
+    "PendingSession",
+    "PriorityPolicy",
+    "SHAPE_MIX",
+    "ServingMetrics",
+    "SessionRecord",
+    "TenantSession",
+    "available_policies",
+    "fragmentation_ratio",
+    "generate_trace",
+    "percentile",
+    "register_policy",
+    "resolve_policy",
+    "unregister_policy",
+]

@@ -1,0 +1,152 @@
+"""Serving metrics: per-session records plus time-series cluster samples.
+
+Everything here is deterministic and JSON-friendly — the benchmark's
+byte-identical-output guarantee flows through this module, so no wall
+clocks, no dict-order dependence (summaries are plain dicts serialized
+with ``sort_keys=True`` by the caller) and nearest-rank percentiles
+rather than interpolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.topology import Topology
+
+
+def percentile(values: list[int | float], pct: float) -> float:
+    """Nearest-rank percentile (``pct`` in [0, 100]); 0.0 on empty input."""
+    if not values:
+        return 0.0
+    if not 0 <= pct <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {pct}")
+    ordered = sorted(values)
+    rank = max(1, -(-len(ordered) * pct // 100))  # ceil without floats
+    return float(ordered[int(rank) - 1])
+
+
+def fragmentation_ratio(topology: Topology, allocated: set[int]) -> float:
+    """How shattered the free cores are: 1 - largest fragment / free.
+
+    0.0 means every free core sits in one connected region (or the chip
+    is full); approaching 1.0 means the free set is confetti — the state
+    that forces fragmented mappings (Fig 17).
+    """
+    free = [node for node in topology.nodes if node not in allocated]
+    if not free:
+        return 0.0
+    remaining = set(free)
+    largest = 0
+    while remaining:
+        seed = next(iter(remaining))
+        stack = [seed]
+        component = {seed}
+        while stack:
+            node = stack.pop()
+            for neighbor in topology.neighbors(node):
+                if neighbor in remaining and neighbor not in component:
+                    component.add(neighbor)
+                    stack.append(neighbor)
+        remaining -= component
+        largest = max(largest, len(component))
+    return 1.0 - largest / len(free)
+
+
+@dataclass(frozen=True)
+class SessionRecord:
+    """Lifecycle of one served tenant session."""
+
+    session_id: int
+    tenant: str
+    model: str
+    cores: int
+    arrival_cycle: int
+    admit_cycle: int
+    depart_cycle: int
+    strategy: str
+    mapping_distance: float
+    mapping_connected: bool
+
+    @property
+    def queue_delay_cycles(self) -> int:
+        return self.admit_cycle - self.arrival_cycle
+
+    @property
+    def service_cycles(self) -> int:
+        return self.depart_cycle - self.admit_cycle
+
+
+@dataclass(frozen=True)
+class ClusterSample:
+    """Cluster state at one simulation instant (taken on every event)."""
+
+    cycle: int
+    free_cores: int
+    utilization: float
+    fragmentation: float
+    queue_length: int
+
+
+@dataclass
+class ServingMetrics:
+    """Accumulates records and samples over one scheduler run."""
+
+    records: list[SessionRecord] = field(default_factory=list)
+    samples: list[ClusterSample] = field(default_factory=list)
+    #: Failed admission attempts — topology lock-in, no connected subset
+    #: *or* guest-memory exhaustion (the scheduler cannot tell which
+    #: phase of ``create_vnpu`` refused, so the counter is named for the
+    #: admission attempt, not a single cause).
+    admission_failures: int = 0
+    #: Sessions dropped because even an empty chip could not host them.
+    rejected: int = 0
+
+    def record_departure(self, record: SessionRecord) -> None:
+        self.records.append(record)
+
+    def sample(self, sample: ClusterSample) -> None:
+        self.samples.append(sample)
+
+    # -- aggregation -------------------------------------------------------
+    def _time_weighted_mean(self, attribute: str) -> float:
+        """Mean of a sample field weighted by how long each state held."""
+        if len(self.samples) < 2:
+            return getattr(self.samples[0], attribute) if self.samples else 0.0
+        total = 0.0
+        span = self.samples[-1].cycle - self.samples[0].cycle
+        if span <= 0:
+            return getattr(self.samples[-1], attribute)
+        for current, following in zip(self.samples, self.samples[1:]):
+            total += getattr(current, attribute) * (following.cycle
+                                                    - current.cycle)
+        return total / span
+
+    def summary(self, frequency_hz: int) -> dict:
+        """A JSON-able digest of the run (rounded for stable serialization)."""
+        delays = [r.queue_delay_cycles for r in self.records]
+        makespan = self.samples[-1].cycle if self.samples else 0
+        seconds = makespan / frequency_hz if makespan else 0.0
+        return {
+            "sessions_completed": len(self.records),
+            "sessions_per_second": round(
+                len(self.records) / seconds if seconds else 0.0, 6),
+            "makespan_cycles": makespan,
+            "queue_delay_cycles": {
+                "mean": round(sum(delays) / len(delays) if delays else 0.0, 3),
+                "p50": percentile(delays, 50),
+                "p95": percentile(delays, 95),
+                "max": float(max(delays)) if delays else 0.0,
+            },
+            "utilization_time_weighted": round(
+                self._time_weighted_mean("utilization"), 6),
+            "fragmentation": {
+                "time_weighted_mean": round(
+                    self._time_weighted_mean("fragmentation"), 6),
+                "max": round(max((s.fragmentation for s in self.samples),
+                                 default=0.0), 6),
+            },
+            "queue_length_max": max((s.queue_length for s in self.samples),
+                                    default=0),
+            "admission_failures": self.admission_failures,
+            "sessions_rejected": self.rejected,
+        }

@@ -1,0 +1,240 @@
+"""The cluster scheduler: an event-driven multi-tenant serving loop.
+
+:class:`ClusterScheduler` runs on the chip's existing
+:class:`~repro.sim.engine.Simulator`: a trace of
+:class:`~repro.serving.workload.TenantSession` requests arrives over
+simulated time; each session is admitted (or queued) by the configured
+admission policy, provisioned as a vNPU through the hypervisor, served
+for its estimated model runtime, then destroyed — freeing cores and
+memory for the queue. The loop is the churn the paper's evaluation is
+about: placements happen under fragmentation left by earlier tenants,
+which is why the hypervisor's ``map_similar`` cache and the registered
+mapping strategies sit directly on this path.
+
+Service time is the *solo* steady-state estimate of the session's model
+on its actual placement (warm-up + inferences x iteration cycles +
+routing-table setup). Cross-tenant slowdown is deliberately not fed back
+into durations — it would make every departure time depend on the whole
+residency history — but the placement quality (mapping distance,
+fragmentation) is recorded per session, so interference-prone placements
+remain visible in the metrics. Estimates are memoized per
+(model, shape), keeping a 500-session trace to a handful of compiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.chip import Chip
+from repro.core.hypervisor import Hypervisor
+from repro.core.strategies import resolve_strategy
+from repro.core.vnpu import VNpuSpec
+from repro.errors import AllocationError, ServingError
+from repro.runtime.session import compile_model, estimate_together
+from repro.serving.metrics import (
+    ClusterSample,
+    ServingMetrics,
+    SessionRecord,
+    fragmentation_ratio,
+)
+from repro.serving.policies import AdmissionPolicy, resolve_policy
+from repro.serving.workload import MODEL_BUILDERS, TenantSession
+
+
+@dataclass
+class PendingSession:
+    """A queued arrival; ``blocked`` marks a failed placement attempt.
+
+    Blocked entries are skipped by policies until a departure changes the
+    free-core set (re-trying the same placement against the same free set
+    would fail identically).
+    """
+
+    session: TenantSession
+    blocked: bool = False
+
+
+@dataclass
+class ActiveSession:
+    session: TenantSession
+    vmid: int
+    admit_cycle: int
+    strategy: str
+    mapping_distance: float
+    mapping_connected: bool
+
+
+class ClusterScheduler:
+    """Serves a tenant trace on one chip through the hypervisor."""
+
+    def __init__(self, chip: Chip,
+                 hypervisor: Hypervisor | None = None,
+                 policy: AdmissionPolicy | str = "fcfs",
+                 strategy: str | None = None) -> None:
+        self.chip = chip
+        self.sim = chip.sim
+        self.hypervisor = hypervisor or Hypervisor(chip)
+        self.policy = (resolve_policy(policy) if isinstance(policy, str)
+                       else policy)
+        if strategy is not None:
+            resolve_strategy(strategy)  # fail fast, like the hypervisor
+        #: Mapping-strategy name forwarded to ``create_vnpu`` (None ->
+        #: the hypervisor's default).
+        self.strategy = strategy
+        self.metrics = ServingMetrics()
+        self._pending: list[PendingSession] = []
+        self._active: dict[int, ActiveSession] = {}
+        self._models = dict(MODEL_BUILDERS)
+        #: (model, rows, cols) -> (warmup_cycles, iteration_cycles).
+        self._service_cache: dict[tuple[str, int, int], tuple[int, int]] = {}
+        self._trace_loaded = False
+
+    # -- public API --------------------------------------------------------
+    def register_model(self, name: str, builder) -> None:
+        """Make ``builder`` (zero-arg -> ModelGraph) available to traces."""
+        if name in self._models:
+            raise ServingError(f"model {name!r} already registered")
+        self._models[name] = builder
+
+    def submit(self, trace: list[TenantSession]) -> None:
+        """Queue a trace; arrivals are replayed at their recorded cycles."""
+        if self._trace_loaded:
+            raise ServingError("scheduler already has a trace submitted")
+        ordered = sorted(trace, key=lambda s: (s.arrival_cycle, s.session_id))
+        for session in ordered:
+            if session.model not in self._models:
+                raise ServingError(
+                    f"session {session.session_id} wants unknown model "
+                    f"{session.model!r}"
+                )
+            if session.core_count > self.chip.core_count:
+                raise ServingError(
+                    f"session {session.session_id} wants "
+                    f"{session.core_count} cores; chip has "
+                    f"{self.chip.core_count}"
+                )
+        self.sim.process(self._arrivals(ordered), name="serving-arrivals")
+        self._trace_loaded = True
+
+    def run(self, until: int | None = None) -> int:
+        """Drive the simulation until the trace is fully served."""
+        if not self._trace_loaded:
+            raise ServingError("submit() a trace before run()")
+        if until is not None:
+            return self.sim.run(until=until)
+        return self.sim.run_until_processes_done()
+
+    def serve(self, trace: list[TenantSession]) -> ServingMetrics:
+        """Convenience: submit + run + return the metrics."""
+        self.submit(trace)
+        self.run()
+        return self.metrics
+
+    # -- simulation processes ----------------------------------------------
+    def _arrivals(self, trace: list[TenantSession]):
+        for session in trace:
+            gap = session.arrival_cycle - self.sim.now
+            if gap > 0:
+                yield self.sim.timeout(gap)
+            self._pending.append(PendingSession(session))
+            self._admit_loop()
+            self._sample()
+
+    def _session_lifetime(self, active: ActiveSession, service_cycles: int):
+        yield self.sim.timeout(service_cycles)
+        self._depart(active)
+        # A departure changes the free set: parked placements get a new try.
+        for entry in self._pending:
+            entry.blocked = False
+        self._admit_loop()
+        self._sample()
+
+    # -- admission ---------------------------------------------------------
+    def _admit_loop(self) -> None:
+        while True:
+            entry = self.policy.select(self._pending,
+                                       self.hypervisor.free_core_count())
+            if entry is None:
+                return
+            self._try_admit(entry)
+
+    def _try_admit(self, entry: PendingSession) -> None:
+        session = entry.session
+        spec = VNpuSpec(
+            name=session.tenant,
+            topology=session.shape,
+            memory_bytes=session.memory_bytes,
+        )
+        try:
+            vnpu = self.hypervisor.create_vnpu(spec, strategy=self.strategy)
+        except AllocationError:
+            self.metrics.admission_failures += 1
+            if not self.hypervisor.vnpus:
+                # Even an empty chip cannot host this request: drop it
+                # instead of deadlocking the queue behind it. (Checked
+                # against the hypervisor, not our own sessions — a shared
+                # hypervisor may host tenants we did not admit.)
+                self._pending.remove(entry)
+                self.metrics.rejected += 1
+            else:
+                entry.blocked = True
+            return
+        self._pending.remove(entry)
+        active = ActiveSession(
+            session=session,
+            vmid=vnpu.vmid,
+            admit_cycle=self.sim.now,
+            strategy=vnpu.mapping.strategy,
+            mapping_distance=vnpu.mapping.distance,
+            mapping_connected=vnpu.mapping.connected,
+        )
+        self._active[vnpu.vmid] = active
+        service = self._service_cycles(session, vnpu)
+        self.sim.process(
+            self._session_lifetime(active, service),
+            name=f"serving-session-{session.session_id}",
+        )
+        # No sample here: the _admit_loop caller samples once afterwards,
+        # and same-cycle duplicates carry zero weight in the summaries.
+
+    def _depart(self, active: ActiveSession) -> None:
+        self.hypervisor.destroy_vnpu(active.vmid)
+        del self._active[active.vmid]
+        session = active.session
+        self.metrics.record_departure(SessionRecord(
+            session_id=session.session_id,
+            tenant=session.tenant,
+            model=session.model,
+            cores=session.core_count,
+            arrival_cycle=session.arrival_cycle,
+            admit_cycle=active.admit_cycle,
+            depart_cycle=self.sim.now,
+            strategy=active.strategy,
+            mapping_distance=active.mapping_distance,
+            mapping_connected=active.mapping_connected,
+        ))
+
+    # -- service-time model ------------------------------------------------
+    def _service_cycles(self, session: TenantSession, vnpu) -> int:
+        key = (session.model, session.rows, session.cols)
+        cached = self._service_cache.get(key)
+        if cached is None:
+            model = self._models[session.model]()
+            placed = compile_model(model, vnpu, self.chip)
+            report = estimate_together(self.chip, [placed])[placed.name]
+            cached = (report.warmup_cycles, report.iteration_cycles)
+            self._service_cache[key] = cached
+        warmup, iteration = cached
+        return max(1, warmup + session.inferences * iteration
+                   + vnpu.setup_cycles)
+
+    # -- observability -----------------------------------------------------
+    def _sample(self) -> None:
+        allocated = self.hypervisor.allocated_cores
+        self.metrics.sample(ClusterSample(
+            cycle=self.sim.now,
+            free_cores=self.chip.core_count - len(allocated),
+            utilization=self.hypervisor.core_utilization(),
+            fragmentation=fragmentation_ratio(self.chip.topology, allocated),
+            queue_length=len(self._pending),
+        ))

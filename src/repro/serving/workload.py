@@ -1,0 +1,118 @@
+"""Seeded tenant-session traces for the serving simulator.
+
+A trace is a list of :class:`TenantSession` requests sorted by arrival
+cycle: each tenant asks for a mesh of cores, some guest memory, a model
+from the zoo and a number of inferences to run before departing. Traces
+are fully determined by their seed — inter-arrival gaps are drawn from an
+exponential distribution through ``random.Random(seed)``, so two calls
+with the same arguments produce identical traces (the property the
+serving benchmark's byte-identical-JSON check rests on).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.arch.config import MB
+from repro.arch.topology import MeshShape
+from repro.errors import ServingError
+from repro.workloads import (
+    alexnet,
+    bert_base,
+    gpt2,
+    mobilenet,
+    resnet,
+    yolo_lite,
+)
+
+#: Model zoo slice used by the generator: name -> zero-arg builder.
+#: Kept to the cheaper graphs so a 500-session trace compiles quickly.
+MODEL_BUILDERS = {
+    "alexnet": alexnet,
+    "bert-base": lambda: bert_base(128),
+    "gpt2-small": lambda: gpt2("small", 256),
+    "mobilenet": mobilenet,
+    "resnet18": lambda: resnet(18),
+    "resnet34": lambda: resnet(34),
+    "yolo-lite": yolo_lite,
+}
+
+#: Request shapes with draw weights: mostly small tenants, a thin tail of
+#: near-chip-sized ones (the paper's multi-tenant mix, Fig 16).
+SHAPE_MIX = (
+    (MeshShape(1, 2), 15),
+    (MeshShape(2, 2), 30),
+    (MeshShape(2, 3), 20),
+    (MeshShape(3, 3), 15),
+    (MeshShape(3, 4), 10),
+    (MeshShape(4, 4), 6),
+    (MeshShape(4, 6), 3),
+    (MeshShape(6, 6), 1),
+)
+
+
+@dataclass(frozen=True)
+class TenantSession:
+    """One tenant's request in a serving trace."""
+
+    session_id: int
+    tenant: str
+    arrival_cycle: int
+    rows: int
+    cols: int
+    memory_bytes: int
+    model: str
+    #: Inferences to serve before the tenant departs.
+    inferences: int
+    priority: int = 0
+
+    @property
+    def shape(self) -> MeshShape:
+        return MeshShape(self.rows, self.cols)
+
+    @property
+    def core_count(self) -> int:
+        return self.rows * self.cols
+
+
+def generate_trace(seed: int,
+                   sessions: int,
+                   max_cores: int = 36,
+                   mean_interarrival_cycles: int = 2_000_000,
+                   min_inferences: int = 20,
+                   max_inferences: int = 200,
+                   memory_per_core_bytes: int = 32 * MB) -> list[TenantSession]:
+    """A deterministic Poisson-style trace of ``sessions`` tenant sessions.
+
+    Shapes larger than ``max_cores`` are excluded from the mix so every
+    request is admissible on the target chip eventually.
+    """
+    if sessions < 1:
+        raise ServingError(f"trace needs at least one session, got {sessions}")
+    shapes = [(shape, weight) for shape, weight in SHAPE_MIX
+              if shape.node_count <= max_cores]
+    if not shapes:
+        raise ServingError(f"no trace shape fits a {max_cores}-core chip")
+    rng = random.Random(seed)
+    models = sorted(MODEL_BUILDERS)
+    population = [shape for shape, _ in shapes]
+    weights = [weight for _, weight in shapes]
+
+    trace: list[TenantSession] = []
+    cycle = 0
+    for session_id in range(sessions):
+        cycle += 1 + int(rng.expovariate(1.0 / mean_interarrival_cycles))
+        shape = rng.choices(population, weights=weights, k=1)[0]
+        trace.append(TenantSession(
+            session_id=session_id,
+            tenant=f"tenant-{session_id:04d}",
+            arrival_cycle=cycle,
+            rows=shape.rows,
+            cols=shape.cols,
+            memory_bytes=shape.node_count * memory_per_core_bytes,
+            model=rng.choice(models),
+            inferences=rng.randint(min_inferences, max_inferences),
+            priority=rng.randint(0, 2),
+        ))
+    return trace

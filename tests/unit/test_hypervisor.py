@@ -129,6 +129,51 @@ class TestMemory:
         assert hv.core_utilization() == 0.0
         assert hv.buddy.free_bytes == capacity
 
+    def test_memory_failure_mid_create_rolls_back(self, monkeypatch):
+        """hypervisor.py's create rollback: a mid-create AllocationError
+        must remove the already-installed routing table and leave the
+        buddy allocator exactly as it was."""
+        hv = make_hypervisor()
+        capacity = hv.buddy.capacity
+        real_alloc = hv.buddy.alloc
+        calls = {"count": 0}
+
+        def alloc_once_then_fail(size):
+            calls["count"] += 1
+            if calls["count"] > 1:
+                raise AllocationError("injected mid-create failure")
+            return real_alloc(size)
+
+        monkeypatch.setattr(hv.buddy, "alloc", alloc_once_then_fail)
+        with pytest.raises(AllocationError):
+            hv.create_vnpu(spec(memory=48 * MB))  # 32M + 16M: two allocs
+        assert calls["count"] > 1  # the failure really hit mid-allocation
+        # Routing table rolled back, buddy blocks coalesced, no cores held.
+        assert hv.chip.controller.ivrouter.vmids == []
+        assert hv.buddy.free_bytes == capacity
+        assert hv.core_utilization() == 0.0
+        # The rolled-back VMID is reissued to the next successful create.
+        monkeypatch.setattr(hv.buddy, "alloc", real_alloc)
+        assert hv.create_vnpu(spec()).vmid == 1
+
+    def test_meta_zone_failure_mid_create_rolls_back(self, monkeypatch):
+        """A meta-zone exhaustion during install must free the guest
+        memory, clear partial meta installs and remove the routing table."""
+        hv = make_hypervisor()
+        capacity = hv.buddy.capacity
+
+        def exhausted(*args, **kwargs):
+            raise AllocationError("injected meta-zone exhaustion")
+
+        monkeypatch.setattr(hv, "_install_meta_tables", exhausted)
+        with pytest.raises(AllocationError):
+            hv.create_vnpu(spec())
+        assert hv.chip.controller.ivrouter.vmids == []
+        assert hv.buddy.free_bytes == capacity
+        assert hv.core_utilization() == 0.0
+        for core in hv.chip.cores.values():
+            assert core.scratchpad.meta_regions == []
+
     def test_guest_translation_through_vchunk(self):
         hv = make_hypervisor()
         vnpu = hv.create_vnpu(spec(memory=64 * MB))

@@ -1,0 +1,285 @@
+"""Unit tests for the serving layer: traces, cache, registries, scheduler."""
+
+import pytest
+
+from repro.arch.chip import Chip
+from repro.arch.config import MB, sim_config
+from repro.arch.topology import MeshShape, Topology
+from repro.core.hypervisor import Hypervisor
+from repro.core.strategies import (
+    available_strategies,
+    register_strategy,
+    resolve_strategy,
+    unregister_strategy,
+)
+from repro.core.topology_mapping import TopologyMapper
+from repro.core.vnpu import VNpuSpec
+from repro.errors import ConfigError, HypervisorError, ServingError
+from repro.serving import (
+    ClusterScheduler,
+    PendingSession,
+    TenantSession,
+    generate_trace,
+    register_policy,
+    resolve_policy,
+)
+from repro.serving.metrics import fragmentation_ratio, percentile
+from repro.serving.policies import BestFitPolicy, FCFSPolicy, PriorityPolicy
+
+
+def session(session_id=0, arrival=0, rows=2, cols=2, priority=0,
+            model="alexnet", inferences=10):
+    return TenantSession(
+        session_id=session_id, tenant=f"t{session_id}",
+        arrival_cycle=arrival, rows=rows, cols=cols,
+        memory_bytes=rows * cols * 8 * MB, model=model,
+        inferences=inferences, priority=priority,
+    )
+
+
+class TestTraceGenerator:
+    def test_same_seed_identical(self):
+        assert generate_trace(42, 50) == generate_trace(42, 50)
+
+    def test_different_seed_differs(self):
+        assert generate_trace(1, 50) != generate_trace(2, 50)
+
+    def test_arrivals_strictly_increase(self):
+        trace = generate_trace(3, 80)
+        arrivals = [s.arrival_cycle for s in trace]
+        assert arrivals == sorted(arrivals)
+        assert len(set(arrivals)) == len(arrivals)
+
+    def test_shapes_respect_chip_size(self):
+        trace = generate_trace(5, 100, max_cores=16)
+        assert all(s.core_count <= 16 for s in trace)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ServingError):
+            generate_trace(0, 0)
+
+
+class TestMappingCache:
+    CASES = [
+        (Topology.mesh2d(2, 2), set()),
+        (Topology.mesh2d(2, 2), {0, 1, 2, 7, 8}),
+        (Topology.mesh2d(2, 3), {0, 5, 10, 15, 20}),
+        (Topology.line(3), {1, 3, 5, 7, 9, 11}),
+    ]
+
+    def test_cached_results_match_uncached(self):
+        chip = Topology.mesh2d(5, 5)
+        cached = TopologyMapper(chip)
+        uncached = TopologyMapper(chip, cache_size=0)
+        for request, allocated in self.CASES:
+            for _ in range(2):  # second pass hits the cache
+                a = cached.map_similar(request, set(allocated))
+                b = uncached.map_similar(request, set(allocated))
+                assert a.vmap == b.vmap
+                assert a.distance == b.distance
+                assert a.connected == b.connected
+        assert cached.cache_hits > 0
+        assert uncached.cache_hits == 0
+
+    def test_hit_returns_fresh_vmap(self):
+        mapper = TopologyMapper(Topology.mesh2d(4, 4))
+        request = Topology.mesh2d(2, 2)
+        first = mapper.map_similar(request)
+        first.vmap[99] = 99  # corrupting the result must not poison the cache
+        second = mapper.map_similar(request)
+        assert 99 not in second.vmap
+        assert mapper.cache_hits == 1
+
+    def test_name_does_not_split_cache_entries(self):
+        """Tenants name their request meshes differently; structure decides."""
+        mapper = TopologyMapper(Topology.mesh2d(4, 4))
+        mapper.map_similar(Topology.mesh2d(2, 2, name="tenant-a-req"))
+        mapper.map_similar(Topology.mesh2d(2, 2, name="tenant-b-req"))
+        assert mapper.cache_stats()["hits"] == 1
+
+    def test_eviction_bounds_entries(self):
+        mapper = TopologyMapper(Topology.mesh2d(4, 4), cache_size=1)
+        mapper.map_similar(Topology.mesh2d(2, 2))
+        mapper.map_similar(Topology.mesh2d(1, 3))
+        assert mapper.cache_stats()["entries"] == 1
+
+    def test_clear_cache(self):
+        mapper = TopologyMapper(Topology.mesh2d(4, 4))
+        mapper.map_similar(Topology.mesh2d(2, 2))
+        mapper.clear_mapping_cache()
+        assert mapper.cache_stats()["entries"] == 0
+
+
+class TestStrategyRegistry:
+    def test_builtins_registered(self):
+        for name in ("exact", "similar", "straightforward", "fragmented"):
+            assert name in available_strategies()
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(HypervisorError):
+            resolve_strategy("vibes")
+
+    def test_duplicate_registration_rejected(self):
+        class Dupe:
+            name = "similar"
+
+            def map(self, mapper, spec, allocated):  # pragma: no cover
+                raise AssertionError
+
+        with pytest.raises(ConfigError):
+            register_strategy(Dupe())
+
+    def test_unregister_unknown_raises(self):
+        with pytest.raises(ConfigError):
+            unregister_strategy("never-registered")
+
+    def test_custom_strategy_flows_through_hypervisor(self):
+        class ReverseZigzag:
+            """Toy strategy: straightforward mapping, custom name."""
+
+            name = "test-reverse-zigzag"
+
+            def map(self, mapper, spec, allocated):
+                return mapper.map_straightforward(spec.topology, allocated)
+
+        register_strategy(ReverseZigzag())
+        try:
+            hv = Hypervisor(Chip(sim_config(16)))
+            vnpu = hv.create_vnpu(
+                VNpuSpec("t", MeshShape(2, 2), 16 * MB),
+                strategy="test-reverse-zigzag",
+            )
+            assert vnpu.mapping.strategy == "straightforward"
+        finally:
+            unregister_strategy("test-reverse-zigzag")
+
+
+class TestPolicyRegistry:
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ServingError):
+            resolve_policy("round-robin")
+
+    def test_duplicate_policy_rejected(self):
+        with pytest.raises(ServingError):
+            register_policy(FCFSPolicy())
+
+
+class TestPolicies:
+    def test_fcfs_head_of_line_blocks(self):
+        pending = [PendingSession(session(0, rows=3, cols=3)),
+                   PendingSession(session(1, rows=1, cols=2))]
+        assert FCFSPolicy().select(pending, free_cores=4) is None
+
+    def test_fcfs_skips_blocked_head(self):
+        head = PendingSession(session(0, rows=2, cols=2), blocked=True)
+        follower = PendingSession(session(1, rows=1, cols=2))
+        assert FCFSPolicy().select([head, follower], free_cores=4) is follower
+
+    def test_best_fit_prefers_tightest_packing(self):
+        small = PendingSession(session(0, rows=1, cols=2))
+        big = PendingSession(session(1, rows=2, cols=3))
+        assert BestFitPolicy().select([small, big], free_cores=6) is big
+        assert BestFitPolicy().select([small, big], free_cores=5) is small
+
+    def test_priority_orders_by_priority_then_arrival(self):
+        low = PendingSession(session(0, arrival=0, priority=0))
+        high = PendingSession(session(1, arrival=5, priority=2))
+        assert PriorityPolicy().select([low, high], free_cores=8) is high
+
+
+class TestMetricsHelpers:
+    def test_percentile_nearest_rank(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == 50.0
+        assert percentile(values, 95) == 95.0
+        assert percentile([], 95) == 0.0
+
+    def test_fragmentation_ratio(self):
+        mesh = Topology.mesh2d(2, 2)
+        assert fragmentation_ratio(mesh, set()) == 0.0
+        assert fragmentation_ratio(mesh, {0, 1, 2, 3}) == 0.0
+        # Free cores 0 and 3 are opposite corners: two 1-core fragments.
+        assert fragmentation_ratio(mesh, {1, 2}) == pytest.approx(0.5)
+
+
+class TestClusterScheduler:
+    def make(self, policy="fcfs", cores=16):
+        chip = Chip(sim_config(cores))
+        hv = Hypervisor(chip)
+        return ClusterScheduler(chip, hv, policy=policy), hv
+
+    def test_serves_whole_trace_and_frees_everything(self):
+        scheduler, hv = self.make()
+        trace = generate_trace(11, 25, max_cores=16)
+        metrics = scheduler.serve(trace)
+        assert len(metrics.records) + metrics.rejected == len(trace)
+        assert metrics.rejected == 0
+        assert hv.core_utilization() == 0.0
+        assert hv.vnpus == []
+        assert hv.buddy.free_bytes == hv.buddy.capacity
+        for record in metrics.records:
+            assert record.admit_cycle >= record.arrival_cycle
+            assert record.depart_cycle > record.admit_cycle
+
+    @pytest.mark.parametrize("policy", ["fcfs", "best_fit", "priority"])
+    def test_deterministic_across_runs(self, policy):
+        def run():
+            scheduler, _ = self.make(policy=policy)
+            metrics = scheduler.serve(generate_trace(23, 20, max_cores=16))
+            return metrics.summary(500_000_000)
+
+        assert run() == run()
+
+    def test_policies_share_completion_but_differ_in_order(self):
+        def admit_order(policy):
+            scheduler, _ = self.make(policy=policy)
+            # Tight arrivals force queueing so the policy actually chooses.
+            trace = generate_trace(31, 20, max_cores=16,
+                                   mean_interarrival_cycles=10_000)
+            metrics = scheduler.serve(trace)
+            return [r.session_id
+                    for r in sorted(metrics.records,
+                                    key=lambda r: (r.admit_cycle,
+                                                   r.session_id))]
+
+        orders = {policy: admit_order(policy)
+                  for policy in ("fcfs", "best_fit", "priority")}
+        assert all(len(order) == 20 for order in orders.values())
+        assert len({tuple(order) for order in orders.values()}) > 1
+
+    def test_mapping_cache_hit_under_churn(self):
+        scheduler, hv = self.make()
+        scheduler.serve(generate_trace(7, 40, max_cores=16))
+        assert hv.mapper.cache_hits > 0
+
+    def test_bad_strategy_fails_at_construction(self):
+        chip = Chip(sim_config(16))
+        with pytest.raises(HypervisorError):
+            ClusterScheduler(chip, strategy="similiar")
+
+    def test_run_before_submit_raises(self):
+        scheduler, _ = self.make()
+        with pytest.raises(ServingError):
+            scheduler.run()
+
+    def test_double_submit_raises(self):
+        scheduler, _ = self.make()
+        scheduler.submit(generate_trace(1, 3, max_cores=16))
+        with pytest.raises(ServingError):
+            scheduler.submit(generate_trace(2, 3, max_cores=16))
+
+    def test_unknown_model_rejected_at_submit(self):
+        scheduler, _ = self.make()
+        with pytest.raises(ServingError):
+            scheduler.submit([session(model="skynet")])
+
+    def test_oversized_session_rejected_at_submit(self):
+        scheduler, _ = self.make()
+        with pytest.raises(ServingError):
+            scheduler.submit([session(rows=6, cols=6)])
+
+    def test_queue_delay_zero_on_idle_chip(self):
+        scheduler, _ = self.make()
+        # One tiny tenant on an empty chip: admitted the cycle it arrives.
+        metrics = scheduler.serve([session(0, arrival=10)])
+        assert metrics.records[0].queue_delay_cycles == 0
