@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""Fleet benchmark: multi-chip serving with live-migration defrag.
+
+Replays a seeded fragmentation-heavy trace across an N-chip
+:class:`~repro.serving.fleet.FleetScheduler` twice — once with live
+vNPU migration enabled (:class:`~repro.serving.fleet.DefragPolicy`) and
+once as a no-migration baseline — then once per cross-chip placement
+policy, and emits a canonical JSON artifact: per-chip utilization
+spread, queue p50/p95, migration counts, and fragmentation before
+(baseline) / after (defrag). Two runs with the same seed produce
+byte-identical JSON.
+
+Run:  PYTHONPATH=src python benchmarks/bench_fleet.py [--quick]
+      (or plainly ``python benchmarks/bench_fleet.py`` — the script
+      bootstraps ``src`` onto ``sys.path`` itself)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+for _entry in (str(_ROOT), str(_ROOT / "src")):
+    if _entry not in sys.path:
+        sys.path.insert(0, _entry)
+
+from benchmarks.common import Table, write_bench_json  # noqa: E402
+from repro.arch.config import sim_config  # noqa: E402
+from repro.serving import (  # noqa: E402
+    DefragPolicy,
+    FleetScheduler,
+    generate_fleet_trace,
+)
+
+#: Fleet-wide mean inter-arrival gap that lands the fleet at moderate
+#: utilization — blocked arrivals are fragmentation's fault, not raw
+#: capacity's, which is the regime live migration exists for.
+MEAN_INTERARRIVAL = 20_000_000
+
+
+def run_fleet(seed: int, sessions: int, chips: int, cores: int,
+              placement: str, defrag: DefragPolicy | None) -> dict:
+    trace = generate_fleet_trace(
+        seed, sessions, chips=chips, max_cores=cores,
+        mean_interarrival_cycles=MEAN_INTERARRIVAL,
+        fragmentation_heavy=True,
+    )
+    fleet = FleetScheduler.homogeneous(chips, cores=cores,
+                                       placement=placement, defrag=defrag)
+    metrics = fleet.serve(trace)
+    frequency = fleet.chips[0].chip.config.frequency_hz
+    return metrics.summary(frequency)
+
+
+def digest(summary: dict) -> dict:
+    """The comparable slice of one fleet run's summary."""
+    return {
+        "admission_failures": summary["admission_failures"],
+        "fragmentation": summary["fragmentation"],
+        "migrations": summary["fleet"]["migrations"],
+        "per_chip_utilization_time_weighted":
+            summary["fleet"]["per_chip_utilization_time_weighted"],
+        "queue_delay_cycles": summary["queue_delay_cycles"],
+        "sessions_completed": summary["sessions_completed"],
+        "sessions_migrated": summary["fleet"]["sessions_migrated"],
+        "sessions_rejected": summary["sessions_rejected"],
+        "utilization_spread_time_weighted":
+            summary["fleet"]["utilization_spread_time_weighted"],
+        "utilization_time_weighted": summary["utilization_time_weighted"],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sessions", type=int, default=150,
+                        help="trace length (default: 150)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--chips", type=int, default=3,
+                        help="fleet size (default: 3)")
+    parser.add_argument("--cores", type=int, default=16,
+                        help="cores per chip (default: 16)")
+    parser.add_argument("--threshold", type=float, default=0.2,
+                        help="defrag fragmentation threshold (default: 0.2)")
+    parser.add_argument("--quick", action="store_true",
+                        help="60-session smoke run (CI)")
+    parser.add_argument("--out", default=None,
+                        help="directory for BENCH_fleet.json "
+                             "(default: benchmarks/)")
+    args = parser.parse_args(argv)
+    sessions = 60 if args.quick else args.sessions
+    defrag = DefragPolicy(fragmentation_threshold=args.threshold)
+
+    # The headline comparison: same trace, migration on vs off.
+    baseline = run_fleet(args.seed, sessions, args.chips, args.cores,
+                         "least_loaded", None)
+    defragged = run_fleet(args.seed, sessions, args.chips, args.cores,
+                          "least_loaded", defrag)
+
+    # Cross-chip placement policies, all with defrag enabled.
+    placements = {
+        name: digest(run_fleet(args.seed, sessions, args.chips, args.cores,
+                               name, defrag))
+        for name in ("best_fit", "power_of_two")
+    }
+    placements["least_loaded"] = digest(defragged)
+
+    base_p95 = baseline["queue_delay_cycles"]["p95"]
+    dfr_p95 = defragged["queue_delay_cycles"]["p95"]
+    payload = {
+        "config": {
+            "bench": "fleet",
+            "chips": args.chips,
+            "cores_per_chip": args.cores,
+            "defrag_threshold": args.threshold,
+            "mean_interarrival_cycles": MEAN_INTERARRIVAL,
+            "seed": args.seed,
+            "sessions": sessions,
+        },
+        "defrag_comparison": {
+            "baseline_no_migration": digest(baseline),
+            "defrag_enabled": digest(defragged),
+            #: Fragmentation before (no migration) and after (defrag).
+            "fragmentation_before": baseline["fragmentation"],
+            "fragmentation_after": defragged["fragmentation"],
+            "p95_queue_delay_improvement": round(
+                (base_p95 - dfr_p95) / base_p95 if base_p95 else 0.0, 6),
+        },
+        "placements": placements,
+    }
+    path = write_bench_json("fleet", payload, directory=args.out)
+
+    table = Table(
+        f"Fleet — {sessions} sessions, seed {args.seed}, "
+        f"{args.chips} x {args.cores}-core chips",
+        ["metric", "no migration", "defrag"],
+    )
+    for label, key in (("queue delay p50 (cycles)", "p50"),
+                       ("queue delay p95 (cycles)", "p95"),
+                       ("queue delay mean (cycles)", "mean")):
+        table.add(label, baseline["queue_delay_cycles"][key],
+                  defragged["queue_delay_cycles"][key])
+    table.add("admission failures", baseline["admission_failures"],
+              defragged["admission_failures"])
+    table.add("fragmentation (mean)",
+              baseline["fragmentation"]["time_weighted_mean"],
+              defragged["fragmentation"]["time_weighted_mean"])
+    table.add("utilization spread",
+              baseline["fleet"]["utilization_spread_time_weighted"],
+              defragged["fleet"]["utilization_spread_time_weighted"])
+    table.add("migrations", 0, defragged["fleet"]["migrations"])
+    table.show()
+    print(f"p95 queue-delay improvement: "
+          f"{payload['defrag_comparison']['p95_queue_delay_improvement']:.1%}")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -50,7 +50,15 @@ from repro.runtime.session import (
     deploy,
     estimate_together,
 )
-from repro.serving import ClusterScheduler, ServingMetrics, generate_trace
+from repro.serving import (
+    ClusterScheduler,
+    DefragPolicy,
+    FleetMetrics,
+    FleetScheduler,
+    ServingMetrics,
+    generate_fleet_trace,
+    generate_trace,
+)
 
 __version__ = "1.0.0"
 
@@ -58,8 +66,11 @@ __all__ = [
     "Chip",
     "ClusterScheduler",
     "CoreConfig",
+    "DefragPolicy",
     "EditCosts",
     "Executor",
+    "FleetMetrics",
+    "FleetScheduler",
     "Hypervisor",
     "MappingResult",
     "MappingStrategy",
@@ -81,6 +92,7 @@ __all__ = [
     "estimate_together",
     "fpga_config",
     "ged",
+    "generate_fleet_trace",
     "generate_trace",
     "register_strategy",
     "resolve_strategy",

@@ -17,10 +17,17 @@ each ``create_vnpu`` it:
 5. wires the NoC vRouter in confined or DOR mode per the spec.
 
 ``destroy_vnpu`` releases cores, coalesces memory back into the buddy
-allocator and removes the routing table.
+allocator and removes the routing table. ``migrate_vnpu`` is live
+migration for defragmentation: the tenant is re-placed (on this chip or
+another chip's hypervisor), its guest memory re-mapped onto the
+destination buddy allocator, routing table and meta-zones rebuilt, and
+the data-movement + reconfiguration cost returned so a serving loop can
+charge it to the session's timeline.
 """
 
 from __future__ import annotations
+
+import math
 
 from repro.arch.chip import Chip
 from repro.core.routing_table import (
@@ -97,7 +104,69 @@ class Hypervisor:
         """Allocate and configure a virtual NPU for ``spec``."""
         strategy = strategy or self.strategy
         mapping = self._map_cores(spec, resolve_strategy(strategy))
-        vmid = self._next_vmid
+        return self._provision(spec, mapping)
+
+    def destroy_vnpu(self, vmid: int) -> None:
+        self._teardown(self.vnpu(vmid))
+
+    def migrate_vnpu(self, vmid: int,
+                     destination: "Hypervisor | None" = None,
+                     strategy: str | None = None) -> tuple[VirtualNPU, int]:
+        """Live-migrate a vNPU onto ``destination`` (``None``/self = defrag
+        in place on this chip).
+
+        The tenant is re-placed with ``strategy`` (default: the
+        destination's configured strategy), its guest memory re-mapped
+        onto the destination's buddy allocator, and routing table +
+        meta-zones rebuilt there. Returns the new :class:`VirtualNPU`
+        (same VMID for in-place migration, a fresh destination VMID for
+        cross-chip moves) and the migration cost in cycles: draining and
+        refilling the resident memory at the slower of the two memory
+        systems, plus the Fig-11 routing-table reconfiguration already
+        charged as the new vNPU's ``setup_cycles``.
+
+        A failed placement raises :class:`~repro.errors.AllocationError`
+        (or :class:`~repro.errors.TopologyLockIn`) and leaves the source
+        vNPU untouched.
+        """
+        destination = destination if destination is not None else self
+        vnpu = self.vnpu(vmid)
+        strat = resolve_strategy(strategy or destination.strategy)
+        in_place = destination is self
+        if in_place:
+            # The tenant's own cores count as free: in-place migration
+            # exists to *compact* the chip, and the mapper may re-use any
+            # of them.
+            allocated = self.allocated_cores - set(vnpu.physical_cores)
+        else:
+            allocated = destination.allocated_cores
+        mapping = strat.map(destination.mapper, vnpu.spec, allocated)
+        resident_bytes = vnpu.memory_bytes
+
+        if in_place:
+            old_mapping = vnpu.mapping
+            self._teardown(vnpu)
+            try:
+                migrated = self._provision(vnpu.spec, mapping, vmid=vmid)
+            except AllocationError:
+                # Restore the original placement (same cores, same block
+                # sizes against the just-freed space: cannot fail).
+                self._provision(vnpu.spec, old_mapping, vmid=vmid)
+                raise
+        else:
+            migrated = destination._provision(vnpu.spec, mapping)
+            self._teardown(vnpu)
+
+        cycles = self._migration_cycles(resident_bytes, destination, migrated)
+        return migrated, cycles
+
+    # -- internals ---------------------------------------------------------------
+    def _provision(self, spec: VNpuSpec, mapping: MappingResult,
+                   vmid: int | None = None) -> VirtualNPU:
+        """Configure a vNPU on an already-computed core mapping."""
+        fresh_vmid = vmid is None
+        if fresh_vmid:
+            vmid = self._next_vmid
 
         routing_table = self._build_routing_table(vmid, mapping)
         setup_cycles = self.chip.controller.install_routing_table(
@@ -142,21 +211,34 @@ class Hypervisor:
             setup_cycles=setup_cycles,
         )
         self._vnpus[vmid] = vnpu
-        self._next_vmid += 1
+        if fresh_vmid:
+            self._next_vmid += 1
         return vnpu
 
-    def destroy_vnpu(self, vmid: int) -> None:
-        vnpu = self.vnpu(vmid)
+    def _teardown(self, vnpu: VirtualNPU) -> None:
+        """Release every resource ``vnpu`` holds on this chip."""
         for block in vnpu.memory_blocks:
             self.buddy.free(block.address)
         for p_core in vnpu.physical_cores:
             spad = self.chip.core(p_core).scratchpad
             spad.reset_meta_zone(hyper_mode=True)
             spad.reset_weight_zone()
-        self.chip.controller.remove_routing_table(vmid, hyper_mode=True)
-        del self._vnpus[vmid]
+        self.chip.controller.remove_routing_table(vnpu.vmid, hyper_mode=True)
+        del self._vnpus[vnpu.vmid]
 
-    # -- internals ---------------------------------------------------------------
+    def _migration_cycles(self, resident_bytes: int,
+                          destination: "Hypervisor",
+                          migrated: VirtualNPU) -> int:
+        """Data movement at the slower memory system + Fig-11 reconfig."""
+        src = self.chip.config
+        dst = destination.chip.config
+        bytes_per_cycle = min(
+            src.memory.bytes_per_cycle(src.frequency_hz),
+            dst.memory.bytes_per_cycle(dst.frequency_hz),
+        )
+        data_cycles = math.ceil(resident_bytes / bytes_per_cycle)
+        return data_cycles + migrated.setup_cycles
+
     def _map_cores(self, spec: VNpuSpec,
                    strategy: MappingStrategy) -> MappingResult:
         return strategy.map(self.mapper, spec, self.allocated_cores)

@@ -77,6 +77,20 @@ class BuddyAllocator:
         return sum(self.block_size(order) for order in self._allocated.values())
 
     @property
+    def fully_coalesced(self) -> bool:
+        """True when the allocator is back to one maximal free block.
+
+        This is the no-leak invariant: after every allocation has been
+        freed, buddy coalescing must have rebuilt the initial state —
+        nothing allocated, no stray sub-blocks on any free list.
+        """
+        if self._allocated:
+            return False
+        if any(self._free_lists[order] for order in range(self._max_order)):
+            return False
+        return self._free_lists[self._max_order] == {0}
+
+    @property
     def allocated_blocks(self) -> list[Block]:
         return sorted(
             (Block(self.base + off, self.block_size(order))

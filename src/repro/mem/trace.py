@@ -15,7 +15,7 @@ weight streaming:
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import defaultdict, deque
 from dataclasses import dataclass, field
 
 
@@ -41,14 +41,37 @@ class CorePatternStats:
 
 
 class MemoryTrace:
-    """Accumulates DMA access events for pattern analysis."""
+    """Accumulates DMA access events for pattern analysis.
 
-    def __init__(self) -> None:
-        self.events: list[AccessEvent] = []
+    Long workloads can produce traces far bigger than the analysis
+    needs, so the capture can be bounded: with ``max_events`` set, the
+    trace keeps a sliding window of the *newest* events (the steady
+    state is what the §4.2 patterns are about) and counts what it
+    dropped. ``flush`` hands the captured window to the caller and
+    resets the trace for the next capture interval.
+    """
+
+    def __init__(self, max_events: int | None = None) -> None:
+        if max_events is not None and max_events < 1:
+            raise ValueError(
+                f"max_events must be positive or None, got {max_events}")
+        self.max_events = max_events
+        self.events: deque[AccessEvent] = deque(maxlen=max_events)
+        #: Events evicted from the window since the last flush.
+        self.dropped = 0
 
     def record(self, core: int, iteration: int, virtual_address: int,
                nbytes: int) -> None:
+        if self.max_events is not None and len(self.events) == self.max_events:
+            self.dropped += 1
         self.events.append(AccessEvent(core, iteration, virtual_address, nbytes))
+
+    def flush(self) -> list[AccessEvent]:
+        """Return the captured window and reset the trace (and ``dropped``)."""
+        captured = list(self.events)
+        self.events.clear()
+        self.dropped = 0
+        return captured
 
     def __len__(self) -> int:
         return len(self.events)
@@ -111,6 +134,8 @@ class MemoryTrace:
 
     def summary(self) -> "TracePatternReport":
         stats = self.analyze()
+        if not stats:
+            return TracePatternReport()
         return TracePatternReport(
             per_core=stats,
             monotonic_fraction=(

@@ -1,4 +1,4 @@
-"""Dynamic multi-tenant serving: traces, admission policies, scheduler.
+"""Dynamic multi-tenant serving: traces, admission policies, schedulers.
 
 This layer turns the static create/deploy/estimate flow into a serving
 system: :func:`generate_trace` produces a seeded stream of tenant
@@ -6,10 +6,28 @@ sessions, and :class:`ClusterScheduler` replays it on a chip's
 discrete-event simulator — admitting, queueing, provisioning vNPUs and
 freeing them as tenants depart — while :class:`ServingMetrics` tracks
 queue delays, utilization and fragmentation over time.
+:class:`FleetScheduler` scales the same loop to N chips on one shared
+clock, with pluggable cross-chip placement policies and live vNPU
+migration for defragmentation (:class:`DefragPolicy`).
 """
 
+from repro.serving.fleet import (
+    BestFitPlacement,
+    DefragPolicy,
+    FleetChip,
+    FleetScheduler,
+    LeastLoadedPlacement,
+    PlacementPolicy,
+    PowerOfTwoPlacement,
+    available_placements,
+    register_placement,
+    resolve_placement,
+    unregister_placement,
+)
 from repro.serving.metrics import (
     ClusterSample,
+    FleetMetrics,
+    FleetSample,
     ServingMetrics,
     SessionRecord,
     fragmentation_ratio,
@@ -25,32 +43,56 @@ from repro.serving.policies import (
     resolve_policy,
     unregister_policy,
 )
-from repro.serving.scheduler import ClusterScheduler, PendingSession
+from repro.serving.scheduler import (
+    ClusterScheduler,
+    PendingSession,
+    ServiceTimeEstimator,
+    coerce_policy,
+)
 from repro.serving.workload import (
+    FRAGMENTATION_SHAPE_MIX,
     MODEL_BUILDERS,
     SHAPE_MIX,
     TenantSession,
+    generate_fleet_trace,
     generate_trace,
 )
 
 __all__ = [
     "AdmissionPolicy",
+    "BestFitPlacement",
     "BestFitPolicy",
     "ClusterSample",
     "ClusterScheduler",
+    "DefragPolicy",
     "FCFSPolicy",
+    "FRAGMENTATION_SHAPE_MIX",
+    "FleetChip",
+    "FleetMetrics",
+    "FleetSample",
+    "FleetScheduler",
+    "LeastLoadedPlacement",
     "MODEL_BUILDERS",
     "PendingSession",
+    "PlacementPolicy",
+    "PowerOfTwoPlacement",
     "PriorityPolicy",
     "SHAPE_MIX",
+    "ServiceTimeEstimator",
     "ServingMetrics",
     "SessionRecord",
     "TenantSession",
+    "available_placements",
     "available_policies",
+    "coerce_policy",
     "fragmentation_ratio",
+    "generate_fleet_trace",
     "generate_trace",
     "percentile",
+    "register_placement",
     "register_policy",
+    "resolve_placement",
     "resolve_policy",
+    "unregister_placement",
     "unregister_policy",
 ]

@@ -1,0 +1,512 @@
+"""Multi-chip fleet serving with live vNPU migration.
+
+:class:`FleetScheduler` coordinates N chips — each with its own
+:class:`~repro.core.hypervisor.Hypervisor` and per-chip state — on one
+shared simulated clock (every :class:`~repro.arch.chip.Chip` is built on
+the same :class:`~repro.sim.engine.Simulator`). Arrivals are admitted by
+the same pluggable :class:`~repro.serving.policies.AdmissionPolicy`
+family the single-chip scheduler uses; *which chip* hosts an admitted
+session is decided by a :class:`PlacementPolicy`, registered by name
+through the same registry idiom:
+
+- ``least_loaded`` — the chip with the most free cores;
+- ``best_fit`` — the chip whose trial placement has the smallest
+  topology-mapping distance (probes Algorithm 1 per chip; the mapper's
+  LRU cache keeps repeat probes cheap);
+- ``power_of_two`` — classic power-of-two-choices: two chips sampled by
+  a per-session seeded draw, the less loaded one first.
+
+When an arrival is blocked and a chip's fragmentation ratio crosses the
+configured threshold, the optional :class:`DefragPolicy` triggers **live
+migration** (:meth:`~repro.core.hypervisor.Hypervisor.migrate_vnpu`):
+resident tenants are re-placed — onto an emptier chip or compacted in
+place — their guest memory re-mapped onto the destination buddy
+allocator and routing tables rebuilt, with the migration cost (data
+movement + Fig-11 reconfiguration) charged to the migrated session's
+timeline. The fleet converts fragmentation into admitted sessions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.arch.chip import Chip
+from repro.arch.config import SoCConfig, sim_config
+from repro.arch.topology import Topology
+from repro.core.hypervisor import Hypervisor
+from repro.core.registry import Registry
+from repro.core.strategies import resolve_strategy
+from repro.core.vnpu import VNpuSpec
+from repro.errors import AllocationError, ServingError
+from repro.serving.metrics import (
+    ClusterSample,
+    FleetMetrics,
+    FleetSample,
+    SessionRecord,
+    fragmentation_ratio,
+)
+from repro.serving.policies import AdmissionPolicy
+from repro.serving.scheduler import (
+    PendingSession,
+    ServiceTimeEstimator,
+    coerce_policy,
+)
+from repro.serving.workload import TenantSession
+from repro.sim import Simulator
+
+
+@dataclass
+class FleetChip:
+    """One chip of the fleet: its hypervisor plus derived state."""
+
+    index: int
+    chip: Chip
+    hypervisor: Hypervisor
+
+    def free_cores(self) -> int:
+        return self.hypervisor.free_core_count()
+
+    def utilization(self) -> float:
+        return self.hypervisor.core_utilization()
+
+    def fragmentation(self) -> float:
+        return fragmentation_ratio(self.chip.topology,
+                                   self.hypervisor.allocated_cores)
+
+
+# -- cross-chip placement policies -----------------------------------------
+
+class PlacementPolicy:
+    """Orders the fleet's chips for one session's placement attempt.
+
+    ``rank`` returns the chips to try, best first; chips without enough
+    free cores are excluded. An empty ranking parks the session until a
+    departure (or migration) changes some chip's free set.
+    """
+
+    name: str
+
+    def rank(self, chips: "list[FleetChip]",
+             session: TenantSession) -> "list[FleetChip]":
+        raise NotImplementedError
+
+
+class LeastLoadedPlacement(PlacementPolicy):
+    """Most free cores first — the load-balancing baseline."""
+
+    name = "least_loaded"
+
+    def rank(self, chips, session):
+        fits = [c for c in chips if session.core_count <= c.free_cores()]
+        return sorted(fits, key=lambda c: (-c.free_cores(), c.index))
+
+
+class BestFitPlacement(PlacementPolicy):
+    """Smallest trial mapping distance across chips (then tightest fit).
+
+    Probes each candidate chip with the similar-topology mapper; a chip
+    whose probe finds no connected placement is excluded (the real
+    placement would fail the same way). Probe results are pure functions
+    of (request structure, free-core set), so the per-chip mapping cache
+    absorbs the repeat probes churn produces. The probe inherits the
+    mapper's candidate-enumeration cost: on large chips (36+ cores) with
+    heavily shattered free sets, ranking pays Algorithm 1's worst case
+    per chip — prefer ``least_loaded`` for big-chip fleets where probe
+    cost matters more than placement quality.
+    """
+
+    name = "best_fit"
+
+    def rank(self, chips, session):
+        request = Topology.mesh2d(session.rows, session.cols,
+                                  name="placement-probe")
+        scored = []
+        for fleet_chip in chips:
+            if session.core_count > fleet_chip.free_cores():
+                continue
+            mapper = fleet_chip.hypervisor.mapper
+            try:
+                trial = mapper.map_similar(
+                    request, fleet_chip.hypervisor.allocated_cores)
+            except AllocationError:
+                continue
+            leftover = fleet_chip.free_cores() - session.core_count
+            scored.append((trial.distance, leftover, fleet_chip.index,
+                           fleet_chip))
+        return [entry[-1] for entry in sorted(scored,
+                                              key=lambda e: e[:3])]
+
+
+class PowerOfTwoPlacement(PlacementPolicy):
+    """Power-of-two-choices: sample two chips, prefer the less loaded.
+
+    The draw is seeded per session (from the policy seed and the session
+    ID), not from a shared stream, so rankings are deterministic
+    regardless of how many times or in what order sessions are
+    (re-)ranked.
+    """
+
+    name = "power_of_two"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def rank(self, chips, session):
+        fits = [c for c in chips if session.core_count <= c.free_cores()]
+        if len(fits) <= 2:
+            return sorted(fits, key=lambda c: (-c.free_cores(), c.index))
+        rng = random.Random(self.seed * 1_000_003 + session.session_id)
+        pair = rng.sample(fits, 2)
+        return sorted(pair, key=lambda c: (-c.free_cores(), c.index))
+
+
+_PLACEMENTS: Registry[PlacementPolicy] = Registry("placement policy",
+                                                  ServingError)
+
+
+def register_placement(policy: PlacementPolicy,
+                       replace: bool = False) -> PlacementPolicy:
+    return _PLACEMENTS.register(policy, replace=replace)
+
+
+def unregister_placement(name: str) -> None:
+    return _PLACEMENTS.unregister(name)
+
+
+def resolve_placement(name: str) -> PlacementPolicy:
+    return _PLACEMENTS.resolve(name)
+
+
+def available_placements() -> tuple[str, ...]:
+    return _PLACEMENTS.names()
+
+
+for _builtin in (LeastLoadedPlacement(), BestFitPlacement(),
+                 PowerOfTwoPlacement()):
+    register_placement(_builtin)
+
+
+# -- defragmentation -------------------------------------------------------
+
+@dataclass(frozen=True)
+class DefragPolicy:
+    """When and how hard to defragment a blocked fleet.
+
+    Migration triggers only when *both* hold: a queued arrival just
+    failed placement everywhere, and some chip's fragmentation ratio
+    exceeds ``fragmentation_threshold``. At most
+    ``max_migrations_per_trigger`` tenants move per trigger — migration
+    charges real cycles to the migrated sessions, so the policy is
+    deliberately stingy.
+    """
+
+    fragmentation_threshold: float = 0.25
+    max_migrations_per_trigger: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fragmentation_threshold <= 1.0:
+            raise ServingError(
+                f"fragmentation threshold must be in [0, 1], got "
+                f"{self.fragmentation_threshold}")
+        if self.max_migrations_per_trigger < 1:
+            raise ServingError("defrag needs at least one migration per "
+                               "trigger")
+
+
+@dataclass
+class ActiveFleetSession:
+    session: TenantSession
+    chip_index: int
+    vmid: int
+    admit_cycle: int
+    strategy: str
+    mapping_distance: float
+    mapping_connected: bool
+    #: Migration cycles accrued while the current service wait runs; the
+    #: lifetime process drains this into additional timeouts.
+    extra_cycles: int = 0
+    migrations: int = 0
+
+
+class FleetScheduler:
+    """Serves one tenant trace across N chips on a shared clock."""
+
+    def __init__(self, configs: "list[SoCConfig]",
+                 policy: "AdmissionPolicy | str" = "fcfs",
+                 placement: "PlacementPolicy | str" = "least_loaded",
+                 strategy: str | None = None,
+                 defrag: DefragPolicy | None = None,
+                 sim: Simulator | None = None) -> None:
+        if not configs:
+            raise ServingError("fleet needs at least one chip config")
+        self.sim = sim or Simulator()
+        self.chips: list[FleetChip] = []
+        for index, config in enumerate(configs):
+            chip = Chip(config, sim=self.sim)
+            self.chips.append(FleetChip(index, chip, Hypervisor(chip)))
+        self.policy = coerce_policy(policy)
+        self.placement = (resolve_placement(placement)
+                          if isinstance(placement, str) else placement)
+        if strategy is not None:
+            resolve_strategy(strategy)  # fail fast, like the hypervisor
+        self.strategy = strategy
+        self.defrag = defrag
+        self.metrics = FleetMetrics()
+        self.estimator = ServiceTimeEstimator()
+        self._pending: list[PendingSession] = []
+        #: (chip index, vmid) -> active session.
+        self._active: dict[tuple[int, int], ActiveFleetSession] = {}
+        self._trace_loaded = False
+
+    @classmethod
+    def homogeneous(cls, chips: int, cores: int = 36,
+                    **kwargs) -> "FleetScheduler":
+        """A fleet of ``chips`` identical SIM-configured chips."""
+        if chips < 1:
+            raise ServingError(f"fleet needs at least one chip, got {chips}")
+        return cls([sim_config(cores) for _ in range(chips)], **kwargs)
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def chip_count(self) -> int:
+        return len(self.chips)
+
+    @property
+    def core_count(self) -> int:
+        return sum(fc.chip.core_count for fc in self.chips)
+
+    def free_core_count(self) -> int:
+        return sum(fc.free_cores() for fc in self.chips)
+
+    # -- public API --------------------------------------------------------
+    def register_model(self, name: str, builder) -> None:
+        self.estimator.register_model(name, builder)
+
+    def submit(self, trace: "list[TenantSession]") -> None:
+        """Queue a trace; arrivals are replayed at their recorded cycles."""
+        if self._trace_loaded:
+            raise ServingError("scheduler already has a trace submitted")
+        largest = max(fc.chip.core_count for fc in self.chips)
+        ordered = sorted(trace, key=lambda s: (s.arrival_cycle, s.session_id))
+        for session in ordered:
+            if session.model not in self.estimator.models:
+                raise ServingError(
+                    f"session {session.session_id} wants unknown model "
+                    f"{session.model!r}"
+                )
+            if session.core_count > largest:
+                raise ServingError(
+                    f"session {session.session_id} wants "
+                    f"{session.core_count} cores; largest fleet chip has "
+                    f"{largest}"
+                )
+        self.sim.process(self._arrivals(ordered), name="fleet-arrivals")
+        self._trace_loaded = True
+
+    def run(self, until: int | None = None) -> int:
+        if not self._trace_loaded:
+            raise ServingError("submit() a trace before run()")
+        if until is not None:
+            return self.sim.run(until=until)
+        return self.sim.run_until_processes_done()
+
+    def serve(self, trace: "list[TenantSession]") -> FleetMetrics:
+        """Convenience: submit + run + return the metrics."""
+        self.submit(trace)
+        self.run()
+        return self.metrics
+
+    # -- simulation processes ----------------------------------------------
+    def _arrivals(self, trace: "list[TenantSession]"):
+        for session in trace:
+            gap = session.arrival_cycle - self.sim.now
+            if gap > 0:
+                yield self.sim.timeout(gap)
+            self._pending.append(PendingSession(session))
+            self._admit_loop()
+            self._sample()
+
+    def _session_lifetime(self, active: ActiveFleetSession,
+                          service_cycles: int):
+        remaining = service_cycles
+        while remaining > 0:
+            yield self.sim.timeout(remaining)
+            # Migrations that happened during the wait stretched the
+            # session: serve the accrued cost before departing.
+            remaining, active.extra_cycles = active.extra_cycles, 0
+        self._depart(active)
+        for entry in self._pending:
+            entry.blocked = False
+        self._admit_loop()
+        self._sample()
+
+    # -- admission ---------------------------------------------------------
+    def _admit_loop(self) -> None:
+        while True:
+            most_free = max(fc.free_cores() for fc in self.chips)
+            entry = self.policy.select(self._pending, most_free)
+            if entry is None:
+                return
+            self._try_admit(entry)
+
+    def _try_admit(self, entry: PendingSession) -> None:
+        if self._place(entry):
+            return
+        self.metrics.admission_failures += 1
+        if not any(fc.hypervisor.vnpus for fc in self.chips):
+            # Even an empty fleet cannot host this request: drop it
+            # instead of deadlocking the queue behind it.
+            self._pending.remove(entry)
+            self.metrics.rejected += 1
+            return
+        if self.defrag is not None and self._defragment(entry.session):
+            for pending in self._pending:
+                pending.blocked = False
+            if self._place(entry):
+                return
+        entry.blocked = True
+
+    def _place(self, entry: PendingSession) -> bool:
+        """Try the placement policy's chip ranking; admit on first success."""
+        session = entry.session
+        for fleet_chip in self.placement.rank(self.chips, session):
+            spec = VNpuSpec(
+                name=session.tenant,
+                topology=session.shape,
+                memory_bytes=session.memory_bytes,
+            )
+            try:
+                vnpu = fleet_chip.hypervisor.create_vnpu(
+                    spec, strategy=self.strategy)
+            except AllocationError:
+                continue
+            self._pending.remove(entry)
+            active = ActiveFleetSession(
+                session=session,
+                chip_index=fleet_chip.index,
+                vmid=vnpu.vmid,
+                admit_cycle=self.sim.now,
+                strategy=vnpu.mapping.strategy,
+                mapping_distance=vnpu.mapping.distance,
+                mapping_connected=vnpu.mapping.connected,
+            )
+            self._active[(fleet_chip.index, vnpu.vmid)] = active
+            service = self.estimator.service_cycles(fleet_chip.chip,
+                                                    session, vnpu)
+            self.sim.process(
+                self._session_lifetime(active, service),
+                name=f"fleet-session-{session.session_id}",
+            )
+            return True
+        return False
+
+    def _depart(self, active: ActiveFleetSession) -> None:
+        fleet_chip = self.chips[active.chip_index]
+        fleet_chip.hypervisor.destroy_vnpu(active.vmid)
+        del self._active[(active.chip_index, active.vmid)]
+        session = active.session
+        self.metrics.record_departure(SessionRecord(
+            session_id=session.session_id,
+            tenant=session.tenant,
+            model=session.model,
+            cores=session.core_count,
+            arrival_cycle=session.arrival_cycle,
+            admit_cycle=active.admit_cycle,
+            depart_cycle=self.sim.now,
+            strategy=active.strategy,
+            mapping_distance=active.mapping_distance,
+            mapping_connected=active.mapping_connected,
+            chip=active.chip_index,
+            migrations=active.migrations,
+        ))
+
+    # -- defragmentation ---------------------------------------------------
+    def _defragment(self, session: TenantSession) -> bool:
+        """Migrate tenants off (or within) over-fragmented chips.
+
+        Returns True when at least one migration landed, i.e. the free
+        sets changed and the blocked arrival deserves another attempt.
+        """
+        threshold = self.defrag.fragmentation_threshold
+        fragmented = sorted(
+            (fc for fc in self.chips if fc.fragmentation() > threshold),
+            key=lambda fc: (-fc.fragmentation(), fc.index),
+        )
+        moved = 0
+        for fleet_chip in fragmented:
+            if moved >= self.defrag.max_migrations_per_trigger:
+                break
+            # Cheapest-to-move tenants first: migration cost scales with
+            # resident memory.
+            tenants = sorted(
+                fleet_chip.hypervisor.vnpus,
+                key=lambda v: (v.memory_bytes, v.vmid),
+            )
+            for vnpu in tenants:
+                if moved >= self.defrag.max_migrations_per_trigger:
+                    break
+                if self._migrate(fleet_chip, vnpu.vmid):
+                    moved += 1
+                    if fleet_chip.fragmentation() <= threshold:
+                        break
+        if moved == 0:
+            self.metrics.migration_failures += 1
+        return moved > 0
+
+    def _migrate(self, source: FleetChip, vmid: int) -> bool:
+        """Try destinations emptiest-first, then in-place compaction."""
+        vnpu = source.hypervisor.vnpu(vmid)
+        destinations = sorted(
+            (fc for fc in self.chips
+             if fc is not source and vnpu.core_count <= fc.free_cores()),
+            key=lambda fc: (-fc.free_cores(), fc.index),
+        )
+        destinations.append(source)  # in-place compaction as a last resort
+        active = self._active[(source.index, vmid)]
+        for destination in destinations:
+            try:
+                migrated, cost = source.hypervisor.migrate_vnpu(
+                    vmid, destination=destination.hypervisor,
+                    strategy=self.strategy)
+            except AllocationError:
+                continue
+            if (destination is source and migrated.vmid == vmid
+                    and migrated.physical_cores == vnpu.physical_cores):
+                # In-place "migration" that landed on the identical
+                # placement freed nothing — don't charge the tenant.
+                return False
+            del self._active[(source.index, vmid)]
+            active.chip_index = destination.index
+            active.vmid = migrated.vmid
+            active.strategy = migrated.mapping.strategy
+            active.mapping_distance = migrated.mapping.distance
+            active.mapping_connected = migrated.mapping.connected
+            active.extra_cycles += cost
+            active.migrations += 1
+            self._active[(destination.index, migrated.vmid)] = active
+            self.metrics.record_migration(cost)
+            return True
+        return False
+
+    # -- observability -----------------------------------------------------
+    def _sample(self) -> None:
+        free = tuple(fc.free_cores() for fc in self.chips)
+        utilization = tuple(fc.utilization() for fc in self.chips)
+        fragmentation = tuple(fc.fragmentation() for fc in self.chips)
+        queue_length = len(self._pending)
+        total_cores = self.core_count
+        self.metrics.sample(ClusterSample(
+            cycle=self.sim.now,
+            free_cores=sum(free),
+            utilization=1.0 - sum(free) / total_cores,
+            fragmentation=sum(fragmentation) / len(fragmentation),
+            queue_length=queue_length,
+        ))
+        self.metrics.sample_fleet(FleetSample(
+            cycle=self.sim.now,
+            queue_length=queue_length,
+            free_cores=free,
+            utilization=utilization,
+            fragmentation=fragmentation,
+        ))

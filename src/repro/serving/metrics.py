@@ -66,6 +66,10 @@ class SessionRecord:
     strategy: str
     mapping_distance: float
     mapping_connected: bool
+    #: Chip the session *departed* from (always 0 on a single chip).
+    chip: int = 0
+    #: Live migrations this session survived while resident.
+    migrations: int = 0
 
     @property
     def queue_delay_cycles(self) -> int:
@@ -150,3 +154,94 @@ class ServingMetrics:
             "admission_failures": self.admission_failures,
             "sessions_rejected": self.rejected,
         }
+
+
+@dataclass(frozen=True)
+class FleetSample:
+    """Per-chip cluster state at one simulation instant."""
+
+    cycle: int
+    queue_length: int
+    free_cores: tuple[int, ...]
+    utilization: tuple[float, ...]
+    fragmentation: tuple[float, ...]
+
+    @property
+    def utilization_spread(self) -> float:
+        """Max-minus-min chip utilization: 0.0 means a balanced fleet."""
+        return max(self.utilization) - min(self.utilization)
+
+
+@dataclass
+class FleetMetrics(ServingMetrics):
+    """ServingMetrics plus per-chip samples and migration accounting.
+
+    The inherited ``samples`` hold the fleet *aggregate* (total free
+    cores, fleet-wide utilization, mean fragmentation), so every
+    single-chip summary statistic keeps its meaning; ``fleet_samples``
+    break the same instants down per chip.
+    """
+
+    fleet_samples: list[FleetSample] = field(default_factory=list)
+    #: Completed live migrations and their total cycle cost.
+    migrations: int = 0
+    migration_cycles: int = 0
+    #: Defrag attempts that found no better placement anywhere.
+    migration_failures: int = 0
+
+    def sample_fleet(self, sample: FleetSample) -> None:
+        self.fleet_samples.append(sample)
+
+    def record_migration(self, cycles: int) -> None:
+        self.migrations += 1
+        self.migration_cycles += cycles
+
+    # -- aggregation -------------------------------------------------------
+    def _time_weighted_spread(self) -> float:
+        """Time-weighted mean of the per-instant utilization spread."""
+        if len(self.fleet_samples) < 2:
+            return (self.fleet_samples[0].utilization_spread
+                    if self.fleet_samples else 0.0)
+        span = self.fleet_samples[-1].cycle - self.fleet_samples[0].cycle
+        if span <= 0:
+            return self.fleet_samples[-1].utilization_spread
+        total = 0.0
+        for current, following in zip(self.fleet_samples,
+                                      self.fleet_samples[1:]):
+            total += current.utilization_spread * (following.cycle
+                                                   - current.cycle)
+        return total / span
+
+    def per_chip_time_weighted_utilization(self) -> list[float]:
+        if not self.fleet_samples:
+            return []
+        chips = len(self.fleet_samples[0].utilization)
+        if len(self.fleet_samples) < 2:
+            return [round(u, 6) for u in self.fleet_samples[0].utilization]
+        span = self.fleet_samples[-1].cycle - self.fleet_samples[0].cycle
+        if span <= 0:
+            return [round(u, 6) for u in self.fleet_samples[-1].utilization]
+        totals = [0.0] * chips
+        for current, following in zip(self.fleet_samples,
+                                      self.fleet_samples[1:]):
+            weight = following.cycle - current.cycle
+            for index in range(chips):
+                totals[index] += current.utilization[index] * weight
+        return [round(total / span, 6) for total in totals]
+
+    def summary(self, frequency_hz: int) -> dict:
+        digest = super().summary(frequency_hz)
+        digest["fleet"] = {
+            "chips": (len(self.fleet_samples[0].utilization)
+                      if self.fleet_samples else 0),
+            "migrations": self.migrations,
+            "migration_cycles": self.migration_cycles,
+            "migration_failures": self.migration_failures,
+            "sessions_migrated": sum(
+                1 for r in self.records if r.migrations > 0),
+            "utilization_spread_time_weighted": round(
+                self._time_weighted_spread(), 6),
+            "per_chip_utilization_time_weighted":
+                self.per_chip_time_weighted_utilization(),
+        }
+        return digest

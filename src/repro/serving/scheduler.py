@@ -64,6 +64,63 @@ class ActiveSession:
     mapping_connected: bool
 
 
+def coerce_policy(policy: "AdmissionPolicy | str") -> AdmissionPolicy:
+    """Resolve a policy name, or validate an instance.
+
+    Names go through the registry (fail fast on unknown names); instances
+    must actually implement :class:`AdmissionPolicy` — passing, say, a
+    policy *class* or a bare string-less object raises
+    :class:`~repro.errors.ServingError` naming the offending value instead
+    of exploding later inside the admit loop.
+    """
+    if isinstance(policy, str):
+        return resolve_policy(policy)
+    # A protocol isinstance check passes for a policy *class* too (its
+    # class attributes satisfy hasattr), so rule classes out explicitly.
+    if isinstance(policy, type) or not isinstance(policy, AdmissionPolicy):
+        raise ServingError(
+            f"admission policy must be a registered name or an "
+            f"AdmissionPolicy instance (name + select); got {policy!r}"
+        )
+    return policy
+
+
+class ServiceTimeEstimator:
+    """Memoized solo service-time model shared by the serving schedulers.
+
+    Estimates are keyed per (chip config, model, shape): under churn the
+    same request shapes recur, so a long trace costs a handful of
+    compiles. The estimate is the *solo* steady state of the session's
+    model on its actual placement — see the module docstring for why
+    cross-tenant slowdown is not fed back.
+    """
+
+    def __init__(self, models: dict | None = None) -> None:
+        self.models = dict(MODEL_BUILDERS if models is None else models)
+        #: (config name, model, rows, cols) -> (warmup, iteration) cycles.
+        self._cache: dict[tuple[str, str, int, int], tuple[int, int]] = {}
+
+    def register_model(self, name: str, builder) -> None:
+        """Make ``builder`` (zero-arg -> ModelGraph) available to traces."""
+        if name in self.models:
+            raise ServingError(f"model {name!r} already registered")
+        self.models[name] = builder
+
+    def service_cycles(self, chip: Chip, session: TenantSession,
+                       vnpu) -> int:
+        key = (chip.config.name, session.model, session.rows, session.cols)
+        cached = self._cache.get(key)
+        if cached is None:
+            model = self.models[session.model]()
+            placed = compile_model(model, vnpu, chip)
+            report = estimate_together(chip, [placed])[placed.name]
+            cached = (report.warmup_cycles, report.iteration_cycles)
+            self._cache[key] = cached
+        warmup, iteration = cached
+        return max(1, warmup + session.inferences * iteration
+                   + vnpu.setup_cycles)
+
+
 class ClusterScheduler:
     """Serves a tenant trace on one chip through the hypervisor."""
 
@@ -74,8 +131,7 @@ class ClusterScheduler:
         self.chip = chip
         self.sim = chip.sim
         self.hypervisor = hypervisor or Hypervisor(chip)
-        self.policy = (resolve_policy(policy) if isinstance(policy, str)
-                       else policy)
+        self.policy = coerce_policy(policy)
         if strategy is not None:
             resolve_strategy(strategy)  # fail fast, like the hypervisor
         #: Mapping-strategy name forwarded to ``create_vnpu`` (None ->
@@ -84,17 +140,13 @@ class ClusterScheduler:
         self.metrics = ServingMetrics()
         self._pending: list[PendingSession] = []
         self._active: dict[int, ActiveSession] = {}
-        self._models = dict(MODEL_BUILDERS)
-        #: (model, rows, cols) -> (warmup_cycles, iteration_cycles).
-        self._service_cache: dict[tuple[str, int, int], tuple[int, int]] = {}
+        self.estimator = ServiceTimeEstimator()
         self._trace_loaded = False
 
     # -- public API --------------------------------------------------------
     def register_model(self, name: str, builder) -> None:
         """Make ``builder`` (zero-arg -> ModelGraph) available to traces."""
-        if name in self._models:
-            raise ServingError(f"model {name!r} already registered")
-        self._models[name] = builder
+        self.estimator.register_model(name, builder)
 
     def submit(self, trace: list[TenantSession]) -> None:
         """Queue a trace; arrivals are replayed at their recorded cycles."""
@@ -102,7 +154,7 @@ class ClusterScheduler:
             raise ServingError("scheduler already has a trace submitted")
         ordered = sorted(trace, key=lambda s: (s.arrival_cycle, s.session_id))
         for session in ordered:
-            if session.model not in self._models:
+            if session.model not in self.estimator.models:
                 raise ServingError(
                     f"session {session.session_id} wants unknown model "
                     f"{session.model!r}"
@@ -189,7 +241,7 @@ class ClusterScheduler:
             mapping_connected=vnpu.mapping.connected,
         )
         self._active[vnpu.vmid] = active
-        service = self._service_cycles(session, vnpu)
+        service = self.estimator.service_cycles(self.chip, session, vnpu)
         self.sim.process(
             self._session_lifetime(active, service),
             name=f"serving-session-{session.session_id}",
@@ -213,20 +265,6 @@ class ClusterScheduler:
             mapping_distance=active.mapping_distance,
             mapping_connected=active.mapping_connected,
         ))
-
-    # -- service-time model ------------------------------------------------
-    def _service_cycles(self, session: TenantSession, vnpu) -> int:
-        key = (session.model, session.rows, session.cols)
-        cached = self._service_cache.get(key)
-        if cached is None:
-            model = self._models[session.model]()
-            placed = compile_model(model, vnpu, self.chip)
-            report = estimate_together(self.chip, [placed])[placed.name]
-            cached = (report.warmup_cycles, report.iteration_cycles)
-            self._service_cache[key] = cached
-        warmup, iteration = cached
-        return max(1, warmup + session.inferences * iteration
-                   + vnpu.setup_cycles)
 
     # -- observability -----------------------------------------------------
     def _sample(self) -> None:

@@ -51,6 +51,19 @@ SHAPE_MIX = (
     (MeshShape(6, 6), 1),
 )
 
+#: Shape mix biased toward the sizes that shatter a mesh: lots of small
+#: odd-shaped tenants interleaved with mid-sized blocks, so departures
+#: leave free cores scattered instead of in one region (Fig 17's regime).
+FRAGMENTATION_SHAPE_MIX = (
+    (MeshShape(1, 2), 22),
+    (MeshShape(1, 3), 12),
+    (MeshShape(2, 2), 24),
+    (MeshShape(2, 3), 16),
+    (MeshShape(3, 3), 14),
+    (MeshShape(3, 4), 8),
+    (MeshShape(4, 4), 4),
+)
+
 
 @dataclass(frozen=True)
 class TenantSession:
@@ -82,15 +95,26 @@ def generate_trace(seed: int,
                    mean_interarrival_cycles: int = 2_000_000,
                    min_inferences: int = 20,
                    max_inferences: int = 200,
-                   memory_per_core_bytes: int = 32 * MB) -> list[TenantSession]:
+                   memory_per_core_bytes: int = 32 * MB,
+                   shape_mix: tuple = SHAPE_MIX,
+                   sticky_fraction: float = 0.0,
+                   sticky_multiplier: int = 10) -> list[TenantSession]:
     """A deterministic Poisson-style trace of ``sessions`` tenant sessions.
 
     Shapes larger than ``max_cores`` are excluded from the mix so every
-    request is admissible on the target chip eventually.
+    request is admissible on the target chip eventually. A nonzero
+    ``sticky_fraction`` turns that share of tenants into long-lived
+    residents (``sticky_multiplier`` x the drawn inference count) — the
+    pinned tenants around which fragmentation accumulates. With
+    ``sticky_fraction=0`` the generator draws exactly the same random
+    sequence as before the knob existed, so historical seeds reproduce.
     """
     if sessions < 1:
         raise ServingError(f"trace needs at least one session, got {sessions}")
-    shapes = [(shape, weight) for shape, weight in SHAPE_MIX
+    if not 0.0 <= sticky_fraction <= 1.0:
+        raise ServingError(
+            f"sticky_fraction must be in [0, 1], got {sticky_fraction}")
+    shapes = [(shape, weight) for shape, weight in shape_mix
               if shape.node_count <= max_cores]
     if not shapes:
         raise ServingError(f"no trace shape fits a {max_cores}-core chip")
@@ -104,6 +128,13 @@ def generate_trace(seed: int,
     for session_id in range(sessions):
         cycle += 1 + int(rng.expovariate(1.0 / mean_interarrival_cycles))
         shape = rng.choices(population, weights=weights, k=1)[0]
+        # Draw order (shape, model, inferences, priority) is part of the
+        # determinism contract: reordering would silently change every
+        # historical seed's trace.
+        model = rng.choice(models)
+        inferences = rng.randint(min_inferences, max_inferences)
+        if sticky_fraction and rng.random() < sticky_fraction:
+            inferences *= sticky_multiplier
         trace.append(TenantSession(
             session_id=session_id,
             tenant=f"tenant-{session_id:04d}",
@@ -111,8 +142,36 @@ def generate_trace(seed: int,
             rows=shape.rows,
             cols=shape.cols,
             memory_bytes=shape.node_count * memory_per_core_bytes,
-            model=rng.choice(models),
-            inferences=rng.randint(min_inferences, max_inferences),
+            model=model,
+            inferences=inferences,
             priority=rng.randint(0, 2),
         ))
     return trace
+
+
+def generate_fleet_trace(seed: int,
+                         sessions: int,
+                         chips: int,
+                         max_cores: int = 36,
+                         mean_interarrival_cycles: int = 2_000_000,
+                         fragmentation_heavy: bool = False,
+                         **kwargs) -> list[TenantSession]:
+    """A trace sized for a ``chips``-chip fleet.
+
+    Arrival rate scales with the fleet (the per-fleet mean inter-arrival
+    gap is ``mean_interarrival_cycles / chips``), so each chip sees
+    roughly the single-chip load regardless of fleet size.
+    ``fragmentation_heavy`` switches to the shattering shape mix and pins
+    a quarter of the tenants as long-lived residents — the workload the
+    defragmentation policy exists for.
+    """
+    if chips < 1:
+        raise ServingError(f"fleet needs at least one chip, got {chips}")
+    if fragmentation_heavy:
+        kwargs.setdefault("shape_mix", FRAGMENTATION_SHAPE_MIX)
+        kwargs.setdefault("sticky_fraction", 0.25)
+    return generate_trace(
+        seed, sessions, max_cores=max_cores,
+        mean_interarrival_cycles=max(1, mean_interarrival_cycles // chips),
+        **kwargs,
+    )

@@ -1,0 +1,153 @@
+"""Churn-invariant property tests: no leaks under create/destroy/migrate.
+
+Seeded random operation sequences against one :class:`Hypervisor`: after
+everything is destroyed, the chip must be byte-for-byte back to its
+initial hyper-mode state — buddy allocator fully coalesced, no routing
+table installed for any VM, every core's scratchpad meta-zone empty.
+PR 1's rollback test covered one failure path; this covers arbitrary
+interleavings of the whole lifecycle, including live migration.
+"""
+
+import random
+
+import pytest
+
+from repro.arch.chip import Chip
+from repro.arch.config import MB, sim_config
+from repro.arch.topology import MeshShape
+from repro.core.hypervisor import Hypervisor
+from repro.core.vnpu import VNpuSpec
+from repro.errors import AllocationError
+from repro.sim import Simulator
+
+SHAPES = [(1, 2), (1, 3), (2, 2), (2, 3), (3, 3), (3, 4)]
+
+
+def random_spec(rng, tag):
+    rows, cols = rng.choice(SHAPES)
+    return VNpuSpec(
+        name=f"churn-{tag}",
+        topology=MeshShape(rows, cols),
+        memory_bytes=rows * cols * rng.choice([8, 16, 32]) * MB,
+    )
+
+
+def assert_pristine(hypervisor):
+    """The no-leak invariant: hyper-mode state is back to the seed state."""
+    chip = hypervisor.chip
+    assert hypervisor.vnpus == []
+    assert hypervisor.allocated_cores == set()
+    assert hypervisor.buddy.fully_coalesced, \
+        "buddy allocator did not coalesce back to its initial free state"
+    assert hypervisor.buddy.free_bytes == hypervisor.buddy.capacity
+    assert chip.controller.ivrouter.vmids == [], \
+        "routing tables remain installed after all vNPUs were destroyed"
+    for core_id in chip.cores:
+        spad = chip.core(core_id).scratchpad
+        assert spad.meta_regions == [], \
+            f"core {core_id} scratchpad meta-zone is not empty"
+        assert spad.meta_free == spad.meta_capacity
+
+
+def churn(seed, steps=60, migrate_every=0.15):
+    rng = random.Random(seed)
+    hypervisor = Hypervisor(Chip(sim_config(16)))
+    live = []
+    for step in range(steps):
+        roll = rng.random()
+        if live and roll < migrate_every:
+            vmid = rng.choice(live)
+            try:
+                migrated, cost = hypervisor.migrate_vnpu(vmid)
+            except AllocationError:
+                continue
+            assert cost > 0
+            assert migrated.vmid == vmid  # in-place keeps the VMID
+        elif live and roll < 0.45:
+            vmid = live.pop(rng.randrange(len(live)))
+            hypervisor.destroy_vnpu(vmid)
+        else:
+            try:
+                vnpu = hypervisor.create_vnpu(random_spec(rng, step))
+            except AllocationError:
+                continue
+            live.append(vnpu.vmid)
+    for vmid in live:
+        hypervisor.destroy_vnpu(vmid)
+    return hypervisor
+
+
+@pytest.mark.parametrize("seed", [1, 7, 13, 42, 97, 2025])
+def test_churn_leaves_no_trace(seed):
+    assert_pristine(churn(seed))
+
+
+@pytest.mark.parametrize("seed", [3, 11, 29])
+def test_cross_chip_churn_leaves_both_chips_clean(seed):
+    """Random create/migrate-across/destroy over two hypervisors."""
+    rng = random.Random(seed)
+    sim = Simulator()
+    fleet = [Hypervisor(Chip(sim_config(16), sim=sim)) for _ in range(2)]
+    live = []  # (hypervisor index, vmid)
+    for step in range(50):
+        roll = rng.random()
+        if live and roll < 0.2:
+            index, vmid = live.pop(rng.randrange(len(live)))
+            source, target = fleet[index], fleet[1 - index]
+            try:
+                migrated, cost = source.migrate_vnpu(vmid, destination=target)
+            except AllocationError:
+                live.append((index, vmid))
+                continue
+            assert cost > 0
+            assert all(v.vmid != vmid for v in source.vnpus)
+            live.append((1 - index, migrated.vmid))
+        elif live and roll < 0.5:
+            index, vmid = live.pop(rng.randrange(len(live)))
+            fleet[index].destroy_vnpu(vmid)
+        else:
+            index = rng.randrange(2)
+            try:
+                vnpu = fleet[index].create_vnpu(random_spec(rng, step))
+            except AllocationError:
+                continue
+            live.append((index, vnpu.vmid))
+    for index, vmid in live:
+        fleet[index].destroy_vnpu(vmid)
+    for hypervisor in fleet:
+        assert_pristine(hypervisor)
+
+
+def test_migration_moves_all_resources_cross_chip():
+    """After a cross-chip migration the source is pristine, the target owns
+    the memory and routing state, and the spec is preserved."""
+    sim = Simulator()
+    source = Hypervisor(Chip(sim_config(16), sim=sim))
+    target = Hypervisor(Chip(sim_config(16), sim=sim))
+    vnpu = source.create_vnpu(VNpuSpec("mover", MeshShape(2, 3), 96 * MB))
+    resident = vnpu.memory_bytes
+    migrated, cost = source.migrate_vnpu(vnpu.vmid, destination=target)
+    assert_pristine(source)
+    assert migrated.memory_bytes == resident
+    assert migrated.spec is vnpu.spec
+    assert target.chip.controller.ivrouter.vmids == [migrated.vmid]
+    assert cost > migrated.setup_cycles  # data movement is charged too
+    target.destroy_vnpu(migrated.vmid)
+    assert_pristine(target)
+
+
+def test_failed_migration_leaves_source_untouched():
+    """No destination room -> AllocationError and zero source mutation."""
+    sim = Simulator()
+    source = Hypervisor(Chip(sim_config(16), sim=sim))
+    target = Hypervisor(Chip(sim_config(16), sim=sim))
+    target.create_vnpu(VNpuSpec("squatter", MeshShape(4, 4), 32 * MB))
+    vnpu = source.create_vnpu(VNpuSpec("mover", MeshShape(2, 2), 64 * MB))
+    before_cores = list(vnpu.physical_cores)
+    before_free = source.buddy.free_bytes
+    with pytest.raises(AllocationError):
+        source.migrate_vnpu(vnpu.vmid, destination=target)
+    assert source.vnpu(vnpu.vmid) is vnpu
+    assert vnpu.physical_cores == before_cores
+    assert source.buddy.free_bytes == before_free
+    assert source.chip.controller.ivrouter.vmids == [vnpu.vmid]

@@ -257,6 +257,26 @@ class TestClusterScheduler:
         with pytest.raises(HypervisorError):
             ClusterScheduler(chip, strategy="similiar")
 
+    def test_bad_policy_name_fails_at_construction(self):
+        chip = Chip(sim_config(16))
+        with pytest.raises(ServingError):
+            ClusterScheduler(chip, policy="round-robin")
+
+    def test_policy_instance_validated_at_construction(self):
+        """Instances get the same fail-fast treatment as names: anything
+        that is not an AdmissionPolicy is rejected, naming the value."""
+        chip = Chip(sim_config(16))
+        with pytest.raises(ServingError, match="42"):
+            ClusterScheduler(chip, policy=42)
+        with pytest.raises(ServingError):
+            # A policy *class* (not an instance) must be rejected too.
+            ClusterScheduler(chip, policy=FCFSPolicy)
+
+    def test_valid_policy_instance_accepted(self):
+        chip = Chip(sim_config(16))
+        scheduler = ClusterScheduler(chip, policy=BestFitPolicy())
+        assert scheduler.policy.name == "best_fit"
+
     def test_run_before_submit_raises(self):
         scheduler, _ = self.make()
         with pytest.raises(ServingError):

@@ -43,3 +43,39 @@ def test_prior_npu_work_is_para_virtualization():
         row = next(m for m in MECHANISMS if m.method == method)
         assert not row.full_virtualization
         assert not row.virtualizes_interconnect
+
+
+def test_no_duplicate_mechanism_rows():
+    keys = [(m.accelerator, m.method) for m in MECHANISMS]
+    assert len(keys) == len(set(keys))
+
+
+def test_no_empty_catalog_fields():
+    """Every row carries a non-empty method and threat-model string."""
+    for mechanism in MECHANISMS:
+        assert mechanism.accelerator in ("GPU", "NPU")
+        assert mechanism.method.strip()
+        assert mechanism.threat_model.strip()
+
+
+def test_instance_limits_are_none_or_positive():
+    for mechanism in MECHANISMS:
+        assert mechanism.instance_limit is None or mechanism.instance_limit > 0
+
+
+def test_vnpu_row_is_unique():
+    assert sum(1 for m in MECHANISMS if m.method == "vNPU") == 1
+
+
+def test_full_virtualization_rows():
+    full = {m.method for m in MECHANISMS if m.full_virtualization}
+    assert full == {"MIG", "Time-sliced", "vNPU"}
+
+
+def test_api_forwarding_trusts_a_userspace_server():
+    """The weakest threat models live in userspace servers, not hypervisors."""
+    for method in ("API Forwarding", "MPS"):
+        row = next(m for m in MECHANISMS if m.method == method)
+        assert not row.full_virtualization
+        assert row.threat_model.endswith("server")
+        assert row not in hypervisor_isolated()

@@ -57,3 +57,61 @@ class TestPatterns:
         trace = MemoryTrace()
         trace.record(0, 0, 0, 16)  # word-level accesses
         assert not trace.summary().tensor_granular
+
+
+class TestTruncationAndFlush:
+    def test_max_events_keeps_newest_window(self):
+        trace = MemoryTrace(max_events=3)
+        for va in (10, 20, 30, 40, 50):
+            trace.record(0, 0, va, 4096)
+        assert len(trace) == 3
+        assert [e.virtual_address for e in trace.events] == [30, 40, 50]
+
+    def test_dropped_counter_tracks_evictions(self):
+        trace = MemoryTrace(max_events=2)
+        for va in range(5):
+            trace.record(0, 0, va, 64)
+        assert trace.dropped == 3
+
+    def test_unbounded_by_default(self):
+        trace = MemoryTrace()
+        for va in range(1000):
+            trace.record(0, 0, va, 64)
+        assert len(trace) == 1000
+        assert trace.dropped == 0
+
+    def test_invalid_max_events_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryTrace(max_events=0)
+
+    def test_flush_returns_window_and_resets(self):
+        trace = MemoryTrace(max_events=2)
+        for va in (1, 2, 3):
+            trace.record(0, 0, va, 64)
+        flushed = trace.flush()
+        assert [e.virtual_address for e in flushed] == [2, 3]
+        assert len(trace) == 0
+        assert trace.dropped == 0
+
+    def test_recording_resumes_after_flush(self):
+        trace = MemoryTrace(max_events=4)
+        trace.record(0, 0, 1, 64)
+        trace.flush()
+        trace.record(0, 0, 2, 64)
+        assert trace.sequence(0, 0) == [2]
+        with pytest.raises(ValueError):
+            trace.analyze_core(9)  # only core 0 survived the flush
+
+    def test_truncation_analyzes_surviving_window_only(self):
+        trace = MemoryTrace(max_events=3)
+        record_iterations(trace, 0, [[100, 200, 300], [0, 1, 2]])
+        stats = trace.analyze_core(0)
+        # Only the second iteration's three events remain; monotonic.
+        assert stats.accesses_per_iteration == 3
+        assert stats.monotonic_fraction == 1.0
+
+    def test_empty_trace_summary_is_empty_report(self):
+        report = MemoryTrace().summary()
+        assert report.per_core == []
+        assert report.monotonic_fraction == 0.0
+        assert not report.tensor_granular
