@@ -1,0 +1,293 @@
+#!/usr/bin/env python
+"""Cost-engine benchmark: fidelity tiers on a fleet serving trace.
+
+Replays one seeded fragmentation-heavy fleet trace three times — priced
+by the ``cached``, ``executor`` and ``analytic`` cost tiers — and emits
+two artifacts:
+
+- ``BENCH_cost.json`` — the *deterministic* digest: per-tier serving
+  results, cost-cache hit rate, executor-run counts, the cached-tier
+  exactness check (max relative error vs. fresh executor-tier pricing
+  per cache key, plus the fraction of sessions whose service cycles
+  match the executor-tier replay exactly), the analytic-vs-executor
+  calibration summary, and the sim-engine micro-benchmark's event
+  counts. Byte-identical across runs (the CI determinism check).
+- ``BENCH_cost_timing.json`` — wall-clock numbers (trace-replay seconds
+  per tier, cached-vs-executor speedup, engine events/second). Host
+  timing is inherently non-reproducible, so it lives outside the
+  determinism-checked artifact.
+
+Run:  PYTHONPATH=src python benchmarks/bench_cost.py [--quick]
+      (or plainly ``python benchmarks/bench_cost.py`` — the script
+      bootstraps ``src`` onto ``sys.path`` itself)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+for _entry in (str(_ROOT), str(_ROOT / "src")):
+    if _entry not in sys.path:
+        sys.path.insert(0, _entry)
+
+from benchmarks.common import Table, write_bench_json  # noqa: E402
+from repro.analysis.fidelity import (  # noqa: E402
+    DEFAULT_CASES,
+    calibrate,
+    summarize,
+)
+from repro.arch.config import sim_config  # noqa: E402
+from repro.cost import (  # noqa: E402
+    CachedCostModel,
+    ExecutorCostModel,
+    coerce_cost_model,
+)
+from repro.serving import (  # noqa: E402
+    DefragPolicy,
+    FleetScheduler,
+    generate_fleet_trace,
+)
+from repro.sim.engine import Simulator  # noqa: E402
+
+#: Twice bench_fleet's inter-arrival gap: executor-tier pricing roughly
+#: doubles service times versus the analytic model, so the slower gap
+#: keeps the fleet at comparable (non-saturated) load under every tier.
+MEAN_INTERARRIVAL = 40_000_000
+
+#: Deadlock-detection horizon: executor-priced sticky tenants can run
+#: thousands of measured iterations, so a 500-session trace outlives
+#: the engine's 10B-cycle default.
+RUN_LIMIT = 1_000_000_000_000
+
+#: Calibration sweep: the harness's standard cases (they all fit the
+#: bench's 16-core chips).
+CALIBRATION_CASES = DEFAULT_CASES
+
+
+def run_tier(trace, chips: int, cores: int, threshold: float, cost_model):
+    """Serve ``trace`` with one cost tier; returns (metrics, records, wall)."""
+    fleet = FleetScheduler.homogeneous(
+        chips, cores=cores, cost_model=cost_model,
+        defrag=DefragPolicy(fragmentation_threshold=threshold))
+    start = time.perf_counter()
+    metrics = fleet.serve(trace, limit=RUN_LIMIT)
+    wall = time.perf_counter() - start
+    frequency = fleet.chips[0].chip.config.frequency_hz
+    return metrics.summary(frequency), metrics.records, wall
+
+
+def digest(summary: dict) -> dict:
+    """The comparable slice of one tier's serving summary."""
+    return {
+        "admission_failures": summary["admission_failures"],
+        "makespan_cycles": summary["makespan_cycles"],
+        "migrations": summary["fleet"]["migrations"],
+        "queue_delay_cycles": summary["queue_delay_cycles"],
+        "sessions_completed": summary["sessions_completed"],
+        "sessions_rejected": summary["sessions_rejected"],
+        "utilization_time_weighted": summary["utilization_time_weighted"],
+    }
+
+
+def cached_exactness(cached_model: CachedCostModel, config) -> dict:
+    """Re-price every cache key with a fresh executor tier and compare.
+
+    The cached tier's guarantee: a hit returns exactly what the executor
+    tier measures for that key. A fresh ExecutorCostModel reproduces the
+    canonical placement deterministically, so any nonzero error here is
+    a broken guarantee (or an interpolated entry, reported separately).
+    """
+    reference = ExecutorCostModel()
+    max_error = 0.0
+    executor_backed = 0
+    for key, (cost, _analytic) in sorted(cached_model._cache.items()):
+        if cost.source != "executor":
+            continue
+        executor_backed += 1
+        _config_name, model, rows, cols, memory, klass = key
+        truth = reference.measure(config, model, rows, cols, memory, klass)
+        for mine, theirs in ((cost.iteration_cycles, truth.iteration_cycles),
+                             (cost.warmup_cycles, truth.warmup_cycles)):
+            if theirs:
+                max_error = max(max_error, abs(mine - theirs) / theirs)
+            elif mine:
+                max_error = 1.0
+    return {
+        "executor_backed_keys": executor_backed,
+        "max_error_vs_executor": round(max_error, 9),
+    }
+
+
+def session_agreement(cached_records, executor_records) -> dict:
+    """Fraction of sessions whose service cycles match across tiers."""
+    exec_by_id = {r.session_id: r.service_cycles for r in executor_records}
+    matched = sum(
+        1 for r in cached_records
+        if exec_by_id.get(r.session_id) == r.service_cycles
+    )
+    total = len(cached_records)
+    return {
+        "sessions": total,
+        "service_cycles_identical": matched,
+        "identical_fraction": round(matched / total if total else 0.0, 6),
+    }
+
+
+def engine_microbench() -> tuple[dict, float]:
+    """Deterministic hot-loop stress; returns (counts, wall seconds)."""
+    processes = 100
+    timeouts_per_process = 2_000
+
+    def worker(sim):
+        for _ in range(timeouts_per_process):
+            yield sim.timeout(1)
+
+    sim = Simulator()
+    for _ in range(processes):
+        sim.process(worker(sim))
+    start = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - start
+    counts = {
+        "events": processes * timeouts_per_process,
+        "final_cycle": sim.now,
+        "processes": processes,
+    }
+    return counts, wall
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sessions", type=int, default=500,
+                        help="trace length (default: 500)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--chips", type=int, default=3,
+                        help="fleet size (default: 3)")
+    parser.add_argument("--cores", type=int, default=16,
+                        help="cores per chip (default: 16)")
+    parser.add_argument("--threshold", type=float, default=0.2,
+                        help="defrag fragmentation threshold (default: 0.2)")
+    parser.add_argument("--quick", action="store_true",
+                        help="60-session smoke run (CI)")
+    parser.add_argument("--out", default=None,
+                        help="directory for BENCH_cost.json "
+                             "(default: benchmarks/)")
+    args = parser.parse_args(argv)
+    sessions = 60 if args.quick else args.sessions
+
+    trace = generate_fleet_trace(
+        args.seed, sessions, chips=args.chips, max_cores=args.cores,
+        mean_interarrival_cycles=MEAN_INTERARRIVAL,
+        fragmentation_heavy=True,
+    )
+    config = sim_config(args.cores)
+
+    cached_model = CachedCostModel()
+    cached_summary, cached_records, cached_wall = run_tier(
+        trace, args.chips, args.cores, args.threshold, cached_model)
+    cache_stats = cached_model.cache_stats()
+
+    executor_model = coerce_cost_model("executor")
+    executor_summary, executor_records, executor_wall = run_tier(
+        trace, args.chips, args.cores, args.threshold, executor_model)
+
+    analytic_summary, _analytic_records, analytic_wall = run_tier(
+        trace, args.chips, args.cores, args.threshold, "analytic")
+
+    exactness = cached_exactness(cached_model, config)
+    agreement = session_agreement(cached_records, executor_records)
+    calibration_cases = (CALIBRATION_CASES[:3] if args.quick
+                         else CALIBRATION_CASES)
+    calibration = summarize(calibrate(
+        config, cases=calibration_cases,
+        classes=("exact", "stretched", "fragmented"),
+    ))
+    engine_counts, engine_wall = engine_microbench()
+
+    payload = {
+        "config": {
+            "bench": "cost",
+            "chips": args.chips,
+            "cores_per_chip": args.cores,
+            "defrag_threshold": args.threshold,
+            "mean_interarrival_cycles": MEAN_INTERARRIVAL,
+            "seed": args.seed,
+            "sessions": sessions,
+        },
+        "cost_cache": {
+            "entries": cache_stats["entries"],
+            "executor_runs": cache_stats["executor_runs"],
+            "hit_rate": round(cache_stats["hit_rate"], 6),
+            "hits": cache_stats["hits"],
+            "interpolations": cache_stats["interpolations"],
+            "misses": cache_stats["misses"],
+        },
+        "engine": engine_counts,
+        "fidelity": {
+            "analytic_vs_executor": calibration,
+            "cached_vs_executor": {**exactness, **agreement},
+        },
+        "tiers": {
+            "analytic": digest(analytic_summary),
+            "cached": digest(cached_summary),
+            "executor": digest(executor_summary),
+        },
+    }
+    path = write_bench_json("cost", payload, directory=args.out)
+
+    timing = {
+        "analytic_wall_seconds": round(analytic_wall, 3),
+        "cached_wall_seconds": round(cached_wall, 3),
+        "executor_wall_seconds": round(executor_wall, 3),
+        "cached_speedup_vs_executor": round(
+            executor_wall / cached_wall if cached_wall else 0.0, 2),
+        "engine_events_per_second": round(
+            engine_counts["events"] / engine_wall if engine_wall else 0.0),
+    }
+    timing_dir = Path(args.out) if args.out else Path(__file__).parent
+    timing_path = timing_dir / "BENCH_cost_timing.json"
+    timing_path.write_text(
+        json.dumps(timing, indent=2, sort_keys=True) + "\n")
+
+    table = Table(
+        f"Cost tiers — {sessions} sessions, seed {args.seed}, "
+        f"{args.chips} x {args.cores}-core chips",
+        ["metric", "analytic", "cached", "executor"],
+    )
+    for label, key in (("queue delay p95 (cycles)", "p95"),
+                       ("queue delay p50 (cycles)", "p50")):
+        table.add(label,
+                  analytic_summary["queue_delay_cycles"][key],
+                  cached_summary["queue_delay_cycles"][key],
+                  executor_summary["queue_delay_cycles"][key])
+    table.add("trace-replay wall (s)", timing["analytic_wall_seconds"],
+              timing["cached_wall_seconds"],
+              timing["executor_wall_seconds"])
+    table.show()
+    print(f"cost-cache hit rate: {payload['cost_cache']['hit_rate']:.1%} "
+          f"({cache_stats['hits']}/{cache_stats['hits'] + cache_stats['misses']})")
+    print(f"cached vs executor: max key error "
+          f"{exactness['max_error_vs_executor']}, "
+          f"{agreement['identical_fraction']:.1%} of sessions identical")
+    print(f"analytic vs executor: max iteration error "
+          f"{calibration['iteration_error_max']}")
+    print(f"cached speedup vs executor: "
+          f"{timing['cached_speedup_vs_executor']}x")
+    print(f"engine microbench: {timing['engine_events_per_second']:,} "
+          f"events/s")
+    print(f"wrote {path} and {timing_path}")
+
+    if not args.quick and payload["cost_cache"]["hit_rate"] < 0.5:
+        print("FAIL: cost-cache hit rate below 50% on the full trace",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

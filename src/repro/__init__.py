@@ -41,6 +41,17 @@ from repro.core.strategies import (
 )
 from repro.core.topology_mapping import MappingResult, TopologyMapper
 from repro.core.vnpu import VirtualNPU, VNpuSpec
+from repro.cost import (
+    AnalyticCostModel,
+    CachedCostModel,
+    CostModel,
+    ExecutorCostModel,
+    WorkloadCost,
+    available_cost_models,
+    coerce_cost_model,
+    register_cost_model,
+    resolve_cost_model,
+)
 from repro.errors import ReproError
 from repro.runtime.executor import Executor
 from repro.runtime.session import (
@@ -63,12 +74,16 @@ from repro.serving import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnalyticCostModel",
+    "CachedCostModel",
     "Chip",
     "ClusterScheduler",
     "CoreConfig",
+    "CostModel",
     "DefragPolicy",
     "EditCosts",
     "Executor",
+    "ExecutorCostModel",
     "FleetMetrics",
     "FleetScheduler",
     "Hypervisor",
@@ -85,7 +100,10 @@ __all__ = [
     "TopologyMapper",
     "VNpuSpec",
     "VirtualNPU",
+    "WorkloadCost",
+    "available_cost_models",
     "available_strategies",
+    "coerce_cost_model",
     "compile_bare_metal",
     "compile_model",
     "deploy",
@@ -94,7 +112,9 @@ __all__ = [
     "ged",
     "generate_fleet_trace",
     "generate_trace",
+    "register_cost_model",
     "register_strategy",
+    "resolve_cost_model",
     "resolve_strategy",
     "sim_config",
     "unregister_strategy",

@@ -1,0 +1,146 @@
+"""Calibration harness: analytic-tier error against the executor tier.
+
+For a set of workload cases (model, mesh shape) x placement classes,
+price each one twice — with the closed-form ``analytic`` tier and with
+the event-driven ``executor`` tier on the same canonical placement —
+and report the relative error per case. This is both the documentation
+of the fidelity/speed trade (the numbers behind the README's tier
+table and ``BENCH_cost.json``'s fidelity section) and the test oracle
+for the pipeline-model-vs-executor agreement suite.
+
+The analytic model overlaps the send/receive engines with compute and
+prices DMA at the memory-interface share, while the executor serializes
+each core's instruction stream and streams DMA through per-core
+engines; the executor therefore runs *slower-or-equal* per iteration.
+The interesting outputs are the error magnitudes per workload class and
+that both tiers agree on *ordering* (more cores -> faster).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.chip import Chip
+from repro.arch.config import MB, SoCConfig
+from repro.arch.topology import MeshShape
+from repro.core.hypervisor import Hypervisor
+from repro.core.vnpu import VNpuSpec
+from repro.cost.executor_tier import ExecutorCostModel, canonical_vnpu
+from repro.errors import ServingError
+from repro.runtime.session import compile_model, estimate_together
+
+#: Default per-core guest memory for calibration probes (the trace
+#: generator's allotment, so calibration prices what serving serves).
+MEMORY_PER_CORE = 32 * MB
+
+#: The default calibration sweep: one workload per class of the zoo —
+#: a classic CNN, a transformer encoder (prefill-shaped), a decode-
+#: shaped GPT-2, and a lightweight mobile CNN.
+DEFAULT_CASES = (
+    ("alexnet", 2, 2),
+    ("bert-base", 3, 4),
+    ("gpt2-small", 3, 3),
+    ("mobilenet", 2, 2),
+    ("resnet18", 2, 3),
+)
+
+
+@dataclass(frozen=True)
+class CalibrationRow:
+    """Analytic vs executor pricing of one (case, placement class)."""
+
+    model: str
+    rows: int
+    cols: int
+    placement_class: str
+    analytic_warmup: int
+    analytic_iteration: int
+    executor_warmup: int
+    executor_iteration: int
+
+    @property
+    def iteration_error(self) -> float:
+        """Relative iteration-cycle error, executor tier as truth."""
+        if self.executor_iteration == 0:
+            return 0.0
+        return (abs(self.analytic_iteration - self.executor_iteration)
+                / self.executor_iteration)
+
+    @property
+    def warmup_error(self) -> float:
+        if self.executor_warmup == 0:
+            return 0.0
+        return (abs(self.analytic_warmup - self.executor_warmup)
+                / self.executor_warmup)
+
+
+def calibrate(config: SoCConfig,
+              cases=DEFAULT_CASES,
+              classes: tuple[str, ...] = ("exact",),
+              models: dict | None = None,
+              memory_per_core_bytes: int = MEMORY_PER_CORE,
+              measure_iterations: int = 3) -> list[CalibrationRow]:
+    """Price every case x class with both tiers on canonical placements."""
+    if not cases:
+        raise ServingError("calibration needs at least one workload case")
+    executor = ExecutorCostModel(models=models,
+                                 measure_iterations=measure_iterations)
+    rows: list[CalibrationRow] = []
+    for model_name, mesh_rows, mesh_cols in cases:
+        memory = mesh_rows * mesh_cols * memory_per_core_bytes
+        for klass in classes:
+            measured = executor.measure(config, model_name, mesh_rows,
+                                        mesh_cols, memory, klass)
+            # Analytic pricing on the *same* canonical placement: rebuild
+            # it on a fresh scratch chip so the steady-state model sees
+            # identical physical routes.
+            chip = Chip(config)
+            hypervisor = Hypervisor(chip)
+            vnpu = canonical_vnpu(
+                hypervisor,
+                VNpuSpec(f"calib-{model_name}",
+                         MeshShape(mesh_rows, mesh_cols), memory),
+                klass,
+            )
+            model = executor.build_model(model_name)
+            placed = compile_model(model, vnpu, chip)
+            report = estimate_together(chip, [placed])[placed.name]
+            rows.append(CalibrationRow(
+                model=model_name,
+                rows=mesh_rows,
+                cols=mesh_cols,
+                placement_class=klass,
+                analytic_warmup=report.warmup_cycles,
+                analytic_iteration=report.iteration_cycles,
+                executor_warmup=measured.warmup_cycles,
+                executor_iteration=measured.iteration_cycles,
+            ))
+    return rows
+
+
+def summarize(rows: list[CalibrationRow]) -> dict:
+    """JSON-able digest: per-model and overall max/mean iteration error."""
+    if not rows:
+        raise ServingError("cannot summarize an empty calibration")
+    per_model: dict[str, list[CalibrationRow]] = {}
+    for row in rows:
+        per_model.setdefault(row.model, []).append(row)
+    models = {
+        name: {
+            "iteration_error_max": round(
+                max(r.iteration_error for r in group), 6),
+            "iteration_error_mean": round(
+                sum(r.iteration_error for r in group) / len(group), 6),
+            "warmup_error_max": round(
+                max(r.warmup_error for r in group), 6),
+        }
+        for name, group in sorted(per_model.items())
+    }
+    return {
+        "cases": len(rows),
+        "iteration_error_max": round(
+            max(r.iteration_error for r in rows), 6),
+        "iteration_error_mean": round(
+            sum(r.iteration_error for r in rows) / len(rows), 6),
+        "models": models,
+    }

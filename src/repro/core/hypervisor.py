@@ -27,8 +27,6 @@ charge it to the session's timeline.
 
 from __future__ import annotations
 
-import math
-
 from repro.arch.chip import Chip
 from repro.core.routing_table import (
     RoutingTable,
@@ -229,15 +227,16 @@ class Hypervisor:
     def _migration_cycles(self, resident_bytes: int,
                           destination: "Hypervisor",
                           migrated: VirtualNPU) -> int:
-        """Data movement at the slower memory system + Fig-11 reconfig."""
-        src = self.chip.config
-        dst = destination.chip.config
-        bytes_per_cycle = min(
-            src.memory.bytes_per_cycle(src.frequency_hz),
-            dst.memory.bytes_per_cycle(dst.frequency_hz),
-        )
-        data_cycles = math.ceil(resident_bytes / bytes_per_cycle)
-        return data_cycles + migrated.setup_cycles
+        """Data movement at the slower memory system + Fig-11 reconfig.
+
+        Delegates to the unified cost engine's shared charge formula so
+        the hypervisor, the serving schedulers and the benchmarks price
+        migrations identically. (Imported lazily: ``repro.cost`` sits
+        above the core layer.)
+        """
+        from repro.cost.charges import migration_cycles
+        return migration_cycles(self.chip.config, destination.chip.config,
+                                resident_bytes, migrated.setup_cycles)
 
     def _map_cores(self, spec: VNpuSpec,
                    strategy: MappingStrategy) -> MappingResult:

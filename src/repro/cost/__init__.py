@@ -1,0 +1,49 @@
+"""Unified fidelity-tiered cost engine.
+
+One :class:`CostModel` interface, three registered tiers — ``analytic``
+(steady-state bottleneck math), ``executor`` (full event-driven runs of
+real compiled workloads on a scratch chip) and ``cached`` (memoized
+executor results per placement class, analytic-scaled interpolation on
+miss). The serving schedulers, the hypervisor's migration charges and
+the calibration/benchmark harnesses all price cycles through this
+package.
+"""
+
+from repro.cost.analytic import AnalyticCostModel
+from repro.cost.cached import CachedCostModel
+from repro.cost.charges import migration_cycles, migration_data_cycles
+from repro.cost.executor_tier import (
+    PLACEMENT_CLASSES,
+    ExecutorCostModel,
+    canonical_vnpu,
+    placement_class,
+)
+from repro.cost.lowering import lower_mapped_task
+from repro.cost.model import (
+    CostModel,
+    WorkloadCost,
+    available_cost_models,
+    coerce_cost_model,
+    register_cost_model,
+    resolve_cost_model,
+    unregister_cost_model,
+)
+
+__all__ = [
+    "AnalyticCostModel",
+    "CachedCostModel",
+    "CostModel",
+    "ExecutorCostModel",
+    "PLACEMENT_CLASSES",
+    "WorkloadCost",
+    "available_cost_models",
+    "canonical_vnpu",
+    "coerce_cost_model",
+    "lower_mapped_task",
+    "migration_cycles",
+    "migration_data_cycles",
+    "placement_class",
+    "register_cost_model",
+    "resolve_cost_model",
+    "unregister_cost_model",
+]

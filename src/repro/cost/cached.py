@@ -1,0 +1,159 @@
+"""The ``cached`` tier: executor fidelity at near-analytic throughput.
+
+Prices are memoized executor-tier measurements keyed on
+``(chip config, model, mesh shape, guest memory, placement class)`` —
+the executor tier's own canonical-placement key, so a cache hit returns
+*exactly* the cycles the executor tier would measure. Under churn the
+same (model, shape, class) triples recur constantly; a 500-session
+fleet trace collapses to a few dozen event-driven runs.
+
+On a miss the tier runs the executor once and remembers the result —
+unless the configured ``max_executor_runs`` budget is spent, in which
+case it *interpolates*: take the cached executor measurement of the
+nearest donor key for the same model and scale it by the ratio of the
+analytic tier's predictions for the two keys. The analytic model is
+trusted for the *shape* of the scaling (how cost moves with core count
+and placement), the executor measurement anchors the *level*. Sessions
+priced this way are marked ``source="interpolated"``; with no donor at
+all the analytic price is used directly (``source="analytic"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.arch.chip import Chip
+from repro.cost.analytic import AnalyticCostModel
+from repro.cost.executor_tier import ExecutorCostModel, placement_class
+from repro.cost.model import CostModel, WorkloadCost, register_cost_model
+from repro.errors import ServingError
+
+#: Cache keys order placement classes for donor-distance ranking.
+_CLASS_RANK = {"exact": 0, "stretched": 1, "fragmented": 2}
+
+
+class CachedCostModel(CostModel):
+    """Memoized executor pricing with analytic-scaled interpolation."""
+
+    name = "cached"
+
+    def __init__(self, models: dict | None = None,
+                 max_executor_runs: int | None = None,
+                 measure_iterations: int = 3) -> None:
+        super().__init__(models)
+        if max_executor_runs is not None and max_executor_runs < 0:
+            raise ServingError(
+                f"max_executor_runs must be >= 0 or None, got "
+                f"{max_executor_runs}")
+        self.max_executor_runs = max_executor_runs
+        self._executor = ExecutorCostModel(
+            models=self.models, measure_iterations=measure_iterations)
+        self._analytic = AnalyticCostModel(models=self.models)
+        #: key -> (served cost, analytic reference for interpolation —
+        #: None when priced under an unlimited budget, where
+        #: interpolation can never trigger and the reference would go
+        #: unread).
+        self._cache: dict[tuple,
+                          tuple[WorkloadCost, WorkloadCost | None]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.executor_runs = 0
+        self.interpolations = 0
+
+    # -- model zoo ---------------------------------------------------------
+    def register_model(self, name: str, builder) -> None:
+        super().register_model(name, builder)
+        # Sub-models hold their own copies of the table; keep them in step.
+        self._executor.models[name] = builder
+        self._analytic.models[name] = builder
+
+    # -- pricing -----------------------------------------------------------
+    def workload_cost(self, chip: Chip, session, vnpu) -> WorkloadCost:
+        klass = placement_class(vnpu.mapping)
+        key = (chip.config.name, session.model, session.rows, session.cols,
+               session.memory_bytes, klass)
+        entry = self._cache.get(key)
+        if entry is not None:
+            self.hits += 1
+            return entry[0]
+        self.misses += 1
+        # The analytic reference only feeds interpolation, which only
+        # triggers under a finite executor budget — skip the compile on
+        # the unlimited-budget default path.
+        analytic = None
+        if self.max_executor_runs is not None:
+            analytic = self._analytic.workload_cost(chip, session, vnpu)
+        if (self.max_executor_runs is None
+                or self.executor_runs < self.max_executor_runs):
+            self.executor_runs += 1
+            cost = self._executor.measure(
+                chip.config, session.model, session.rows, session.cols,
+                session.memory_bytes, klass)
+            cost = replace(cost, tier=self.name)
+        else:
+            cost = self._interpolate(key, analytic, klass)
+        self._cache[key] = (cost, analytic)
+        return cost
+
+    def _interpolate(self, key: tuple, analytic: WorkloadCost,
+                     klass: str) -> WorkloadCost:
+        """Scale the nearest same-model executor measurement analytically."""
+        donor = self._donor(key)
+        if donor is None:
+            return replace(analytic, tier=self.name,
+                           placement_class=klass)
+        donor_cost, donor_analytic = donor
+        self.interpolations += 1
+        return WorkloadCost(
+            warmup_cycles=_scaled(donor_cost.warmup_cycles,
+                                  analytic.warmup_cycles,
+                                  donor_analytic.warmup_cycles),
+            iteration_cycles=max(1, _scaled(donor_cost.iteration_cycles,
+                                            analytic.iteration_cycles,
+                                            donor_analytic.iteration_cycles)),
+            tier=self.name,
+            source="interpolated",
+            placement_class=klass,
+        )
+
+    def _donor(self, key: tuple):
+        """Closest executor-backed entry for the same config + model."""
+        config_name, model, rows, cols, _memory, klass = key
+        best = None
+        best_rank = None
+        for other, entry in self._cache.items():
+            # Unlimited-budget entries carry no analytic reference (see
+            # __init__) and cannot anchor a scaling ratio.
+            if entry[0].source != "executor" or entry[1] is None:
+                continue
+            o_config, o_model, o_rows, o_cols, _o_memory, o_klass = other
+            if o_config != config_name or o_model != model:
+                continue
+            rank = (abs(o_rows * o_cols - rows * cols),
+                    abs(_CLASS_RANK[o_klass] - _CLASS_RANK[klass]),
+                    o_rows, o_cols, o_klass)
+            if best_rank is None or rank < best_rank:
+                best, best_rank = entry, rank
+        return best
+
+    # -- observability -----------------------------------------------------
+    def cache_stats(self) -> dict:
+        lookups = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+            "entries": len(self._cache),
+            "executor_runs": self.executor_runs,
+            "interpolations": self.interpolations,
+        }
+
+
+def _scaled(donor_value: int, analytic_here: int, analytic_donor: int) -> int:
+    """``donor * (analytic_here / analytic_donor)``, guarding zeros."""
+    if analytic_donor <= 0:
+        return analytic_here
+    return round(donor_value * analytic_here / analytic_donor)
+
+
+register_cost_model(CachedCostModel)

@@ -1,0 +1,49 @@
+"""Shared cycle charges: migration data movement + reconfiguration.
+
+These are the cost-engine primitives that are *not* per-workload: moving
+a tenant's resident guest memory between (possibly heterogeneous) memory
+systems, plus the Fig-11 routing-table reconfiguration the controller
+already metered as the new vNPU's ``setup_cycles``. The hypervisor and
+every :class:`~repro.cost.model.CostModel` tier route their
+migration/reconfig charges through here, so the serving layer, the
+fleet defragmenter and the benchmarks all agree on one formula.
+
+This module deliberately imports nothing from :mod:`repro.cost.model` or
+:mod:`repro.core` — it sits below both, which is what lets
+:class:`~repro.core.hypervisor.Hypervisor` use it without an import
+cycle.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.arch.config import SoCConfig
+
+
+def migration_data_cycles(source: SoCConfig, destination: SoCConfig,
+                          resident_bytes: int) -> int:
+    """Cycles to drain + refill ``resident_bytes`` of guest memory.
+
+    The transfer runs at the slower of the two memory systems (the
+    bottleneck end of the copy); zero resident bytes cost zero cycles.
+    """
+    if resident_bytes <= 0:
+        return 0
+    bytes_per_cycle = min(
+        source.memory.bytes_per_cycle(source.frequency_hz),
+        destination.memory.bytes_per_cycle(destination.frequency_hz),
+    )
+    return math.ceil(resident_bytes / bytes_per_cycle)
+
+
+def migration_cycles(source: SoCConfig, destination: SoCConfig,
+                     resident_bytes: int, setup_cycles: int) -> int:
+    """Total live-migration charge: data movement + Fig-11 reconfig.
+
+    ``setup_cycles`` is the destination controller's routing-table
+    installation cost, already measured when the migrated vNPU was
+    provisioned.
+    """
+    return (migration_data_cycles(source, destination, resident_bytes)
+            + setup_cycles)

@@ -1,0 +1,98 @@
+"""Lower a compiled workload into executable per-core programs.
+
+The compiler stops at a :class:`~repro.compiler.mapper.MappedTask` —
+per-virtual-core MAC counts, resident/streamed weight bytes and NoC
+flows. The analytic tier prices that directly; the executor tier needs
+actual instruction streams. This module synthesizes them:
+
+- a **warm-up program**: each core DMA-loads its resident weights from
+  guest memory (the §6.3.4 weight-load phase, run once);
+- an **iteration program**: per core, the per-iteration weight
+  re-streaming (oversized stages), the stage's compute as one fused MAC
+  block, then every outgoing flow as a tagged ``Send`` with the matching
+  ``Receive`` on the consumer core.
+
+Each core issues all of its sends before any receive. Sends complete
+independently of the receiver (transfers land in mailboxes), so this
+ordering is deadlock-free for arbitrary flow graphs — including the
+cyclic ring all-gathers the mapper emits — without needing a topological
+schedule. It costs some pipelining realism (a core blocks on its own
+transfer serialization), which is part of the analytic-vs-executor gap
+the calibration harness measures.
+
+Guest virtual addresses are synthesized by walking the vNPU's mapped
+range cyclically: every load stays inside ``[va_base, va_base +
+guest_bytes)``, the region the hypervisor's RTT actually maps, so DMA
+translation behaves as it would for a real tenant.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.mapper import MappedTask
+from repro.errors import ServingError
+from repro.isa.program import TaskProgram
+
+#: Matches repro.core.hypervisor.GUEST_VA_BASE without importing the
+#: hypervisor (lowering sits below the core layer).
+DEFAULT_VA_BASE = 0x1_0000
+
+
+class _GuestWalk:
+    """Hands out cyclic chunks of the guest VA window."""
+
+    def __init__(self, base: int, span: int) -> None:
+        if span <= 0:
+            raise ServingError(
+                f"guest memory span must be positive, got {span}")
+        self.base = base
+        self.span = span
+        self.offset = 0
+
+    def chunks(self, nbytes: int):
+        """Yield (va, size) chunks covering ``nbytes``, wrapping the window."""
+        remaining = nbytes
+        while remaining > 0:
+            size = min(remaining, self.span - self.offset)
+            yield self.base + self.offset, size
+            self.offset = (self.offset + size) % self.span
+            remaining -= size
+
+
+def lower_mapped_task(mapped: MappedTask, guest_bytes: int,
+                      va_base: int = DEFAULT_VA_BASE,
+                      ) -> tuple[TaskProgram, TaskProgram]:
+    """Synthesize (warm-up, iteration) programs for ``mapped``.
+
+    ``guest_bytes`` is the vNPU's mapped guest-memory span; all DMA
+    traffic is kept inside it. The returned programs speak *virtual*
+    core IDs — the executor translates through the vNPU at run time.
+    """
+    warmup = TaskProgram(f"{mapped.name}-warmup")
+    iteration = TaskProgram(mapped.name)
+    walk = _GuestWalk(va_base, guest_bytes)
+
+    for vcore in mapped.vcores:
+        weight_bytes = mapped.weight_bytes.get(vcore, 0)
+        if weight_bytes > 0:
+            core = warmup.core(vcore)
+            for va, size in walk.chunks(weight_bytes):
+                core.dma_load(va, size, label="weights")
+        core = iteration.core(vcore)
+        stream_bytes = mapped.stream_bytes.get(vcore, 0)
+        if stream_bytes > 0:
+            for va, size in walk.chunks(stream_bytes):
+                core.dma_load(va, size, label="stream")
+        macs = mapped.compute_macs.get(vcore, 0)
+        if macs > 0:
+            core.macs(macs, label="stage")
+
+    # All sends before all receives per core (see module docstring); the
+    # flow index keys each send to exactly one receive.
+    for index, flow in enumerate(mapped.flows):
+        iteration.core(flow.src_vcore).send(
+            flow.dst_vcore, flow.nbytes, tag=f"f{index}")
+    for index, flow in enumerate(mapped.flows):
+        iteration.core(flow.dst_vcore).receive(
+            flow.src_vcore, tag=f"f{index}")
+
+    return warmup, iteration

@@ -40,10 +40,19 @@ class ExecutionReport:
 
 
 class Executor:
-    """Runs task programs on one chip, optionally through a vNPU."""
+    """Runs task programs on one chip, optionally through a vNPU.
 
-    def __init__(self, chip: Chip) -> None:
+    ``dma_burst_bytes`` overrides the DMA engines' burst granularity
+    (default: the calibrated hardware burst). Coarser bursts keep the
+    modelled bandwidth/latency identical for bandwidth-bound streams
+    while shrinking the per-burst bookkeeping — the knob the cost
+    engine's executor tier uses to price large weight streams quickly.
+    """
+
+    def __init__(self, chip: Chip,
+                 dma_burst_bytes: int | None = None) -> None:
         self.chip = chip
+        self.dma_burst_bytes = dma_burst_bytes
 
     def run(self, program: TaskProgram, vnpu: VirtualNPU | None = None,
             iterations: int = 1) -> ExecutionReport:
@@ -79,12 +88,16 @@ class Executor:
             self.chip.memory.bytes_per_cycle / self.chip.core_count,
         )
         counter = vnpu.access_counter if vnpu is not None else None
+        overrides = {}
+        if self.dma_burst_bytes is not None:
+            overrides["burst_bytes"] = self.dma_burst_bytes
         return DmaEngine(
             core_id=p_core,
             translator=translator,
             bytes_per_cycle=per_core_rate,
             access_latency=self.chip.config.memory.access_latency,
             access_counter=counter,
+            **overrides,
         )
 
     def _run_core(self, core_program, vnpu, iterations, report):

@@ -8,7 +8,9 @@ freeing them as tenants depart — while :class:`ServingMetrics` tracks
 queue delays, utilization and fragmentation over time.
 :class:`FleetScheduler` scales the same loop to N chips on one shared
 clock, with pluggable cross-chip placement policies and live vNPU
-migration for defragmentation (:class:`DefragPolicy`).
+migration for defragmentation (:class:`DefragPolicy`). Both schedulers
+price sessions through a pluggable :mod:`repro.cost` fidelity tier
+(``cost_model="analytic" | "executor" | "cached"``).
 """
 
 from repro.serving.fleet import (

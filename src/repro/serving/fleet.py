@@ -38,6 +38,7 @@ from repro.core.hypervisor import Hypervisor
 from repro.core.registry import Registry
 from repro.core.strategies import resolve_strategy
 from repro.core.vnpu import VNpuSpec
+from repro.cost import CostModel, coerce_cost_model
 from repro.errors import AllocationError, ServingError
 from repro.serving.metrics import (
     ClusterSample,
@@ -49,8 +50,8 @@ from repro.serving.metrics import (
 from repro.serving.policies import AdmissionPolicy
 from repro.serving.scheduler import (
     PendingSession,
-    ServiceTimeEstimator,
     coerce_policy,
+    drive_simulation,
 )
 from repro.serving.workload import TenantSession
 from repro.sim import Simulator
@@ -237,7 +238,8 @@ class FleetScheduler:
                  placement: "PlacementPolicy | str" = "least_loaded",
                  strategy: str | None = None,
                  defrag: DefragPolicy | None = None,
-                 sim: Simulator | None = None) -> None:
+                 sim: Simulator | None = None,
+                 cost_model: "CostModel | str" = "analytic") -> None:
         if not configs:
             raise ServingError("fleet needs at least one chip config")
         self.sim = sim or Simulator()
@@ -253,7 +255,8 @@ class FleetScheduler:
         self.strategy = strategy
         self.defrag = defrag
         self.metrics = FleetMetrics()
-        self.estimator = ServiceTimeEstimator()
+        #: The fidelity tier pricing every session's residency.
+        self.cost_model = coerce_cost_model(cost_model)
         self._pending: list[PendingSession] = []
         #: (chip index, vmid) -> active session.
         self._active: dict[tuple[int, int], ActiveFleetSession] = {}
@@ -279,9 +282,18 @@ class FleetScheduler:
     def free_core_count(self) -> int:
         return sum(fc.free_cores() for fc in self.chips)
 
+    @property
+    def estimator(self) -> CostModel:
+        """Historical name for the pricing engine (now any cost tier)."""
+        return self.cost_model
+
+    @estimator.setter
+    def estimator(self, model: "CostModel | str") -> None:
+        self.cost_model = coerce_cost_model(model)
+
     # -- public API --------------------------------------------------------
     def register_model(self, name: str, builder) -> None:
-        self.estimator.register_model(name, builder)
+        self.cost_model.register_model(name, builder)
 
     def submit(self, trace: "list[TenantSession]") -> None:
         """Queue a trace; arrivals are replayed at their recorded cycles."""
@@ -290,7 +302,7 @@ class FleetScheduler:
         largest = max(fc.chip.core_count for fc in self.chips)
         ordered = sorted(trace, key=lambda s: (s.arrival_cycle, s.session_id))
         for session in ordered:
-            if session.model not in self.estimator.models:
+            if session.model not in self.cost_model.models:
                 raise ServingError(
                     f"session {session.session_id} wants unknown model "
                     f"{session.model!r}"
@@ -304,17 +316,18 @@ class FleetScheduler:
         self.sim.process(self._arrivals(ordered), name="fleet-arrivals")
         self._trace_loaded = True
 
-    def run(self, until: int | None = None) -> int:
+    def run(self, until: int | None = None,
+            limit: int | None = None) -> int:
+        """Drive the simulation (``limit`` as in ClusterScheduler.run)."""
         if not self._trace_loaded:
             raise ServingError("submit() a trace before run()")
-        if until is not None:
-            return self.sim.run(until=until)
-        return self.sim.run_until_processes_done()
+        return drive_simulation(self.sim, until, limit)
 
-    def serve(self, trace: "list[TenantSession]") -> FleetMetrics:
+    def serve(self, trace: "list[TenantSession]",
+              limit: int | None = None) -> FleetMetrics:
         """Convenience: submit + run + return the metrics."""
         self.submit(trace)
-        self.run()
+        self.run(limit=limit)
         return self.metrics
 
     # -- simulation processes ----------------------------------------------
@@ -392,8 +405,8 @@ class FleetScheduler:
                 mapping_connected=vnpu.mapping.connected,
             )
             self._active[(fleet_chip.index, vnpu.vmid)] = active
-            service = self.estimator.service_cycles(fleet_chip.chip,
-                                                    session, vnpu)
+            service = self.cost_model.service_cycles(fleet_chip.chip,
+                                                     session, vnpu)
             self.sim.process(
                 self._session_lifetime(active, service),
                 name=f"fleet-session-{session.session_id}",

@@ -11,14 +11,15 @@ about: placements happen under fragmentation left by earlier tenants,
 which is why the hypervisor's ``map_similar`` cache and the registered
 mapping strategies sit directly on this path.
 
-Service time is the *solo* steady-state estimate of the session's model
-on its actual placement (warm-up + inferences x iteration cycles +
-routing-table setup). Cross-tenant slowdown is deliberately not fed back
-into durations — it would make every departure time depend on the whole
-residency history — but the placement quality (mapping distance,
-fragmentation) is recorded per session, so interference-prone placements
-remain visible in the metrics. Estimates are memoized per
-(model, shape), keeping a 500-session trace to a handful of compiles.
+Service time is priced by a pluggable :class:`~repro.cost.CostModel`
+tier — ``analytic`` (the default closed-form solo steady state),
+``executor`` (full event-driven runs of the compiled workload) or
+``cached`` (memoized executor runs per placement class). Cross-tenant
+slowdown is deliberately not fed back into durations — it would make
+every departure time depend on the whole residency history — but the
+placement quality (mapping distance, fragmentation) is recorded per
+session, so interference-prone placements remain visible in the
+metrics.
 """
 
 from __future__ import annotations
@@ -29,8 +30,8 @@ from repro.arch.chip import Chip
 from repro.core.hypervisor import Hypervisor
 from repro.core.strategies import resolve_strategy
 from repro.core.vnpu import VNpuSpec
+from repro.cost import AnalyticCostModel, CostModel, coerce_cost_model
 from repro.errors import AllocationError, ServingError
-from repro.runtime.session import compile_model, estimate_together
 from repro.serving.metrics import (
     ClusterSample,
     ServingMetrics,
@@ -38,7 +39,7 @@ from repro.serving.metrics import (
     fragmentation_ratio,
 )
 from repro.serving.policies import AdmissionPolicy, resolve_policy
-from repro.serving.workload import MODEL_BUILDERS, TenantSession
+from repro.serving.workload import MODEL_BUILDERS, TenantSession  # noqa: F401  (re-export)
 
 
 @dataclass
@@ -64,6 +65,24 @@ class ActiveSession:
     mapping_connected: bool
 
 
+def drive_simulation(sim, until: int | None, limit: int | None) -> int:
+    """Shared scheduler run dispatch: bounded run or run-to-completion.
+
+    ``until`` bounds simulated time (no deadlock detection); ``limit``
+    overrides the run-to-completion deadlock horizon. The combination is
+    a contradiction and rejected.
+    """
+    if until is not None:
+        if limit is not None:
+            raise ServingError(
+                "pass either until (bounded run) or limit (deadlock "
+                "horizon), not both")
+        return sim.run(until=until)
+    if limit is not None:
+        return sim.run_until_processes_done(limit=limit)
+    return sim.run_until_processes_done()
+
+
 def coerce_policy(policy: "AdmissionPolicy | str") -> AdmissionPolicy:
     """Resolve a policy name, or validate an instance.
 
@@ -85,40 +104,9 @@ def coerce_policy(policy: "AdmissionPolicy | str") -> AdmissionPolicy:
     return policy
 
 
-class ServiceTimeEstimator:
-    """Memoized solo service-time model shared by the serving schedulers.
-
-    Estimates are keyed per (chip config, model, shape): under churn the
-    same request shapes recur, so a long trace costs a handful of
-    compiles. The estimate is the *solo* steady state of the session's
-    model on its actual placement — see the module docstring for why
-    cross-tenant slowdown is not fed back.
-    """
-
-    def __init__(self, models: dict | None = None) -> None:
-        self.models = dict(MODEL_BUILDERS if models is None else models)
-        #: (config name, model, rows, cols) -> (warmup, iteration) cycles.
-        self._cache: dict[tuple[str, str, int, int], tuple[int, int]] = {}
-
-    def register_model(self, name: str, builder) -> None:
-        """Make ``builder`` (zero-arg -> ModelGraph) available to traces."""
-        if name in self.models:
-            raise ServingError(f"model {name!r} already registered")
-        self.models[name] = builder
-
-    def service_cycles(self, chip: Chip, session: TenantSession,
-                       vnpu) -> int:
-        key = (chip.config.name, session.model, session.rows, session.cols)
-        cached = self._cache.get(key)
-        if cached is None:
-            model = self.models[session.model]()
-            placed = compile_model(model, vnpu, chip)
-            report = estimate_together(chip, [placed])[placed.name]
-            cached = (report.warmup_cycles, report.iteration_cycles)
-            self._cache[key] = cached
-        warmup, iteration = cached
-        return max(1, warmup + session.inferences * iteration
-                   + vnpu.setup_cycles)
+#: Backward-compatible alias: the serving layer's original memoized
+#: estimator is now the cost engine's ``analytic`` tier.
+ServiceTimeEstimator = AnalyticCostModel
 
 
 class ClusterScheduler:
@@ -127,7 +115,8 @@ class ClusterScheduler:
     def __init__(self, chip: Chip,
                  hypervisor: Hypervisor | None = None,
                  policy: AdmissionPolicy | str = "fcfs",
-                 strategy: str | None = None) -> None:
+                 strategy: str | None = None,
+                 cost_model: "CostModel | str" = "analytic") -> None:
         self.chip = chip
         self.sim = chip.sim
         self.hypervisor = hypervisor or Hypervisor(chip)
@@ -140,13 +129,25 @@ class ClusterScheduler:
         self.metrics = ServingMetrics()
         self._pending: list[PendingSession] = []
         self._active: dict[int, ActiveSession] = {}
-        self.estimator = ServiceTimeEstimator()
+        #: The fidelity tier pricing every session's residency.
+        self.cost_model = coerce_cost_model(cost_model)
         self._trace_loaded = False
+
+    @property
+    def estimator(self) -> CostModel:
+        """Historical name for the pricing engine (now any cost tier)."""
+        return self.cost_model
+
+    @estimator.setter
+    def estimator(self, model: "CostModel | str") -> None:
+        # Pre-cost-engine code assigned estimators directly; keep that
+        # working (validated the same way as the constructor argument).
+        self.cost_model = coerce_cost_model(model)
 
     # -- public API --------------------------------------------------------
     def register_model(self, name: str, builder) -> None:
         """Make ``builder`` (zero-arg -> ModelGraph) available to traces."""
-        self.estimator.register_model(name, builder)
+        self.cost_model.register_model(name, builder)
 
     def submit(self, trace: list[TenantSession]) -> None:
         """Queue a trace; arrivals are replayed at their recorded cycles."""
@@ -154,7 +155,7 @@ class ClusterScheduler:
             raise ServingError("scheduler already has a trace submitted")
         ordered = sorted(trace, key=lambda s: (s.arrival_cycle, s.session_id))
         for session in ordered:
-            if session.model not in self.estimator.models:
+            if session.model not in self.cost_model.models:
                 raise ServingError(
                     f"session {session.session_id} wants unknown model "
                     f"{session.model!r}"
@@ -168,18 +169,25 @@ class ClusterScheduler:
         self.sim.process(self._arrivals(ordered), name="serving-arrivals")
         self._trace_loaded = True
 
-    def run(self, until: int | None = None) -> int:
-        """Drive the simulation until the trace is fully served."""
+    def run(self, until: int | None = None,
+            limit: int | None = None) -> int:
+        """Drive the simulation until the trace is fully served.
+
+        ``limit`` overrides the engine's deadlock-detection horizon —
+        long traces priced by the slower (higher-fidelity) cost tiers
+        can legitimately outlive the default. It only applies to
+        run-to-completion; combining it with ``until`` (a bounded run
+        with no deadlock detection) is a contradiction and rejected.
+        """
         if not self._trace_loaded:
             raise ServingError("submit() a trace before run()")
-        if until is not None:
-            return self.sim.run(until=until)
-        return self.sim.run_until_processes_done()
+        return drive_simulation(self.sim, until, limit)
 
-    def serve(self, trace: list[TenantSession]) -> ServingMetrics:
+    def serve(self, trace: list[TenantSession],
+              limit: int | None = None) -> ServingMetrics:
         """Convenience: submit + run + return the metrics."""
         self.submit(trace)
-        self.run()
+        self.run(limit=limit)
         return self.metrics
 
     # -- simulation processes ----------------------------------------------
@@ -241,7 +249,7 @@ class ClusterScheduler:
             mapping_connected=vnpu.mapping.connected,
         )
         self._active[vnpu.vmid] = active
-        service = self.estimator.service_cycles(self.chip, session, vnpu)
+        service = self.cost_model.service_cycles(self.chip, session, vnpu)
         self.sim.process(
             self._session_lifetime(active, service),
             name=f"serving-session-{session.session_id}",

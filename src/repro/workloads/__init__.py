@@ -19,8 +19,10 @@ from repro.workloads.transformer import (
     gpt2_block_count,
     transformer_block,
 )
+from repro.workloads.zoo import SERVING_MODEL_BUILDERS
 
 __all__ = [
+    "SERVING_MODEL_BUILDERS",
     "Layer",
     "ModelGraph",
     "alexnet",

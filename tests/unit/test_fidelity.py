@@ -1,0 +1,93 @@
+"""Analytic-pipeline vs event-driven-executor agreement (calibration).
+
+The calibration harness doubles as the oracle: for each workload class
+the analytic tier's iteration estimate must stay within a factor of two
+of the executor tier's measured cycles (the executor serializes engine
+work the analytic model overlaps, so it runs slower-or-equal), and both
+tiers must agree on scaling direction.
+"""
+
+import pytest
+
+from repro.analysis.fidelity import (
+    CalibrationRow,
+    calibrate,
+    summarize,
+)
+from repro.arch.config import sim_config
+from repro.errors import ServingError
+
+#: >= 3 workload classes: classic CNN, transformer-encoder prefill,
+#: decode-shaped GPT-2, lightweight mobile CNN.
+CASES = (
+    ("alexnet", 2, 2),
+    ("bert-base", 3, 4),
+    ("gpt2-small", 3, 3),
+    ("mobilenet", 2, 2),
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return calibrate(sim_config(16), cases=CASES)
+
+
+class TestAgreement:
+    def test_covers_all_cases(self, rows):
+        assert {(r.model, r.rows, r.cols) for r in rows} == set(CASES)
+
+    def test_iteration_within_factor_two(self, rows):
+        for row in rows:
+            assert row.iteration_error < 1.0, (
+                f"{row.model}: analytic {row.analytic_iteration} vs "
+                f"executor {row.executor_iteration}"
+            )
+
+    def test_executor_never_faster_than_analytic(self, rows):
+        """Serialized instruction streams cannot beat the overlap model."""
+        for row in rows:
+            assert row.executor_iteration >= row.analytic_iteration
+
+    def test_warmup_same_order_of_magnitude(self, rows):
+        for row in rows:
+            if row.executor_warmup == 0:
+                continue
+            ratio = row.analytic_warmup / row.executor_warmup
+            assert 0.05 < ratio <= 1.5, (
+                f"{row.model}: warm-up analytic {row.analytic_warmup} vs "
+                f"executor {row.executor_warmup}"
+            )
+
+    def test_both_tiers_rank_models_identically(self, rows):
+        analytic_order = sorted(rows, key=lambda r: r.analytic_iteration)
+        executor_order = sorted(rows, key=lambda r: r.executor_iteration)
+        assert ([r.model for r in analytic_order]
+                == [r.model for r in executor_order])
+
+
+class TestHarness:
+    def test_summarize_reports_per_model(self, rows):
+        digest = summarize(rows)
+        assert digest["cases"] == len(rows)
+        assert set(digest["models"]) == {case[0] for case in CASES}
+        assert 0.0 <= digest["iteration_error_mean"] \
+            <= digest["iteration_error_max"] < 1.0
+
+    def test_empty_cases_rejected(self):
+        with pytest.raises(ServingError):
+            calibrate(sim_config(16), cases=())
+
+    def test_empty_summary_rejected(self):
+        with pytest.raises(ServingError):
+            summarize([])
+
+    def test_error_properties_guard_zero_division(self):
+        row = CalibrationRow("m", 1, 1, "exact", 5, 7, 0, 0)
+        assert row.iteration_error == 0.0
+        assert row.warmup_error == 0.0
+
+    def test_placement_classes_calibrate(self):
+        rows = calibrate(sim_config(16), cases=(("mobilenet", 2, 2),),
+                         classes=("exact", "stretched", "fragmented"))
+        assert [r.placement_class for r in rows] \
+            == ["exact", "stretched", "fragmented"]

@@ -181,3 +181,91 @@ def test_yielding_non_event_is_an_error():
     sim.process(bad(sim))
     with pytest.raises(SimulationError, match="expected an Event"):
         sim.run()
+
+
+class TestHotLoopFastPaths:
+    """The micro-optimized run loop must keep every semantic guarantee."""
+
+    def test_finished_processes_are_pruned(self):
+        sim = Simulator()
+
+        def worker(sim):
+            yield sim.timeout(3)
+
+        sim.process(worker(sim))
+        sim.process(worker(sim))
+        sim.run_until_processes_done()
+        assert sim._processes == []
+
+    def test_pruning_allows_fresh_rounds(self):
+        sim = Simulator()
+        log = []
+
+        def worker(sim, tag):
+            yield sim.timeout(1)
+            log.append((tag, sim.now))
+
+        sim.process(worker(sim, "a"))
+        sim.run_until_processes_done()
+        sim.process(worker(sim, "b"))
+        sim.run_until_processes_done()
+        assert log == [("a", 1), ("b", 2)]
+
+    def test_deadlock_detection_survives_optimization(self):
+        sim = Simulator()
+
+        def stuck(sim):
+            yield sim.event("never")
+
+        sim.process(stuck(sim), name="stuck-proc")
+        with pytest.raises(SimulationError, match="stuck-proc"):
+            sim.run_until_processes_done(limit=100)
+
+    def test_bounded_run_leaves_future_events_queued(self):
+        sim = Simulator()
+        log = []
+
+        def worker(sim):
+            yield sim.timeout(10)
+            log.append(sim.now)
+
+        sim.process(worker(sim))
+        assert sim.run(until=5) == 5
+        assert log == []
+        sim.run()
+        assert log == [10]
+
+    def test_multi_waiter_event_resumes_all(self):
+        sim = Simulator()
+        woken = []
+
+        def waiter(sim, ev, tag):
+            yield ev
+            woken.append(tag)
+
+        ev = sim.event()
+        for tag in ("x", "y", "z"):
+            sim.process(waiter(sim, ev, tag))
+
+        def firer(sim, ev):
+            yield sim.timeout(2)
+            ev.succeed()
+
+        sim.process(firer(sim, ev))
+        sim.run()
+        assert woken == ["x", "y", "z"]
+
+    def test_timeout_carries_delay_without_formatted_name(self):
+        sim = Simulator()
+        timeout = sim.timeout(7)
+        assert timeout.delay == 7
+        assert timeout.triggered
+
+    def test_timeout_initializes_every_event_slot(self):
+        """Timeout.__init__ inlines Event.__init__ for speed; if a field
+        is ever added to Event, this forces the inline copy to follow."""
+        from repro.sim.engine import Event
+        sim = Simulator()
+        timeout = sim.timeout(1)
+        for slot in Event.__slots__:
+            getattr(timeout, slot)  # AttributeError = drifted inline

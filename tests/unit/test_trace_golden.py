@@ -1,0 +1,76 @@
+"""Golden-hash regression pins for the trace generators' RNG draw order.
+
+Every bench and serving test replays a seeded trace; the determinism of
+those artifacts rests on the generator drawing (inter-arrival, shape,
+model, inferences, sticky, priority) in exactly this order from
+``random.Random(seed)``, and on the sorted model-zoo names feeding
+``rng.choice``. A refactor that reorders draws, adds a draw, or edits
+the ``SERVING_MODEL_BUILDERS`` table would silently re-deal every
+historical seed; these hashes make that a loud failure instead.
+
+If a change here is *intentional* (a new draw, a new zoo entry),
+regenerate the hashes with the helper below and say so in the commit —
+every checked-in BENCH_*.json regenerates with it.
+"""
+
+import hashlib
+
+from repro.serving import generate_fleet_trace, generate_trace
+from repro.workloads.zoo import SERVING_MODEL_BUILDERS
+
+
+def trace_digest(trace, n=25) -> str:
+    """SHA-256 over a canonical rendering of the first ``n`` sessions."""
+    lines = [
+        f"{s.session_id}|{s.tenant}|{s.arrival_cycle}|{s.rows}x{s.cols}|"
+        f"{s.memory_bytes}|{s.model}|{s.inferences}|{s.priority}"
+        for s in trace[:n]
+    ]
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()
+
+
+GOLDEN_TRACE = {
+    0: "5fdc9d920eee4a74540fcc1544cccb9801c7976e3d89c6b1259d42e85f16fe47",
+    7: "40b9257d772d727142a9810914021c8ad565ac48360424ca94a6973c277a1691",
+    42: "eed7716344521674106011b69f8935b1de2a4827ddfcc456e41796018b6c9f7c",
+}
+
+GOLDEN_FLEET_TRACE = {
+    0: "6e0600d573889cc03a5ed04e5d9c2bfbe27bbb24ed54a03c0fcc987d6abe3aeb",
+    7: "b543af7ef8fd485036a9110cbe2de2de32a9030cf3d3582c779263f7160b1d09",
+    42: "9d9aa2ab377be6afebef2dc452d7f5ce95a60b7c712e50558ed681b578f6ebe9",
+}
+
+GOLDEN_STICKY = (
+    "c54327096dda46ac5cdb9765391246cb2111823b80cda855873f55de46710a97"
+)
+
+
+class TestGoldenTraces:
+    def test_generate_trace_draw_order_pinned(self):
+        for seed, expected in GOLDEN_TRACE.items():
+            assert trace_digest(generate_trace(seed, 40)) == expected, (
+                f"seed {seed}: generate_trace's RNG draw order changed — "
+                f"every historical bench/test trace just re-dealt"
+            )
+
+    def test_fleet_trace_draw_order_pinned(self):
+        for seed, expected in GOLDEN_FLEET_TRACE.items():
+            trace = generate_fleet_trace(seed, 40, chips=3, max_cores=16,
+                                         fragmentation_heavy=True)
+            assert trace_digest(trace) == expected, (
+                f"seed {seed}: generate_fleet_trace's draw order changed"
+            )
+
+    def test_sticky_path_draw_order_pinned(self):
+        trace = generate_trace(11, 40, sticky_fraction=0.25)
+        assert trace_digest(trace) == GOLDEN_STICKY, (
+            "sticky-tenant branch changed the RNG draw order"
+        )
+
+    def test_zoo_names_pinned(self):
+        """The sorted zoo names feed rng.choice — content is contractual."""
+        assert sorted(SERVING_MODEL_BUILDERS) == [
+            "alexnet", "bert-base", "gpt2-small", "mobilenet",
+            "resnet18", "resnet34", "yolo-lite",
+        ]
