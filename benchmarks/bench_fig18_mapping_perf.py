@@ -9,7 +9,15 @@ The chip starts partially occupied (the paper's red nodes). Paper shapes:
   (GPT: zig-zag still reaches ~89 % of the similar mapping).
 """
 
-from benchmarks.common import Table, once
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+for _entry in (str(_ROOT), str(_ROOT / "src")):
+    if _entry not in sys.path:
+        sys.path.insert(0, _entry)
+
+from benchmarks.common import Table, once, write_bench_json  # noqa: E402
 from repro.arch.chip import Chip
 from repro.arch.config import MB, sim_config
 from repro.arch.topology import MeshShape
@@ -54,16 +62,47 @@ def sweep():
     return grid
 
 
+def emit_grid(grid, directory=None):
+    """Write the sweep as a comparable ``BENCH_fig18.json`` artifact.
+
+    The simulated fps values are pure functions of the configs, so two
+    runs produce byte-identical JSON — the pretty-printed table alone
+    left no diffable trajectory across PRs.
+    """
+    payload = {
+        "config": {
+            "bench": "fig18",
+            "chip_cores": 36,
+            "occupied_shape": str(OCCUPIED_SHAPE),
+            "sizes": sorted(SIZES),
+        },
+        "fps": {
+            f"{model_name}/{cores}": {
+                "ratio": round(similar / zigzag, 6),
+                "similar": round(similar, 6),
+                "zigzag": round(zigzag, 6),
+            }
+            for (model_name, cores), (similar, zigzag) in grid.items()
+        },
+    }
+    return write_bench_json("fig18", payload, directory=directory)
+
+
+def show_grid(grid):
+    table = Table("Fig 18 — fps under similar vs straightforward mapping",
+                  ["model", "cores", "similar", "zig-zag",
+                   "similar/zig-zag"])
+    for (model_name, cores), (similar, zigzag) in grid.items():
+        table.add(model_name, cores, similar, zigzag,
+                  f"{similar / zigzag:.2f}x")
+    table.show()
+
+
 def test_fig18_mapping_performance(benchmark):
     grid = benchmark.pedantic(sweep, rounds=1, iterations=1)
     if once("fig18"):
-        table = Table("Fig 18 — fps under similar vs straightforward mapping",
-                      ["model", "cores", "similar", "zig-zag",
-                       "similar/zig-zag"])
-        for (model_name, cores), (similar, zigzag) in grid.items():
-            table.add(model_name, cores, similar, zigzag,
-                      f"{similar / zigzag:.2f}x")
-        table.show()
+        show_grid(grid)
+        emit_grid(grid)
 
     # Trend 1: similar mapping never loses to zig-zag.
     for key, (similar, zigzag) in grid.items():
@@ -92,3 +131,10 @@ def test_fig18_mapping_performance(benchmark):
         for c in SIZES) / len(SIZES)
     assert gpt_ratio > 0.8
     assert resnet_mean > gpt_mean_gain  # ResNet more mapping-sensitive
+
+
+if __name__ == "__main__":
+    # Standalone path (no pytest-benchmark): sweep + table + artifact.
+    result = sweep()
+    show_grid(result)
+    print(f"wrote {emit_grid(result)}")

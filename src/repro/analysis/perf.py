@@ -1,0 +1,292 @@
+"""Mapper perf-regression harness: the mapping fast path's scoreboard.
+
+The similarity mapper is the dominant cost of fleet serving, so its
+performance needs a recorded trajectory. This module pins a **corpus**
+— the exact sequence of mapper invocations a fragmentation-heavy fleet
+trace produces — and replays it against both the fast path and the
+retained reference implementation
+(:class:`~repro.core.topology_mapping.TopologyMapper` with
+``fast_path=False``):
+
+1. :func:`record_corpus` emulates best-fit probe churn over N chips
+   (every arrival probes every chip that fits; placements and departures
+   become ``alloc``/``free`` events) and returns a flat, deterministic
+   event list. Service time uses a fixed per-inference proxy so the
+   corpus is a pure function of the trace seed — no simulator, no cost
+   model, nothing but mapper calls.
+2. :func:`replay` executes the events against fresh mappers (result
+   cache disabled, so every call does real mapping work) and collects
+   outputs, operation counters and wall time.
+3. :func:`run_mapping_perf` compares the two replays and splits the
+   digest the way ``BENCH_cost`` does: a **deterministic** section
+   (operation counts, pruning accounting, output equality — byte-stable
+   across runs and hosts, gated by CI) and a **timing** section
+   (wall-clock seconds and speedup — recorded but never gated).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import json
+import time
+from dataclasses import dataclass
+
+from repro.arch.topology import Topology
+from repro.core.topology_mapping import TopologyMapper
+from repro.errors import AllocationError
+from repro.serving.workload import generate_fleet_trace
+
+#: Cycles one inference contributes to the corpus's departure proxy.
+#: Together with the trace's inter-arrival gap this pins fleet occupancy
+#: in the mid-high range where exact placements are rare and similarity
+#: mapping does real work.
+PROXY_CYCLES_PER_INFERENCE = 60_000
+
+#: Fleet-wide mean inter-arrival gap fed to ``generate_fleet_trace``.
+MEAN_INTERARRIVAL = 6_000_000
+
+#: Cores pre-pinned on every chip (scattered, so chips start fragmented
+#: instead of offering one big exact mesh block).
+PINNED_CORES = (7, 14, 22, 27)
+
+#: Counter keys whose fleet-wide sums make up the deterministic digest.
+COUNTER_KEYS = (
+    "candidates_considered",
+    "candidates_pruned",
+    "candidates_refined",
+    "objective_evaluations",
+    "free_rebuilds",
+    "free_updates",
+)
+
+
+@dataclass(frozen=True)
+class MappingCorpus:
+    """A pinned, replayable sequence of mapper invocations.
+
+    ``events`` entries are tuples: ``("map", chip, rows, cols,
+    allocated)`` for an invocation, ``("alloc", chip, cores)`` /
+    ``("free", chip, cores)`` for free-set transitions (``allocated`` and
+    ``cores`` are sorted tuples, keeping the corpus hashable and
+    JSON-stable).
+    """
+
+    chips: int
+    cores_per_chip: int
+    sessions: int
+    seed: int
+    events: tuple
+
+    @property
+    def map_calls(self) -> int:
+        return sum(1 for event in self.events if event[0] == "map")
+
+    def digest(self) -> str:
+        """Content hash of the event stream (corpus identity)."""
+        payload = json.dumps(
+            [self.chips, self.cores_per_chip, self.sessions, self.seed,
+             list(self.events)],
+            separators=(",", ":"),
+        )
+        return hashlib.blake2s(payload.encode(), digest_size=16).hexdigest()
+
+
+@dataclass
+class ReplayResult:
+    """One implementation's pass over a corpus."""
+
+    outputs: list
+    counters: dict
+    wall_seconds: float
+
+    def outputs_digest(self) -> str:
+        payload = json.dumps(
+            [[distance, list(map(list, vmap))] for distance, vmap in
+             self.outputs],
+            separators=(",", ":"),
+        )
+        return hashlib.blake2s(payload.encode(), digest_size=16).hexdigest()
+
+
+def mesh_dims(cores: int) -> tuple[int, int]:
+    """Squarest rows x cols factorization of a chip's core count."""
+    rows = int(cores ** 0.5)
+    while rows > 1 and cores % rows:
+        rows -= 1
+    return rows, cores // rows
+
+
+def record_corpus(seed: int = 7, sessions: int = 500, chips: int = 8,
+                  cores_per_chip: int = 36) -> MappingCorpus:
+    """Pin the mapper-call sequence of a fragmented fleet trace.
+
+    Every chip starts with :data:`PINNED_CORES` occupied; each arrival
+    probes every chip with room (best-fit ranking by trial distance,
+    ties to the lower chip index) and lands on the winner; departures
+    fire at ``arrival + inferences * PROXY_CYCLES_PER_INFERENCE``. The
+    event list is a pure function of the arguments.
+    """
+    rows, cols = mesh_dims(cores_per_chip)
+    trace = generate_fleet_trace(
+        seed, sessions, chips=chips, max_cores=16,
+        mean_interarrival_cycles=MEAN_INTERARRIVAL,
+        fragmentation_heavy=True,
+    )
+    chip_topology = Topology.mesh2d(rows, cols)
+    pinned = tuple(core for core in PINNED_CORES
+                   if core < cores_per_chip)
+    mappers = [TopologyMapper(chip_topology, cache_size=0)
+               for _ in range(chips)]
+    allocated: list[set[int]] = [set(pinned) for _ in range(chips)]
+    for mapper in mappers:
+        mapper.reset_free_tracking(set(pinned))
+    requests: dict[tuple[int, int], Topology] = {}
+    live: list[tuple[int, int, tuple[int, ...]]] = []
+    events: list[tuple] = []
+    for session in trace:
+        while live and live[0][0] <= session.arrival_cycle:
+            _, index, cores = heapq.heappop(live)
+            allocated[index] -= set(cores)
+            mappers[index].notify_free(cores)
+            events.append(("free", index, cores))
+        shape = (session.rows, session.cols)
+        request = requests.get(shape)
+        if request is None:
+            request = requests[shape] = Topology.mesh2d(*shape)
+        best = None
+        for index, mapper in enumerate(mappers):
+            if session.core_count > cores_per_chip - len(allocated[index]):
+                continue
+            events.append(("map", index, session.rows, session.cols,
+                           tuple(sorted(allocated[index]))))
+            try:
+                result = mapper.map_similar(request, allocated[index],
+                                            require_connected=False)
+            except AllocationError:
+                continue
+            if best is None or (result.distance, index) < best[:2]:
+                best = (result.distance, index, result)
+        if best is None:
+            continue
+        _, index, result = best
+        cores = tuple(result.physical_cores)
+        allocated[index] |= set(cores)
+        mappers[index].notify_alloc(cores)
+        events.append(("alloc", index, cores))
+        heapq.heappush(live, (
+            session.arrival_cycle
+            + session.inferences * PROXY_CYCLES_PER_INFERENCE,
+            index, cores,
+        ))
+    return MappingCorpus(chips=chips, cores_per_chip=cores_per_chip,
+                         sessions=sessions, seed=seed,
+                         events=tuple(events))
+
+
+def replay(corpus: MappingCorpus, fast_path: bool) -> ReplayResult:
+    """Execute a corpus against fresh mappers; collect outputs + timing.
+
+    The per-mapper result cache is disabled so every ``map`` event pays
+    for real mapping work — the replay measures the mapper, not its
+    memo. ``alloc``/``free`` events drive ``notify_alloc``/``notify_free``
+    so the fast path's incremental free-set maintenance is on the
+    measured path.
+    """
+    rows, cols = mesh_dims(corpus.cores_per_chip)
+    chip_topology = Topology.mesh2d(rows, cols)
+    pinned = set(core for core in PINNED_CORES
+                 if core < corpus.cores_per_chip)
+    mappers = [TopologyMapper(chip_topology, cache_size=0,
+                              fast_path=fast_path)
+               for _ in range(corpus.chips)]
+    for mapper in mappers:
+        mapper.reset_free_tracking(set(pinned))
+    requests: dict[tuple[int, int], Topology] = {}
+    for event in corpus.events:
+        if event[0] == "map":
+            shape = (event[2], event[3])
+            if shape not in requests:
+                requests[shape] = Topology.mesh2d(*shape)
+    outputs: list[tuple] = []
+    start = time.perf_counter()
+    for event in corpus.events:
+        kind = event[0]
+        if kind == "map":
+            _, index, req_rows, req_cols, alloc = event
+            try:
+                result = mappers[index].map_similar(
+                    requests[(req_rows, req_cols)], set(alloc),
+                    require_connected=False,
+                )
+            except AllocationError:
+                outputs.append((-1.0, ()))
+                continue
+            outputs.append((result.distance,
+                            tuple(sorted(result.vmap.items()))))
+        elif kind == "alloc":
+            mappers[event[1]].notify_alloc(event[2])
+        else:
+            mappers[event[1]].notify_free(event[2])
+    wall = time.perf_counter() - start
+    counters: dict[str, int] = {key: 0 for key in COUNTER_KEYS}
+    for mapper in mappers:
+        stats = mapper.cache_stats()
+        for key in COUNTER_KEYS:
+            counters[key] += stats[key]
+    return ReplayResult(outputs=outputs, counters=counters,
+                        wall_seconds=wall)
+
+
+def run_mapping_perf(seed: int = 7, sessions: int = 500, chips: int = 8,
+                     cores_per_chip: int = 36) -> dict:
+    """Record a corpus, replay it both ways, and return the two-section
+    report: ``deterministic`` (CI-gated) and ``timing`` (recorded only).
+    """
+    corpus = record_corpus(seed=seed, sessions=sessions, chips=chips,
+                           cores_per_chip=cores_per_chip)
+    fast = replay(corpus, fast_path=True)
+    reference = replay(corpus, fast_path=False)
+    mismatches = sum(
+        1 for fast_out, ref_out in zip(fast.outputs, reference.outputs)
+        if fast_out != ref_out
+    )
+    pruning = fast.counters
+    deterministic = {
+        "corpus": {
+            "chips": corpus.chips,
+            "cores_per_chip": corpus.cores_per_chip,
+            "digest": corpus.digest(),
+            "events": len(corpus.events),
+            "map_calls": corpus.map_calls,
+            "seed": corpus.seed,
+            "sessions": corpus.sessions,
+        },
+        "equivalence": {
+            "identical": mismatches == 0,
+            "map_calls": len(fast.outputs),
+            "mismatches": mismatches,
+            "outputs_digest": fast.outputs_digest(),
+            "reference_outputs_digest": reference.outputs_digest(),
+        },
+        "fast": dict(sorted(fast.counters.items())),
+        "pruning_accounted": (
+            pruning["candidates_pruned"] + pruning["candidates_refined"]
+            == pruning["candidates_considered"]
+        ),
+        "reference": {
+            "free_rebuilds": reference.counters["free_rebuilds"],
+            "objective_evaluations":
+                reference.counters["objective_evaluations"],
+        },
+    }
+    speedup = (reference.wall_seconds / fast.wall_seconds
+               if fast.wall_seconds > 0 else float("inf"))
+    timing = {
+        "fast_seconds": round(fast.wall_seconds, 4),
+        "reference_seconds": round(reference.wall_seconds, 4),
+        "speedup": round(speedup, 2),
+        "target_speedup": 3.0,
+        "meets_target": speedup >= 3.0,
+    }
+    return {"deterministic": deterministic, "timing": timing}

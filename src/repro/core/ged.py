@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -299,6 +300,67 @@ def best_bijection(t1: Topology, t2: Topology,
     rows, cols = linear_sum_assignment(matrix)
     mapping = {nodes1[row]: nodes2[col] for row, col in zip(rows, cols)}
     return induced_edit_cost(t1, t2, mapping, costs), mapping
+
+
+def bijection_lower_bound(t1: Topology, t2: Topology,
+                          costs: EditCosts | None = None) -> float:
+    """Admissible lower bound on any bijection's induced edit cost.
+
+    The topology mapper screens candidate core sets with this before
+    paying for :func:`best_bijection`: a candidate whose bound already
+    exceeds an incumbent's *exact* score cannot win the R-2 argmin. The
+    bound is the sum of two independently-minimal terms:
+
+    - **node term** — the cheapest possible substitution assignment.
+      Under the default cost this is the attribute-multiset excess (each
+      tagged source either finds a same-tag target or pays one edit);
+      custom substitution functions fall back to a Hungarian assignment
+      over substitution costs alone.
+    - **edge term** — a degree-sequence bound: with both degree
+      sequences sorted ascending, no bijection can match more than
+      ``floor(sum_i min(d1_i, d2_i) / 2)`` edges, so the remaining
+      request edges must be deleted (priced at the cheapest request
+      edge) and the remaining candidate edges inserted.
+    """
+    costs = costs or EditCosts()
+    if t1.node_count != t2.node_count:
+        raise TopologyError(
+            f"bijection needs equal sizes ({t1.node_count} vs {t2.node_count})"
+        )
+    if t1.node_count == 0:
+        return 0.0
+    node_term = _node_assignment_lower_bound(t1, t2, costs)
+    s1 = sorted(t1.degree(node) for node in t1.nodes)
+    s2 = sorted(t2.degree(node) for node in t2.nodes)
+    matchable = sum(min(a, b) for a, b in zip(s1, s2)) // 2
+    deletions = max(0, t1.edge_count - matchable)
+    insertions = max(0, t2.edge_count - matchable)
+    edge_term = insertions * costs.edge_insert
+    if deletions:
+        cheapest = min(costs.edge_del(t1, u, v) for u, v in t1.edges)
+        edge_term += deletions * cheapest
+    return node_term + edge_term
+
+
+def _node_assignment_lower_bound(t1: Topology, t2: Topology,
+                                 costs: EditCosts) -> float:
+    """Minimum total node-substitution cost over all bijections."""
+    if costs.node_substitute is _default_node_substitute:
+        # Untagged sources map anywhere for free; a tagged source needs a
+        # same-tag target or pays exactly one edit, and tags only compete
+        # with their own kind — the minimum is the per-tag excess.
+        counts2 = Counter(t2.attr(node) for node in t2.nodes)
+        counts1 = Counter(t1.attr(node) for node in t1.nodes)
+        return float(sum(
+            max(0, count - counts2.get(tag, 0))
+            for tag, count in counts1.items() if tag
+        ))
+    matrix = np.array([
+        [costs.node_sub(t1, u, t2, v) for v in t2.nodes]
+        for u in t1.nodes
+    ])
+    rows, cols = linear_sum_assignment(matrix)
+    return float(matrix[rows, cols].sum())
 
 
 def _bijection_edge_cost(t1: Topology, t2: Topology,

@@ -209,6 +209,10 @@ class Hypervisor:
             setup_cycles=setup_cycles,
         )
         self._vnpus[vmid] = vnpu
+        # Keep the mapper's incremental free-set view in sync (only after
+        # the provision is fully committed — failures above leave the
+        # tracked set untouched).
+        self.mapper.notify_alloc(mapping.physical_cores)
         if fresh_vmid:
             self._next_vmid += 1
         return vnpu
@@ -223,6 +227,7 @@ class Hypervisor:
             spad.reset_weight_zone()
         self.chip.controller.remove_routing_table(vnpu.vmid, hyper_mode=True)
         del self._vnpus[vnpu.vmid]
+        self.mapper.notify_free(vnpu.physical_cores)
 
     def _migration_cycles(self, resident_bytes: int,
                           destination: "Hypervisor",

@@ -19,17 +19,47 @@ physical cores are still free. Strategies, in the paper's terminology:
 Candidate enumeration uses the ESU ("enumerate subgraphs") algorithm,
 which visits every connected ``k``-subset exactly once; a candidate cap
 keeps worst cases bounded (the paper prunes and parallelizes similarly).
+
+Under fleet churn the mapper is the dominant serving cost, so it carries
+a **fast path** (on by default, ``fast_path=False`` retains the
+reference implementation for equivalence checks and perf regressions):
+
+- *incremental free sets* — ``notify_alloc``/``notify_free`` deltas keep
+  one free :class:`Topology` up to date instead of rebuilding it per
+  call, with a secondary one-slot cache for ad-hoc allocated sets;
+- *memoized candidate machinery* — connected-subset enumerations keyed
+  by (free set, k); induced subtopologies, WL certificates and all-pairs
+  hop tables keyed by ``frozenset(nodes)`` (the chip-level table is
+  computed once and reused verbatim for convex mesh-block candidates,
+  where the subgraph metric collapses to the chip metric);
+- *lower-bound screening* — candidates are visited cheapest
+  :func:`~repro.core.ged.bijection_lower_bound` first and pruned once
+  the bound exceeds the incumbent's exact score (``cache_stats`` exposes
+  the considered/pruned/refined counters);
+- *delta-evaluated 2-opt* — ``_polish`` re-prices only the terms a swap
+  can change (O(degree) per trial) instead of the full objective, with a
+  best-so-far early exit across refinement seeds. Deltas are used only
+  when the edit costs are provably dyadic (the defaults are); exotic
+  float costs fall back to the full-recompute refine so accept/reject
+  decisions — and hence results — never drift.
+
+Both paths return identical ``(distance, vmap)`` results; the
+equivalence is enforced by property tests and the
+``bench_mapping_perf`` determinism harness.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field, replace
 
 from repro.arch.topology import Topology
 from repro.core.ged import (
     EditCosts,
+    _default_edge_cost,
+    _default_node_substitute,
     best_bijection,
+    bijection_lower_bound,
     induced_edit_cost,
     refine_bijection,
 )
@@ -106,7 +136,9 @@ class TopologyMapper:
                  costs: EditCosts | None = None,
                  candidate_limit: int = 20_000,
                  esu_max_request: int = 9,
-                 cache_size: int = 512) -> None:
+                 cache_size: int = 512,
+                 fast_path: bool = True,
+                 memo_size: int = 4096) -> None:
         self.chip = chip_topology
         self.costs = costs or EditCosts()
         self.candidate_limit = candidate_limit
@@ -123,20 +155,101 @@ class TopologyMapper:
         self._similar_cache: OrderedDict[tuple, MappingResult] = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0
+        #: ``False`` selects the retained reference implementation: fresh
+        #: free-topology builds, no memoization, no screening, and the
+        #: full-recompute 2-opt. The fast path returns identical
+        #: ``(distance, vmap)`` results (see module docstring).
+        self.fast_path = fast_path
+        # Delta-evaluated 2-opt tracks the full recomputation bit-for-bit
+        # only when every objective term is a small dyadic rational —
+        # default cost callables plus 1/16-granular scalars qualify.
+        # Exotic float costs (e.g. 0.1) sum non-associatively and could
+        # flip accept decisions at the 1e-12 threshold, so they fall back
+        # to the full-recompute refine (screening and memos stay on:
+        # their equivalence does not depend on summation order).
+        self._delta_exact = (
+            self.costs.node_substitute is _default_node_substitute
+            and self.costs.edge_delete is _default_edge_cost
+            and all(
+                (16 * float(value)).is_integer()
+                for value in (self.costs.node_delete,
+                              self.costs.node_insert,
+                              self.costs.edge_insert)
+            )
+        )
+        #: Bound on each frozenset-keyed memo (certificates, induced
+        #: subtopologies, hop tables, subset enumerations).
+        self.memo_size = memo_size
+        # Chip-level lookups hoisted out of _mesh_placements (they are
+        # pure functions of the chip): coordinate index, grid extents and
+        # the boustrophedon walk of the full chip.
+        self._by_coord = {coord: node
+                          for node, coord in chip_topology.coords.items()}
+        if chip_topology.coords:
+            self._chip_rows = max(r for r, _ in chip_topology.coords.values()) + 1
+            self._chip_cols = max(c for _, c in chip_topology.coords.values()) + 1
+        else:
+            self._chip_rows = 0
+            self._chip_cols = 0
+        self._chip_zigzag = self._zigzag_order(chip_topology)
+        # Coordinates are required, not just mesh structure: without them
+        # mesh_shape() falls back to isomorphism, which would misdetect a
+        # snake-shaped candidate as a "1xN block" and reuse understated
+        # chip hops in _candidate_hops.
+        self._chip_is_mesh = (bool(chip_topology.coords)
+                              and chip_topology.mesh_shape() is not None)
+        self._chip_hops: dict[int, dict[int, int]] | None = None
+        # Fast-path memos (all LRU-bounded by memo_size). Score and polish
+        # are keyed by (request structure, candidate node set): the same
+        # candidate regions recur across calls even when the surrounding
+        # free set differs, which is where churn actually repeats itself.
+        self._cert_memo: OrderedDict[frozenset, str] = OrderedDict()
+        self._subtopo_memo: OrderedDict[frozenset, Topology] = OrderedDict()
+        self._hops_memo: OrderedDict[frozenset, dict] = OrderedDict()
+        self._subset_memo: OrderedDict[tuple, list] = OrderedDict()
+        self._score_memo: OrderedDict[tuple, tuple] = OrderedDict()
+        self._polish_memo: OrderedDict[tuple, tuple] = OrderedDict()
+        self._bound_memo: OrderedDict[tuple, float] = OrderedDict()
+        # Incremental free-set maintenance: the tracked allocated set is
+        # kept in sync by notify_alloc/notify_free (wired through the
+        # hypervisor), and the matching free Topology is updated with
+        # O(degree) node deltas instead of rebuilt per call. Ad-hoc
+        # allocated sets (trial placements, migrations) get a one-slot
+        # cache keyed by the frozen set.
+        self._tracked_allocated: set[int] = set()
+        self._tracked_free: Topology | None = None
+        self._adhoc_key: frozenset[int] | None = None
+        self._adhoc_free: Topology | None = None
+        # Fast-path operation counters (surfaced via cache_stats()).
+        self.candidates_considered = 0
+        self.candidates_pruned = 0
+        self.candidates_refined = 0
+        self.objective_evaluations = 0
+        self.free_rebuilds = 0
+        self.free_updates = 0
 
     # -- mapping cache -------------------------------------------------------
-    def _cache_key(self, request: Topology, free: Topology,
-                   require_connected: bool) -> tuple:
-        """Structural identity of a ``map_similar`` call.
+    def _request_key(self, request: Topology) -> tuple:
+        """Structural identity of a request topology.
 
         The request's name is deliberately excluded (every tenant names its
         mesh differently); coordinates are included because
-        ``_mesh_placements`` slides the request by its grid layout.
+        ``_mesh_placements`` slides the request by its grid layout, and
+        node attributes because they price substitutions.
         """
         return (
             tuple(request.nodes),
             tuple(request.edges),
             tuple(sorted(request.coords.items())) if request.coords else None,
+            tuple(sorted(request.node_attrs.items()))
+            if request.node_attrs else None,
+        )
+
+    def _cache_key(self, request: Topology, free: Topology,
+                   require_connected: bool) -> tuple:
+        """Structural identity of a ``map_similar`` call."""
+        return (
+            self._request_key(request),
             frozenset(free.nodes),
             require_connected,
         )
@@ -151,12 +264,88 @@ class TopologyMapper:
             "misses": self.cache_misses,
             "entries": len(self._similar_cache),
             "hit_rate": self.cache_hits / lookups if lookups else 0.0,
+            "candidates_considered": self.candidates_considered,
+            "candidates_pruned": self.candidates_pruned,
+            "candidates_refined": self.candidates_refined,
+            "objective_evaluations": self.objective_evaluations,
+            "free_rebuilds": self.free_rebuilds,
+            "free_updates": self.free_updates,
         }
 
+    def _memoized(self, memo: OrderedDict, key, build):
+        """LRU-bounded memo shared by the frozenset-keyed fast-path caches."""
+        hit = memo.get(key)
+        if hit is not None:
+            memo.move_to_end(key)
+            return hit
+        value = build()
+        memo[key] = value
+        while len(memo) > self.memo_size:
+            memo.popitem(last=False)
+        return value
+
+    # -- incremental free-set maintenance ------------------------------------
+    def notify_alloc(self, cores) -> None:
+        """Record that ``cores`` were just allocated on the chip.
+
+        The hypervisor calls this on every successful provision so the
+        mapper's tracked free set stays in sync; the cached free topology
+        is updated in place with O(degree) node removals.
+        """
+        cores = set(cores)
+        self._tracked_allocated |= cores
+        if self._tracked_free is not None:
+            if self.fast_path:
+                for core in sorted(cores):
+                    self._tracked_free._discard_node(core)
+                self.free_updates += 1
+            else:
+                self._tracked_free = None
+
+    def notify_free(self, cores) -> None:
+        """Record that ``cores`` were just released back to the chip."""
+        cores = set(cores)
+        self._tracked_allocated -= cores
+        if self._tracked_free is not None:
+            if self.fast_path:
+                for core in sorted(cores):
+                    self._tracked_free._restore_node(self.chip, core)
+                self.free_updates += 1
+            else:
+                self._tracked_free = None
+
+    def reset_free_tracking(self, allocated: set[int] | None = None) -> None:
+        """Re-seed the tracked allocated set (e.g. after bulk changes)."""
+        self._tracked_allocated = set(allocated or ())
+        self._tracked_free = None
+
     # -- helpers ------------------------------------------------------------
-    def free_topology(self, allocated: set[int]) -> Topology:
+    def _build_free(self, allocated: set[int]) -> Topology:
+        self.free_rebuilds += 1
         free = [n for n in self.chip.nodes if n not in allocated]
         return self.chip.subtopology(free, name="free")
+
+    def free_topology(self, allocated: set[int]) -> Topology:
+        """The induced topology over currently-free cores.
+
+        On the fast path the returned object is a cached view — valid
+        until the next ``notify_alloc``/``notify_free`` — refreshed
+        incrementally when ``allocated`` matches the tracked set and via
+        a one-slot frozenset cache otherwise. The reference path builds
+        a fresh subtopology per call (the seed behavior).
+        """
+        if not self.fast_path:
+            return self._build_free(allocated)
+        if allocated == self._tracked_allocated:
+            if self._tracked_free is None:
+                self._tracked_free = self._build_free(allocated)
+            return self._tracked_free
+        key = frozenset(allocated)
+        if key == self._adhoc_key:
+            return self._adhoc_free
+        self._adhoc_free = self._build_free(allocated)
+        self._adhoc_key = key
+        return self._adhoc_free
 
     def _check_capacity(self, request: Topology, free: Topology) -> None:
         if request.node_count > free.node_count:
@@ -174,6 +363,15 @@ class TopologyMapper:
             row, col = topology.coords[node]
             return (row, col if row % 2 == 0 else -col)
         return sorted(topology.nodes, key=key)
+
+    def _zigzag_within(self, nodes) -> list[int]:
+        """Zig-zag order of a chip-node subset via the cached chip walk.
+
+        Equivalent to ``_zigzag_order`` of the induced subtopology (the
+        sort key depends only on chip coordinates) without building one.
+        """
+        members = set(nodes)
+        return [n for n in self._chip_zigzag if n in members]
 
     def _isomorphism_mapping(self, request: Topology,
                              candidate: Topology) -> dict[int, int] | None:
@@ -208,10 +406,10 @@ class TopologyMapper:
         grid = self._request_grid(request)
         if grid is None or not self.chip.coords:
             return
-        by_coord = {coord: node for node, coord in self.chip.coords.items()}
+        by_coord = self._by_coord
         free_nodes = set(free.nodes)
-        chip_rows = max(r for r, _ in self.chip.coords.values()) + 1
-        chip_cols = max(c for _, c in self.chip.coords.values()) + 1
+        chip_rows = self._chip_rows
+        chip_cols = self._chip_cols
         shape = request.mesh_shape()
         orientations = [grid]
         if shape.rows != shape.cols:
@@ -231,10 +429,10 @@ class TopologyMapper:
                     if vmap is not None:
                         yield vmap
 
-    def _compact_candidates(self, free: Topology, k: int) -> list[Topology]:
+    def _compact_sets(self, free: Topology, k: int) -> list[frozenset[int]]:
         """Diverse connected k-regions: BFS balls grown from every free node."""
         seen: set[frozenset[int]] = set()
-        candidates = []
+        subsets: list[frozenset[int]] = []
         for seed in free.nodes:
             ball = free.bfs_order(seed)[:k]
             if len(ball) < k:
@@ -243,18 +441,45 @@ class TopologyMapper:
             if key in seen:
                 continue
             seen.add(key)
-            candidates.append(free.subtopology(ball))
-        return candidates
+            subsets.append(key)
+        return subsets
+
+    def _candidate_sets(self, free: Topology, k: int) -> list[frozenset[int]]:
+        """Connected k-subsets of ``free`` (memoized per free set on the
+        fast path — churn revisits the same fragmentation states)."""
+        def build():
+            if k <= self.esu_max_request:
+                return enumerate_connected_subsets(free, k,
+                                                   limit=self.candidate_limit)
+            return self._compact_sets(free, k)
+        if not self.fast_path:
+            return build()
+        return self._memoized(self._subset_memo,
+                              (frozenset(free.nodes), k), build)
+
+    def _induced(self, free: Topology, nodes: frozenset[int]) -> Topology:
+        """Candidate subtopology; memoized by node set on the fast path.
+
+        A subset of the free cores induces the same subgraph from the
+        chip as from the free topology, so the memo survives free-set
+        churn.
+        """
+        if not self.fast_path:
+            return free.subtopology(nodes)
+        return self._memoized(self._subtopo_memo, frozenset(nodes),
+                              lambda: self.chip.subtopology(nodes))
+
+    def _certificate(self, candidate: Topology) -> str:
+        """WL certificate, memoized by node set on the fast path."""
+        if not self.fast_path:
+            return candidate.wl_certificate()
+        return self._memoized(self._cert_memo, frozenset(candidate.nodes),
+                              candidate.wl_certificate)
 
     def _candidate_pool(self, request: Topology, free: Topology) -> tuple[list[Topology], int]:
         """Connected candidates of the right size plus a considered count."""
-        k = request.node_count
-        if k <= self.esu_max_request:
-            subsets = enumerate_connected_subsets(free, k,
-                                                  limit=self.candidate_limit)
-            return [free.subtopology(s) for s in subsets], len(subsets)
-        candidates = self._compact_candidates(free, k)
-        return candidates, len(candidates)
+        subsets = self._candidate_sets(free, request.node_count)
+        return [self._induced(free, s) for s in subsets], len(subsets)
 
     # -- strategies -----------------------------------------------------------
     def map_exact(self, request: Topology,
@@ -271,7 +496,7 @@ class TopologyMapper:
         request_cert = request.wl_certificate()
         candidates, considered = self._candidate_pool(request, free)
         for candidate in candidates:
-            if candidate.wl_certificate() != request_cert:
+            if self._certificate(candidate) != request_cert:
                 continue
             mapping = self._isomorphism_mapping(request, candidate)
             if mapping is not None:
@@ -290,7 +515,7 @@ class TopologyMapper:
         """Zig-zag by core ID, ignoring the requested topology."""
         free = self.free_topology(allocated or set())
         self._check_capacity(request, free)
-        chosen = self._zigzag_order(free)[: request.node_count]
+        chosen = self._zigzag_within(free.nodes)[: request.node_count]
         vmap = dict(zip(sorted(request.nodes), chosen))
         candidate = free.subtopology(chosen)
         # Price the *naive* assignment itself — this strategy does not
@@ -347,7 +572,7 @@ class TopologyMapper:
         candidates: list[Topology] = []
         seen_certs: set[str] = set()
         for candidate in pool:
-            cert = candidate.wl_certificate()
+            cert = self._certificate(candidate)
             if cert == request_cert:
                 mapping = self._isomorphism_mapping(request, candidate)
                 if mapping is not None:  # Algorithm 1 line 22: early return
@@ -367,17 +592,69 @@ class TopologyMapper:
                 )
             return self.map_fragmented(request, allocated)
 
-        best: tuple[float, Topology, dict[int, int]] | None = None
-        for candidate in candidates:  # line 30-32 (serial here)
-            distance, mapping = best_bijection(request, candidate, self.costs)
-            if best is None or distance < best[0]:
-                best = (distance, candidate, mapping)
-        _distance, candidate, mapping = best
-        distance, mapping = self._polish(request, candidate, mapping)
+        if self.fast_path:
+            request_key = self._request_key(request)
+            candidate, mapping = self._select_screened(request_key, request,
+                                                       candidates)
+            seed = mapping
+            distance, polished = self._memoized(
+                self._polish_memo, (request_key, frozenset(candidate.nodes)),
+                lambda: self._polish(request, candidate, seed))
+            mapping = dict(polished)
+        else:
+            best: tuple[float, Topology, dict[int, int]] | None = None
+            for candidate in candidates:  # line 30-32 (serial here)
+                distance, mapping = best_bijection(request, candidate,
+                                                   self.costs)
+                if best is None or distance < best[0]:
+                    best = (distance, candidate, mapping)
+            _distance, candidate, mapping = best
+            distance, mapping = self._polish(request, candidate, mapping)
         return MappingResult(
             strategy="similar", vmap=mapping, distance=distance,
             connected=True, candidates_considered=considered,
         )
+
+    def _scored(self, request_key: tuple, request: Topology,
+                candidate: Topology) -> tuple[float, dict[int, int]]:
+        """Hungarian score + mapping, memoized per (request, candidate)."""
+        distance, mapping = self._memoized(
+            self._score_memo, (request_key, frozenset(candidate.nodes)),
+            lambda: best_bijection(request, candidate, self.costs))
+        return distance, dict(mapping)
+
+    def _select_screened(self, request_key: tuple, request: Topology,
+                         candidates: list[Topology]
+                         ) -> tuple[Topology, dict[int, int]]:
+        """R-2 argmin with admissible lower-bound pruning (fast path).
+
+        Candidates are visited cheapest bound first; once the bound (and,
+        on ties, the enumeration index the reference loop breaks ties by)
+        exceeds the incumbent's *exact* Hungarian score, no remaining
+        candidate can win and the tail is pruned unscored. Selection is
+        therefore identical to the reference loop — including which of
+        several equal-distance candidates wins.
+        """
+        self.candidates_considered += len(candidates)
+        bounds = [
+            self._memoized(
+                self._bound_memo, (request_key, frozenset(candidate.nodes)),
+                lambda candidate=candidate: bijection_lower_bound(
+                    request, candidate, self.costs))
+            for candidate in candidates
+        ]
+        order = sorted(range(len(candidates)), key=lambda i: (bounds[i], i))
+        best: tuple[float, int, dict[int, int]] | None = None
+        for position, index in enumerate(order):
+            if best is not None and (bounds[index], index) > best[:2]:
+                self.candidates_pruned += len(order) - position
+                break
+            self.candidates_refined += 1
+            distance, mapping = self._scored(request_key, request,
+                                             candidates[index])
+            if best is None or (distance, index) < best[:2]:
+                best = (distance, index, mapping)
+        return candidates[best[1]], best[2]
 
     def _polish(self, request: Topology, candidate: Topology,
                 hungarian_seed: dict[int, int]) -> tuple[float, dict[int, int]]:
@@ -385,7 +662,9 @@ class TopologyMapper:
 
         The Hungarian assignment only sees node-local costs; aligning two
         BFS traversals gives a geometry-aware alternative. The better
-        refined bijection wins.
+        refined bijection wins. The fast path skips duplicate seeds,
+        evaluates swaps incrementally and stops once a refinement reaches
+        objective zero (nothing can beat an exact, stretch-free mapping).
         """
         seeds = [hungarian_seed]
         request_corner = min(request.nodes, key=request.degree)
@@ -398,20 +677,35 @@ class TopologyMapper:
         # dominant traffic on short physical paths.
         seeds.append(dict(zip(self._zigzag_order(request),
                               self._zigzag_order(candidate))))
-        hop = self._all_pairs_hops(candidate)
-        outcomes = [
-            self._stretch_aware_refine(request, candidate, seed, hop)
-            for seed in seeds
-        ]
-        best_mapping = min(outcomes, key=lambda pair: pair[0])[1]
+        hop = self._candidate_hops(candidate)
+        if self.fast_path:
+            refine = (self._refine_delta if self._delta_exact
+                      else self._stretch_aware_refine)
+            best: tuple[float, dict[int, int]] | None = None
+            seen: set[tuple] = set()
+            for seed in seeds:
+                key = tuple(sorted(seed.items()))
+                if key in seen:
+                    continue
+                seen.add(key)
+                outcome = refine(request, candidate, seed, hop)
+                if best is None or outcome[0] < best[0]:
+                    best = outcome
+                if best[0] <= 1e-12:
+                    break
+            best_mapping = best[1]
+        else:
+            outcomes = [
+                self._stretch_aware_refine(request, candidate, seed, hop)
+                for seed in seeds
+            ]
+            best_mapping = min(outcomes, key=lambda pair: pair[0])[1]
         distance = induced_edit_cost(request, candidate, dict(best_mapping),
                                      self.costs)
         return distance, best_mapping
 
     @staticmethod
     def _all_pairs_hops(topology: Topology) -> dict[int, dict[int, int]]:
-        from collections import deque
-
         hops: dict[int, dict[int, int]] = {}
         for start in topology.nodes:
             dist = {start: 0}
@@ -425,6 +719,35 @@ class TopologyMapper:
             hops[start] = dist
         return hops
 
+    @property
+    def chip_hops(self) -> dict[int, dict[int, int]]:
+        """Chip-level all-pairs hop table, computed once per mapper."""
+        if self._chip_hops is None:
+            self._chip_hops = self._all_pairs_hops(self.chip)
+        return self._chip_hops
+
+    def _candidate_hops(self, candidate: Topology) -> dict[int, dict[int, int]]:
+        """Per-candidate all-pairs hops, memoized by ``frozenset(nodes)``.
+
+        The chip table is always a lower bound on a subgraph's hop count
+        (paths may leave the candidate). For convex candidates — a
+        contiguous mesh block on a mesh chip — the bound is tight, so the
+        chip table (computed once) is reused verbatim; everything else
+        falls back to a per-candidate BFS.
+        """
+        if not self.fast_path:
+            return self._all_pairs_hops(candidate)
+
+        def build():
+            if self._chip_is_mesh and candidate.mesh_shape() is not None:
+                chip_hops = self.chip_hops
+                nodes = candidate.nodes
+                return {u: {v: chip_hops[u][v] for v in nodes}
+                        for u in nodes}
+            return self._all_pairs_hops(candidate)
+        return self._memoized(self._hops_memo, frozenset(candidate.nodes),
+                              build)
+
     #: Weight of edge *stretch* (extra hops of a request edge on the
     #: physical fabric) relative to one edit operation. This realizes the
     #: paper's customizable EdgeMatch: an edge mapped 3 hops apart is worse
@@ -435,6 +758,7 @@ class TopologyMapper:
     def _stretch_objective(self, request: Topology, candidate: Topology,
                            mapping: dict[int, int],
                            hop: dict[int, dict[int, int]]) -> float:
+        self.objective_evaluations += 1
         cost = induced_edit_cost(request, candidate, dict(mapping),
                                  self.costs)
         stretch = sum(
@@ -468,6 +792,98 @@ class TopologyMapper:
                 break
         return current, mapping
 
+    def _refine_delta(self, request: Topology, candidate: Topology,
+                      seed: dict[int, int],
+                      hop: dict[int, dict[int, int]],
+                      max_passes: int = 6) -> tuple[float, dict[int, int]]:
+        """2-opt on edit-cost + stretch with O(degree) swap deltas.
+
+        Each trial swap re-prices only what it can change — the two node
+        substitutions, the edges incident to the swapped request nodes
+        (and their images), and the stretch of those same edges — instead
+        of recomputing the full objective. Edit costs and stretch weights
+        are dyadic rationals under the default :class:`EditCosts`, so the
+        incremental objective tracks the full recomputation bit-for-bit
+        and the accept/reject sequence (hence the refined mapping) is
+        identical to :meth:`_stretch_aware_refine`.
+        """
+        costs = self.costs
+        substitute = costs.node_substitute
+        edge_insert = costs.edge_insert
+        weight = self.STRETCH_WEIGHT
+        mapping = dict(seed)
+        inverse = {p: v for v, p in mapping.items()}
+        nodes = request.nodes
+        fallback = request.node_count
+        # Flatten everything a swap trial touches into dict lookups:
+        # adjacency sets, node attributes, and per-edge deletion prices
+        # (constant during refinement) in both orientations.
+        req_adj = {n: request._adj[n] for n in nodes}
+        cand_adj = {p: candidate._adj[p] for p in candidate.nodes}
+        req_attr = {n: request.attr(n) for n in nodes}
+        cand_attr = {p: candidate.attr(p) for p in candidate.nodes}
+        del_cost: dict[tuple[int, int], float] = {}
+        for u, v in request.edges:
+            price = costs.edge_del(request, u, v)
+            del_cost[(u, v)] = price
+            del_cost[(v, u)] = price
+        current = self._stretch_objective(request, candidate, mapping, hop)
+
+        def local(a: int, b: int) -> float:
+            # Everything the (a, b) swap can change: the two node
+            # substitutions, request edges incident to a or b (deletions
+            # + stretch) and candidate edges incident to their images
+            # (insertions). Each shared edge is counted once, matching
+            # the full objective's edge iteration.
+            image_a, image_b = mapping[a], mapping[b]
+            total = (substitute(req_attr[a], cand_attr[image_a])
+                     + substitute(req_attr[b], cand_attr[image_b]))
+            stretch = 0
+            hop_a = hop[image_a]
+            for v in req_adj[a]:
+                image_v = mapping[v]
+                stretch += hop_a.get(image_v, fallback) - 1
+                if image_v not in cand_adj[image_a]:
+                    total += del_cost[(a, v)]
+            hop_b = hop[image_b]
+            for v in req_adj[b]:
+                if v == a:
+                    continue
+                image_v = mapping[v]
+                stretch += hop_b.get(image_v, fallback) - 1
+                if image_v not in cand_adj[image_b]:
+                    total += del_cost[(b, v)]
+            adj_a = req_adj[inverse[image_a]]
+            for q in cand_adj[image_a]:
+                if inverse[q] not in adj_a:
+                    total += edge_insert
+            adj_b = req_adj[inverse[image_b]]
+            for q in cand_adj[image_b]:
+                if q == image_a:
+                    continue
+                if inverse[q] not in adj_b:
+                    total += edge_insert
+            return total + weight * stretch
+
+        for _ in range(max_passes):
+            improved = False
+            for i, a in enumerate(nodes):
+                for b in nodes[i + 1:]:
+                    self.objective_evaluations += 1
+                    before = local(a, b)
+                    mapping[a], mapping[b] = mapping[b], mapping[a]
+                    inverse[mapping[a]], inverse[mapping[b]] = a, b
+                    after = local(a, b)
+                    if after + 1e-12 < before:
+                        current += after - before
+                        improved = True
+                    else:  # revert
+                        mapping[a], mapping[b] = mapping[b], mapping[a]
+                        inverse[mapping[a]], inverse[mapping[b]] = a, b
+            if not improved or current <= 1e-12:
+                break
+        return current, mapping
+
     def map_fragmented(self, request: Topology,
                        allocated: set[int] | None = None) -> MappingResult:
         """Relaxed R-3: allow a disconnected placement (uses fragments)."""
@@ -478,7 +894,7 @@ class TopologyMapper:
         # Greedily take the largest free fragments first, zig-zag inside.
         while len(chosen) < request.node_count and remaining:
             fragment = self._largest_fragment(free, remaining)
-            ordered = self._zigzag_order(free.subtopology(fragment))
+            ordered = self._zigzag_within(fragment)
             take = min(len(ordered), request.node_count - len(chosen))
             chosen.extend(ordered[:take])
             remaining -= fragment

@@ -291,6 +291,24 @@ class FleetScheduler:
     def estimator(self, model: "CostModel | str") -> None:
         self.cost_model = coerce_cost_model(model)
 
+    def mapper_stats(self) -> dict[str, int | float]:
+        """Fleet-wide mapper counters (per-chip ``cache_stats`` summed).
+
+        Every placement probe and provision lands on some chip's mapper;
+        the sum is the fleet's mapping workload: cache hits/misses,
+        candidates considered/pruned/refined, objective evaluations and
+        free-set rebuilds vs incremental updates.
+        """
+        total: dict[str, int | float] = {}
+        for fleet_chip in self.chips:
+            for key, value in fleet_chip.hypervisor.mapper.cache_stats().items():
+                if key == "hit_rate":
+                    continue
+                total[key] = total.get(key, 0) + value
+        lookups = total.get("hits", 0) + total.get("misses", 0)
+        total["hit_rate"] = total["hits"] / lookups if lookups else 0.0
+        return total
+
     # -- public API --------------------------------------------------------
     def register_model(self, name: str, builder) -> None:
         self.cost_model.register_model(name, builder)

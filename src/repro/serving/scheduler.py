@@ -144,6 +144,10 @@ class ClusterScheduler:
         # working (validated the same way as the constructor argument).
         self.cost_model = coerce_cost_model(model)
 
+    def mapper_stats(self) -> dict[str, int | float]:
+        """The hypervisor mapper's cache and fast-path pruning counters."""
+        return self.hypervisor.mapper.cache_stats()
+
     # -- public API --------------------------------------------------------
     def register_model(self, name: str, builder) -> None:
         """Make ``builder`` (zero-arg -> ModelGraph) available to traces."""

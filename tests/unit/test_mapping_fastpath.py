@@ -1,0 +1,410 @@
+"""Mapping fast path: equivalence with the reference implementation,
+pruning accounting, incremental free-set maintenance and the perf
+harness (ISSUE 4)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.chip import Chip
+from repro.arch.config import MB, sim_config
+from repro.arch.topology import MeshShape, Topology
+from repro.core.ged import EditCosts, best_bijection, bijection_lower_bound
+from repro.core.hypervisor import Hypervisor
+from repro.core.topology_mapping import TopologyMapper
+from repro.core.vnpu import VNpuSpec
+from repro.errors import AllocationError, TopologyError
+
+
+REQUEST_SHAPES = [(1, 2), (2, 2), (2, 3), (3, 3), (1, 4), (3, 4)]
+
+
+def make_pair(rows=5, cols=5, **kwargs):
+    chip = Topology.mesh2d(rows, cols)
+    fast = TopologyMapper(chip, cache_size=0, fast_path=True, **kwargs)
+    reference = TopologyMapper(chip, cache_size=0, fast_path=False, **kwargs)
+    return chip, fast, reference
+
+
+def occupancy(chip: Topology, pattern: str, rng: random.Random) -> set[int]:
+    """Exact / stretched / fragmented allocation patterns."""
+    n = chip.node_count
+    if pattern == "exact":
+        # Empty or one compact corner block: exact placements survive.
+        return set() if rng.random() < 0.5 else {0, 1}
+    if pattern == "stretched":
+        # Scattered singles: connected free set, but warped.
+        return set(rng.sample(chip.nodes, n // 3))
+    # Fragmented: a cut band plus scatter shatters the free set.
+    row = rng.randrange(1, n // 5)
+    band = {node for node in chip.nodes
+            if chip.coords[node][0] == row}
+    return band | set(rng.sample(chip.nodes, n // 4))
+
+
+def call(mapper, request, allocated):
+    try:
+        return mapper.map_similar(request, set(allocated),
+                                  require_connected=False)
+    except AllocationError:
+        return None
+
+
+class TestFastPathEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("pattern", ["exact", "stretched", "fragmented"])
+    def test_identical_results_per_pattern(self, seed, pattern):
+        """Fast and reference mappers agree on (distance, cores) — and on
+        the full vmap — across seeds and occupancy patterns."""
+        rng = random.Random(seed)
+        chip, fast, reference = make_pair()
+        allocated = occupancy(chip, pattern, rng)
+        checked = 0
+        for shape in REQUEST_SHAPES:
+            request = Topology.mesh2d(*shape)
+            if request.node_count > chip.node_count - len(allocated):
+                continue
+            fast_result = call(fast, request, allocated)
+            ref_result = call(reference, request, allocated)
+            assert (fast_result is None) == (ref_result is None)
+            if fast_result is None:
+                continue
+            checked += 1
+            assert fast_result.distance == ref_result.distance
+            assert fast_result.physical_cores == ref_result.physical_cores
+            assert fast_result.vmap == ref_result.vmap
+            assert fast_result.strategy == ref_result.strategy
+        assert checked > 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000),
+           occupied=st.integers(0, 14),
+           shape=st.sampled_from(REQUEST_SHAPES))
+    def test_identical_results_property(self, seed, occupied, shape):
+        rng = random.Random(seed)
+        chip, fast, reference = make_pair()
+        allocated = set(rng.sample(chip.nodes, occupied))
+        request = Topology.mesh2d(*shape)
+        if request.node_count > chip.node_count - occupied:
+            return
+        fast_result = call(fast, request, allocated)
+        ref_result = call(reference, request, allocated)
+        assert (fast_result is None) == (ref_result is None)
+        if fast_result is not None:
+            assert fast_result.distance == ref_result.distance
+            assert fast_result.vmap == ref_result.vmap
+
+    def test_identical_results_on_coordless_chip(self):
+        """A coordinate-less chip that is *structurally* a mesh must not
+        reuse chip hops for snake candidates misdetected as 1xN blocks
+        (mesh_shape falls back to isomorphism without coords)."""
+        mesh = Topology.mesh2d(3, 3)
+        chip = Topology(mesh.nodes, mesh.edges)  # structure only, no coords
+        fast = TopologyMapper(chip, cache_size=0, fast_path=True)
+        reference = TopologyMapper(chip, cache_size=0, fast_path=False)
+        ring = Topology([0, 1, 2, 3, 4, 5, 6],
+                        [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6),
+                         (6, 0)])
+        star = Topology([0, 1, 2, 3, 4],
+                        [(0, 1), (0, 2), (0, 3), (0, 4)])
+        for request in (ring, star):
+            for allocated in (set(), {4}):
+                fast_result = call(fast, request, allocated)
+                ref_result = call(reference, request, allocated)
+                assert (fast_result is None) == (ref_result is None)
+                if fast_result is not None:
+                    assert fast_result.distance == ref_result.distance
+                    assert fast_result.vmap == ref_result.vmap
+
+    def test_identical_results_with_non_dyadic_costs(self):
+        """Exotic float costs (0.1 sums non-associatively) must not flip
+        2-opt accept decisions: the fast path falls back to the
+        full-recompute refine and stays equivalent."""
+        costs = EditCosts(
+            node_substitute=lambda a, b: 0.0 if a == b else 0.3,
+            edge_delete=lambda t, u, v: 0.1,
+            edge_insert=0.1,
+        )
+        chip = Topology.mesh2d(6, 6)
+        fast = TopologyMapper(chip, costs=costs, cache_size=0,
+                              fast_path=True)
+        reference = TopologyMapper(chip, costs=costs, cache_size=0,
+                                   fast_path=False)
+        assert not fast._delta_exact
+        allocated = {0, 4, 8, 15, 19, 23, 26, 30, 34}
+        for shape in ((2, 3), (3, 3), (2, 2)):
+            request = Topology.mesh2d(*shape)
+            fast_result = call(fast, request, allocated)
+            ref_result = call(reference, request, allocated)
+            assert fast_result.distance == ref_result.distance
+            assert fast_result.vmap == ref_result.vmap
+
+    def test_dyadic_scalar_costs_keep_delta_refine(self):
+        chip = Topology.mesh2d(3, 3)
+        assert TopologyMapper(chip)._delta_exact
+        halves = EditCosts(node_delete=1.5, node_insert=2.0,
+                           edge_insert=0.5)
+        assert TopologyMapper(chip, costs=halves)._delta_exact
+        assert not TopologyMapper(
+            chip, costs=EditCosts(edge_insert=0.1))._delta_exact
+
+    def test_equivalence_under_churn_with_notify(self):
+        """Interleaved alloc/free churn with incremental maintenance on
+        the fast side still matches per-call reference results."""
+        rng = random.Random(11)
+        chip, fast, reference = make_pair(6, 6)
+        allocated: set[int] = set()
+        placements: list[list[int]] = []
+        for step in range(30):
+            if placements and rng.random() < 0.4:
+                cores = placements.pop(rng.randrange(len(placements)))
+                allocated -= set(cores)
+                fast.notify_free(cores)
+                continue
+            shape = rng.choice(REQUEST_SHAPES)
+            request = Topology.mesh2d(*shape)
+            if request.node_count > chip.node_count - len(allocated):
+                continue
+            fast_result = call(fast, request, allocated)
+            ref_result = call(reference, request, allocated)
+            assert (fast_result is None) == (ref_result is None)
+            if fast_result is None:
+                continue
+            assert fast_result.distance == ref_result.distance
+            assert fast_result.vmap == ref_result.vmap
+            allocated |= set(fast_result.physical_cores)
+            fast.notify_alloc(fast_result.physical_cores)
+            placements.append(fast_result.physical_cores)
+
+
+class TestPruningCounters:
+    def test_pruned_plus_refined_accounts_considered(self):
+        rng = random.Random(3)
+        chip, fast, _ = make_pair(6, 6)
+        for _ in range(12):
+            allocated = set(rng.sample(chip.nodes, 16))
+            call(fast, Topology.mesh2d(3, 3), allocated)
+        stats = fast.cache_stats()
+        assert stats["candidates_considered"] > 0
+        assert (stats["candidates_pruned"] + stats["candidates_refined"]
+                == stats["candidates_considered"])
+
+    def test_reference_path_keeps_counters_zero(self):
+        rng = random.Random(3)
+        chip, _, reference = make_pair(6, 6)
+        for _ in range(4):
+            allocated = set(rng.sample(chip.nodes, 16))
+            call(reference, Topology.mesh2d(3, 3), allocated)
+        stats = reference.cache_stats()
+        assert stats["candidates_considered"] == 0
+        assert stats["candidates_pruned"] == 0
+        # The reference 2-opt still reports its objective evaluations.
+        assert stats["objective_evaluations"] > 0
+
+
+class TestLowerBound:
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_admissible_against_best_bijection(self, seed):
+        """The screen's bound never exceeds the exact Hungarian score."""
+        rng = random.Random(seed)
+        chip = Topology.mesh2d(5, 5)
+        k = rng.randrange(2, 10)
+        request = Topology.mesh2d(*rng.choice(
+            [(1, k)] + [(r, k // r) for r in range(2, k) if k % r == 0]))
+        nodes = [0]
+        while len(nodes) < request.node_count:
+            frontier = sorted({nbr for node in nodes
+                               for nbr in chip.neighbors(node)}
+                              - set(nodes))
+            nodes.append(rng.choice(frontier))
+        candidate = chip.subtopology(nodes)
+        bound = bijection_lower_bound(request, candidate)
+        distance, _ = best_bijection(request, candidate)
+        assert bound <= distance + 1e-9
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(TopologyError):
+            bijection_lower_bound(Topology.mesh2d(2, 2),
+                                  Topology.mesh2d(2, 3))
+
+    def test_attribute_excess_priced(self):
+        tagged = Topology([0, 1], [(0, 1)], node_attrs={0: "mem", 1: "mem"})
+        plain = Topology([5, 6], [(5, 6)])
+        assert bijection_lower_bound(tagged, plain) == 2.0
+        # And the custom-substitute fallback agrees via Hungarian.
+        costs = EditCosts(node_substitute=lambda a, b: 0.0 if a == b else 1.0)
+        assert bijection_lower_bound(tagged, plain, costs) == 2.0
+
+
+class TestIncrementalFreeSet:
+    def test_free_topology_cached_until_notify(self):
+        chip, fast, _ = make_pair(4, 4)
+        first = fast.free_topology(set())
+        assert fast.free_topology(set()) is first
+        fast.notify_alloc([0, 1])
+        second = fast.free_topology({0, 1})
+        assert second is first  # same object, updated in place
+        assert 0 not in second and 1 not in second
+        assert second.node_count == 14
+        fast.notify_free([0])
+        third = fast.free_topology({1})
+        assert 0 in third and 1 not in third
+        # Restored node regains its chip adjacency and coordinates.
+        assert set(third.neighbors(0)) == {4}  # 1 still allocated
+        assert third.coords[0] == chip.coords[0]
+
+    def test_incremental_matches_rebuild(self):
+        rng = random.Random(5)
+        chip, fast, reference = make_pair(6, 6)
+        allocated: set[int] = set()
+        for _ in range(40):
+            free_nodes = [n for n in chip.nodes if n not in allocated]
+            if allocated and rng.random() < 0.45:
+                cores = rng.sample(sorted(allocated), 1)
+                allocated -= set(cores)
+                fast.notify_free(cores)
+            elif free_nodes:
+                cores = rng.sample(free_nodes,
+                                   rng.randrange(1, min(4, len(free_nodes)) + 1))
+                allocated |= set(cores)
+                fast.notify_alloc(cores)
+            incremental = fast.free_topology(set(allocated))
+            rebuilt = reference.free_topology(set(allocated))
+            assert incremental.nodes == rebuilt.nodes
+            assert incremental.edges == rebuilt.edges
+            assert incremental.coords == rebuilt.coords
+
+    def test_hypervisor_keeps_tracking_in_sync(self):
+        chip = Chip(sim_config(16))
+        hypervisor = Hypervisor(chip)
+        mapper = hypervisor.mapper
+        spec = VNpuSpec("t", MeshShape(2, 2), 16 * MB)
+        first = hypervisor.create_vnpu(spec)
+        assert mapper._tracked_allocated == hypervisor.allocated_cores
+        second = hypervisor.create_vnpu(VNpuSpec("u", MeshShape(1, 3), 8 * MB))
+        assert mapper._tracked_allocated == hypervisor.allocated_cores
+        hypervisor.destroy_vnpu(first.vmid)
+        assert mapper._tracked_allocated == hypervisor.allocated_cores
+        hypervisor.migrate_vnpu(second.vmid)  # in-place compaction
+        assert mapper._tracked_allocated == hypervisor.allocated_cores
+
+    def test_adhoc_sets_still_correct(self):
+        chip, fast, _ = make_pair(4, 4)
+        fast.notify_alloc([0, 1, 2])
+        adhoc = fast.free_topology({5})
+        assert adhoc.node_count == 15 and 5 not in adhoc
+        # Repeat probes against the same ad-hoc set hit the one-slot
+        # cache (migration trials re-rank against a fixed trial set).
+        assert fast.free_topology({5}) is adhoc
+        tracked = fast.free_topology({0, 1, 2})
+        assert tracked.node_count == 13
+
+
+class TestCacheKeyAttributes:
+    def test_tagged_requests_do_not_collide(self):
+        """Structurally-equal requests with different node attrs must not
+        share a result-cache entry."""
+        chip = Topology.mesh2d(3, 3, name="chip")
+        chip.node_attrs[0] = "mem"
+        mapper = TopologyMapper(chip)
+        plain = Topology.mesh2d(1, 2)
+        tagged = Topology.mesh2d(1, 2)
+        tagged.node_attrs.update({0: "sa", 1: "sa"})
+        key_plain = mapper._cache_key(plain, mapper.free_topology(set()),
+                                      True)
+        key_tagged = mapper._cache_key(tagged, mapper.free_topology(set()),
+                                       True)
+        assert key_plain != key_tagged
+
+
+class TestMapperStatsSurfaces:
+    def test_cluster_scheduler_exposes_mapper_stats(self):
+        from repro.serving import ClusterScheduler, generate_trace
+        chip = Chip(sim_config(16))
+        scheduler = ClusterScheduler(chip)
+        scheduler.serve(generate_trace(3, 10, max_cores=16))
+        stats = scheduler.mapper_stats()
+        assert stats["hits"] + stats["misses"] > 0
+        assert (stats["candidates_pruned"] + stats["candidates_refined"]
+                == stats["candidates_considered"])
+
+    def test_fleet_scheduler_sums_per_chip_counters(self):
+        from repro.serving import FleetScheduler, generate_fleet_trace
+        fleet = FleetScheduler.homogeneous(2, cores=16)
+        fleet.serve(generate_fleet_trace(3, 12, chips=2, max_cores=16))
+        stats = fleet.mapper_stats()
+        per_chip = [fc.hypervisor.mapper.cache_stats()
+                    for fc in fleet.chips]
+        assert stats["misses"] == sum(s["misses"] for s in per_chip)
+        assert stats["free_updates"] == sum(s["free_updates"]
+                                            for s in per_chip)
+        assert 0.0 <= stats["hit_rate"] <= 1.0
+
+
+class TestTopologyMutationHelpers:
+    def test_discard_unknown_node_is_noop(self):
+        chip = Topology.mesh2d(2, 2)
+        free = chip.subtopology(chip.nodes)
+        free._discard_node(99)
+        assert free.node_count == 4
+
+    def test_restore_unknown_parent_node_rejected(self):
+        chip = Topology.mesh2d(2, 2)
+        free = chip.subtopology(chip.nodes)
+        with pytest.raises(TopologyError):
+            free._restore_node(chip, 99)
+
+    def test_restore_present_node_is_noop(self):
+        chip = Topology.mesh2d(2, 2)
+        free = chip.subtopology(chip.nodes)
+        free._restore_node(chip, 0)
+        assert free.node_count == 4
+
+    def test_chip_hops_computed_once_and_correct(self):
+        chip, fast, _ = make_pair(3, 3)
+        hops = fast.chip_hops
+        assert hops[0][8] == chip.hop_distance(0, 8)
+        assert fast.chip_hops is hops
+
+    def test_mesh_dims_factorization(self):
+        from repro.analysis.perf import mesh_dims
+        assert mesh_dims(36) == (6, 6)
+        assert mesh_dims(16) == (4, 4)
+        assert mesh_dims(12) == (3, 4)
+        assert mesh_dims(7) == (1, 7)
+
+
+class TestPerfHarness:
+    def test_small_corpus_replays_identically(self):
+        from repro.analysis.perf import record_corpus, replay
+        corpus = record_corpus(seed=3, sessions=25, chips=2,
+                               cores_per_chip=16)
+        assert corpus.map_calls > 0
+        fast = replay(corpus, fast_path=True)
+        reference = replay(corpus, fast_path=False)
+        assert fast.outputs == reference.outputs
+        assert fast.outputs_digest() == reference.outputs_digest()
+        counters = fast.counters
+        assert (counters["candidates_pruned"]
+                + counters["candidates_refined"]
+                == counters["candidates_considered"])
+
+    def test_corpus_is_deterministic(self):
+        from repro.analysis.perf import record_corpus
+        one = record_corpus(seed=5, sessions=15, chips=2, cores_per_chip=16)
+        two = record_corpus(seed=5, sessions=15, chips=2, cores_per_chip=16)
+        assert one.events == two.events
+        assert one.digest() == two.digest()
+
+    def test_report_shape(self):
+        from repro.analysis.perf import run_mapping_perf
+        report = run_mapping_perf(seed=3, sessions=15, chips=2,
+                                  cores_per_chip=16)
+        deterministic = report["deterministic"]
+        assert deterministic["equivalence"]["identical"]
+        assert deterministic["equivalence"]["mismatches"] == 0
+        assert deterministic["pruning_accounted"]
+        assert report["timing"]["fast_seconds"] >= 0.0
