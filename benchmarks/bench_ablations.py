@@ -7,8 +7,8 @@ binding, and confined (direction-table) NoC routing.
 
 from benchmarks.common import Table, once
 from repro.arch.chip import Chip
-from repro.arch.config import MB, sim_config
-from repro.arch.topology import MeshShape, Topology
+from repro.arch.config import sim_config
+from repro.arch.topology import Topology
 from repro.baselines.mig import mig_partitions, place_on_mig
 from repro.baselines.tdm import bind_tdm, tdm_factor
 from repro.compiler.mapper import map_stages

@@ -7,7 +7,6 @@
   chip (corner blocks already allocated).
 """
 
-import pytest
 
 from benchmarks.common import Table, once
 from repro.arch.topology import Topology

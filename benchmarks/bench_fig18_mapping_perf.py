@@ -18,13 +18,13 @@ for _entry in (str(_ROOT), str(_ROOT / "src")):
         sys.path.insert(0, _entry)
 
 from benchmarks.common import Table, once, write_bench_json  # noqa: E402
-from repro.arch.chip import Chip
-from repro.arch.config import MB, sim_config
-from repro.arch.topology import MeshShape
-from repro.core.hypervisor import Hypervisor
-from repro.core.vnpu import VNpuSpec
-from repro.runtime.session import compile_model, estimate_together
-from repro.workloads import gpt2, resnet
+from repro.arch.chip import Chip  # noqa: E402
+from repro.arch.config import MB, sim_config  # noqa: E402
+from repro.arch.topology import MeshShape  # noqa: E402
+from repro.core.hypervisor import Hypervisor  # noqa: E402
+from repro.core.vnpu import VNpuSpec  # noqa: E402
+from repro.runtime.session import compile_model, estimate_together  # noqa: E402
+from repro.workloads import gpt2, resnet  # noqa: E402
 
 #: Pre-occupied cores on the 6x6 chip: opposite corner blocks.
 OCCUPIED_SHAPE = MeshShape(2, 2)

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Consolidated benchmark-determinism runner (the single CI gate).
+
+Every benchmark that emits a deterministic ``BENCH_<name>.json`` is
+registered here once. The runner executes each bench **twice** with
+``--quick`` into two scratch directories, byte-compares the artifacts,
+and prints one pass/fail table. Any divergence — or any bench exiting
+nonzero (several gate their own acceptance bars) — fails the run.
+
+This replaces the previous copy-pasted per-bench shell blocks in
+``.github/workflows/ci.yml``: registering a new bench is one line in
+``BENCHES`` instead of a new workflow stanza. Wall-clock artifacts
+(``BENCH_*_timing.json``) are deliberately not compared.
+
+Run:  PYTHONPATH=src python benchmarks/check_determinism.py [--bench NAME]
+"""
+
+from __future__ import annotations
+
+import argparse
+import filecmp
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+
+#: (bench name, script, deterministic artifacts to byte-compare).
+#: Timing artifacts some scripts also write are intentionally absent.
+BENCHES: tuple[tuple[str, str, tuple[str, ...]], ...] = (
+    ("serving", "bench_serving.py", ("BENCH_serving.json",)),
+    ("fleet", "bench_fleet.py", ("BENCH_fleet.json",)),
+    ("cost", "bench_cost.py", ("BENCH_cost.json",)),
+    ("mapping_perf", "bench_mapping_perf.py", ("BENCH_mapping_perf.json",)),
+    ("elastic", "bench_elastic.py", ("BENCH_elastic.json",)),
+)
+
+
+def run_bench(script: str, out_dir: Path) -> tuple[int, str]:
+    """One --quick run of ``script`` writing artifacts into ``out_dir``."""
+    result = subprocess.run(
+        [sys.executable, str(_HERE / script), "--quick", "--out",
+         str(out_dir)],
+        capture_output=True,
+        text=True,
+    )
+    return result.returncode, result.stdout + result.stderr
+
+
+def check(name: str, script: str, artifacts: tuple[str, ...],
+          scratch: Path) -> tuple[bool, str]:
+    """Run ``script`` twice and byte-compare its artifacts."""
+    first, second = scratch / f"{name}-a", scratch / f"{name}-b"
+    for out_dir in (first, second):
+        code, output = run_bench(script, out_dir)
+        if code != 0:
+            # Surface the bench's own diagnostics (gate messages,
+            # tracebacks) — "exit 1" alone is useless in a CI log.
+            print(f"--- {name} output (exit {code}) ---")
+            print(output.rstrip())
+            print(f"--- end {name} output ---")
+            return False, f"exit {code}"
+    for artifact in artifacts:
+        a, b = first / artifact, second / artifact
+        if not a.is_file() or not b.is_file():
+            return False, f"{artifact} missing"
+        if not filecmp.cmp(a, b, shallow=False):
+            return False, f"{artifact} diverged"
+    return True, "byte-identical"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", default=None,
+                        help="run only this bench (default: all)")
+    args = parser.parse_args(argv)
+    benches = [entry for entry in BENCHES
+               if args.bench is None or entry[0] == args.bench]
+    if not benches:
+        known = ", ".join(name for name, _, _ in BENCHES)
+        print(f"unknown bench {args.bench!r}; known: {known}")
+        return 2
+
+    failures = 0
+    rows = []
+    with tempfile.TemporaryDirectory(prefix="bench-determinism-") as scratch:
+        for name, script, artifacts in benches:
+            ok, detail = check(name, script, artifacts, Path(scratch))
+            rows.append((name, "PASS" if ok else "FAIL", detail))
+            failures += 0 if ok else 1
+
+    width = max(len(name) for name, _, _ in rows)
+    print(f"{'bench'.ljust(width)}  result  detail")
+    print(f"{'-' * width}  ------  ------")
+    for name, verdict, detail in rows:
+        print(f"{name.ljust(width)}  {verdict.ljust(6)}  {detail}")
+    print(f"\n{len(rows) - failures}/{len(rows)} deterministic")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,7 +13,7 @@ free because it lives in (LUT)RAM.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.routing_table import STANDARD_ENTRY_BITS
 from repro.core.vchunk import RTT_ENTRY_BITS

@@ -162,7 +162,7 @@ class DmaEngine:
                     now = issue_cycles + translation_stall + throttle_stall
                     throttle_stall += self.access_counter.charge(nbytes, now)
             if lane.exhausted():
-                active = [l for l in active if not l.exhausted()]
+                active = [x for x in active if not x.exhausted()]
                 if not active:
                     break
             lane_index += 1

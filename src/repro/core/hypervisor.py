@@ -22,7 +22,12 @@ migration for defragmentation: the tenant is re-placed (on this chip or
 another chip's hypervisor), its guest memory re-mapped onto the
 destination buddy allocator, routing table and meta-zones rebuilt, and
 the data-movement + reconfiguration cost returned so a serving loop can
-charge it to the session's timeline.
+charge it to the session's timeline. ``resize_vnpu`` is the elastic
+sibling: grow or shrink a live vNPU in place when the adjacent cores
+and memory allow (shrinks are carved out of the tenant's own block;
+the freed remainder coalesces), falling back to the same re-place
+mechanics as in-place migration when they don't, with the charge priced
+through :func:`repro.cost.charges.resize_cycles`.
 """
 
 from __future__ import annotations
@@ -158,6 +163,62 @@ class Hypervisor:
         cycles = self._migration_cycles(resident_bytes, destination, migrated)
         return migrated, cycles
 
+    def resize_vnpu(self, vmid: int, new_request: VNpuSpec,
+                    strategy: str | None = None) -> tuple[VirtualNPU, int]:
+        """Grow or shrink a live vNPU to ``new_request``, keeping its VMID.
+
+        The resize is *in place* when adjacent cores and memory allow —
+        a shrink is first attempted strictly within the tenant's own
+        cores (the freed remainder coalesces back into the buddy
+        allocator), and a grow that lands on a superset of the current
+        cores keeps the resident data where it is, so only the Fig-11
+        reconfiguration is charged. When the adjacent cores do not
+        allow it, the resize falls back to the same re-place mechanics
+        as an in-place :meth:`migrate_vnpu` and the retained resident
+        memory (``min(old, new)`` bytes) is additionally copied, priced
+        through :func:`repro.cost.charges.resize_cycles`.
+
+        Returns the resized :class:`VirtualNPU` (same VMID) and the
+        resize charge in cycles. A failed placement or memory grow
+        raises :class:`~repro.errors.AllocationError` (or
+        :class:`~repro.errors.TopologyLockIn`) and leaves the source
+        vNPU untouched.
+        """
+        vnpu = self.vnpu(vmid)
+        strat = resolve_strategy(strategy or self.strategy)
+        own = set(vnpu.physical_cores)
+        mapping: MappingResult | None = None
+        if new_request.core_count <= len(own):
+            # Shrink: prefer carving the smaller mesh out of the
+            # tenant's own block — guaranteed in place, data stays put.
+            outside_own = set(self.chip.topology.nodes) - own
+            try:
+                mapping = strat.map(self.mapper, new_request, outside_own)
+            except AllocationError:
+                mapping = None
+        if mapping is None:
+            # Grow (or a shrink whose own block cannot host the new
+            # shape): the tenant's cores count as free, like in-place
+            # migration — the mapper may reuse any of them.
+            mapping = strat.map(self.mapper, new_request,
+                                self.allocated_cores - own)
+        new_cores = set(mapping.physical_cores)
+        in_place = new_cores <= own or new_cores >= own
+        retained = min(vnpu.memory_bytes, new_request.memory_bytes)
+
+        old_mapping, old_spec = vnpu.mapping, vnpu.spec
+        self._teardown(vnpu)
+        try:
+            resized = self._provision(new_request, mapping, vmid=vmid)
+        except AllocationError:
+            # Restore the original placement (same cores, same block
+            # sizes against the just-freed space: cannot fail).
+            self._provision(old_spec, old_mapping, vmid=vmid)
+            raise
+        cycles = self._resize_cycles(retained, resized,
+                                     relocated=not in_place)
+        return resized, cycles
+
     # -- internals ---------------------------------------------------------------
     def _provision(self, spec: VNpuSpec, mapping: MappingResult,
                    vmid: int | None = None) -> VirtualNPU:
@@ -242,6 +303,13 @@ class Hypervisor:
         from repro.cost.charges import migration_cycles
         return migration_cycles(self.chip.config, destination.chip.config,
                                 resident_bytes, migrated.setup_cycles)
+
+    def _resize_cycles(self, retained_bytes: int, resized: VirtualNPU,
+                       relocated: bool) -> int:
+        """Elastic grow/shrink charge through the shared cost engine."""
+        from repro.cost.charges import resize_cycles
+        return resize_cycles(self.chip.config, retained_bytes,
+                             resized.setup_cycles, relocated)
 
     def _map_cores(self, spec: VNpuSpec,
                    strategy: MappingStrategy) -> MappingResult:

@@ -51,7 +51,7 @@ equivalence is enforced by property tests and the
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.arch.topology import Topology
 from repro.core.ged import (
@@ -61,7 +61,6 @@ from repro.core.ged import (
     best_bijection,
     bijection_lower_bound,
     induced_edit_cost,
-    refine_bijection,
 )
 from repro.errors import AllocationError, TopologyError, TopologyLockIn
 

@@ -47,3 +47,19 @@ def migration_cycles(source: SoCConfig, destination: SoCConfig,
     """
     return (migration_data_cycles(source, destination, resident_bytes)
             + setup_cycles)
+
+
+def resize_cycles(config: SoCConfig, retained_bytes: int,
+                  setup_cycles: int, relocated: bool) -> int:
+    """Live grow/shrink charge for an elastic vNPU resize.
+
+    An *in-place* resize (the new core set contains, or is contained by,
+    the old one) keeps the tenant's resident data where it is — only the
+    Fig-11 routing-table reconfiguration is charged. A *relocated*
+    resize (the mapper could not grow/shrink within the adjacent cores
+    and re-placed the tenant) additionally copies the retained guest
+    memory — ``min(old, new)`` resident bytes — through the chip's own
+    memory system, priced by the same formula as a same-chip migration.
+    """
+    moved = retained_bytes if relocated else 0
+    return migration_data_cycles(config, config, moved) + setup_cycles

@@ -10,7 +10,12 @@ queue delays, utilization and fragmentation over time.
 clock, with pluggable cross-chip placement policies and live vNPU
 migration for defragmentation (:class:`DefragPolicy`). Both schedulers
 price sessions through a pluggable :mod:`repro.cost` fidelity tier
-(``cost_model="analytic" | "executor" | "cached"``).
+(``cost_model="analytic" | "executor" | "cached"``) and, when given an
+``elastic=`` policy, enforce :class:`SLOClass` objectives by live
+grow/shrink resizing and preemption of lower tiers
+(:mod:`repro.serving.slo`); traces can additionally model bursty
+(Markov-modulated) and diurnal arrival processes with per-session SLO
+mixes.
 """
 
 from repro.serving.fleet import (
@@ -32,6 +37,7 @@ from repro.serving.metrics import (
     FleetSample,
     ServingMetrics,
     SessionRecord,
+    SLOMetrics,
     fragmentation_ratio,
     percentile,
 )
@@ -51,7 +57,33 @@ from repro.serving.scheduler import (
     ServiceTimeEstimator,
     coerce_policy,
 )
+from repro.serving.slo import (
+    BEST_EFFORT,
+    GOLD,
+    SILVER,
+    ElasticAction,
+    ElasticPolicy,
+    ElasticVictim,
+    PreemptPolicy,
+    ShrinkPolicy,
+    ShrinkThenPreemptPolicy,
+    SLOClass,
+    available_elastics,
+    available_slos,
+    coerce_elastic,
+    effective_priority,
+    register_elastic,
+    register_slo,
+    resolve_elastic,
+    resolve_slo,
+    session_slo,
+    shrink_shape,
+    unregister_elastic,
+    unregister_slo,
+)
 from repro.serving.workload import (
+    ARRIVAL_PROCESSES,
+    DEFAULT_SLO_MIX,
     FRAGMENTATION_SHAPE_MIX,
     MODEL_BUILDERS,
     SHAPE_MIX,
@@ -61,40 +93,65 @@ from repro.serving.workload import (
 )
 
 __all__ = [
+    "ARRIVAL_PROCESSES",
     "AdmissionPolicy",
+    "BEST_EFFORT",
     "BestFitPlacement",
     "BestFitPolicy",
     "ClusterSample",
     "ClusterScheduler",
+    "DEFAULT_SLO_MIX",
     "DefragPolicy",
+    "ElasticAction",
+    "ElasticPolicy",
+    "ElasticVictim",
     "FCFSPolicy",
     "FRAGMENTATION_SHAPE_MIX",
     "FleetChip",
     "FleetMetrics",
     "FleetSample",
     "FleetScheduler",
+    "GOLD",
     "LeastLoadedPlacement",
     "MODEL_BUILDERS",
     "PendingSession",
     "PlacementPolicy",
     "PowerOfTwoPlacement",
+    "PreemptPolicy",
     "PriorityPolicy",
     "SHAPE_MIX",
+    "SILVER",
+    "SLOClass",
+    "SLOMetrics",
     "ServiceTimeEstimator",
     "ServingMetrics",
     "SessionRecord",
+    "ShrinkPolicy",
+    "ShrinkThenPreemptPolicy",
     "TenantSession",
+    "available_elastics",
     "available_placements",
     "available_policies",
+    "available_slos",
+    "coerce_elastic",
     "coerce_policy",
+    "effective_priority",
     "fragmentation_ratio",
     "generate_fleet_trace",
     "generate_trace",
     "percentile",
+    "register_elastic",
     "register_placement",
     "register_policy",
+    "register_slo",
+    "resolve_elastic",
     "resolve_placement",
     "resolve_policy",
+    "resolve_slo",
+    "session_slo",
+    "shrink_shape",
+    "unregister_elastic",
     "unregister_placement",
     "unregister_policy",
+    "unregister_slo",
 ]

@@ -29,7 +29,7 @@ timeline. The fleet converts fragmentation into admitted sessions.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.arch.chip import Chip
 from repro.arch.config import SoCConfig, sim_config
@@ -52,6 +52,19 @@ from repro.serving.scheduler import (
     PendingSession,
     coerce_policy,
     drive_simulation,
+    requeue_in_arrival_order,
+)
+from repro.serving.slo import (
+    ElasticAction,
+    ElasticPolicy,
+    ElasticVictim,
+    SLOClass,
+    coerce_elastic,
+    make_victim,
+    reprice,
+    resize_memory_bytes,
+    session_slo,
+    shrink_shape,
 )
 from repro.serving.workload import TenantSession
 from repro.sim import Simulator
@@ -224,10 +237,40 @@ class ActiveFleetSession:
     strategy: str
     mapping_distance: float
     mapping_connected: bool
-    #: Migration cycles accrued while the current service wait runs; the
-    #: lifetime process drains this into additional timeouts.
-    extra_cycles: int = 0
+    slo: SLOClass
+    #: Mesh the session currently *holds* (differs from the request
+    #: while elastically shrunk).
+    rows: int
+    cols: int
+    #: Full-service estimate on the current placement and the absolute
+    #: cycle the session is currently projected to depart at. Migration
+    #: and resize charges push the projection out; the lifetime process
+    #: keeps sleeping until it stops receding.
+    service_total: int
+    expected_depart: int
     migrations: int = 0
+    resizes: int = 0
+    preemptions: int = 0
+    #: Set when the session is elastically evicted: the sleeping
+    #: lifetime process must vanish instead of departing.
+    preempted: bool = False
+
+    @property
+    def cores(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def shrunk(self) -> bool:
+        return self.cores < self.session.core_count
+
+    def sized_session(self) -> TenantSession:
+        """The session re-shaped to its *current* allocation, for the
+        cost model (which prices by the held mesh, not the request)."""
+        if not self.shrunk:
+            return self.session
+        return replace(self.session, rows=self.rows, cols=self.cols,
+                       memory_bytes=resize_memory_bytes(self.session,
+                                                        self.cores))
 
 
 class FleetScheduler:
@@ -239,7 +282,8 @@ class FleetScheduler:
                  strategy: str | None = None,
                  defrag: DefragPolicy | None = None,
                  sim: Simulator | None = None,
-                 cost_model: "CostModel | str" = "analytic") -> None:
+                 cost_model: "CostModel | str" = "analytic",
+                 elastic: "ElasticPolicy | str | None" = None) -> None:
         if not configs:
             raise ServingError("fleet needs at least one chip config")
         self.sim = sim or Simulator()
@@ -254,6 +298,8 @@ class FleetScheduler:
             resolve_strategy(strategy)  # fail fast, like the hypervisor
         self.strategy = strategy
         self.defrag = defrag
+        #: SLO enforcement: None = static behavior (queue and wait).
+        self.elastic = coerce_elastic(elastic)
         self.metrics = FleetMetrics()
         #: The fidelity tier pricing every session's residency.
         self.cost_model = coerce_cost_model(cost_model)
@@ -358,18 +404,27 @@ class FleetScheduler:
             self._admit_loop()
             self._sample()
 
-    def _session_lifetime(self, active: ActiveFleetSession,
-                          service_cycles: int):
-        remaining = service_cycles
-        while remaining > 0:
+    def _session_lifetime(self, active: ActiveFleetSession):
+        # Migrations and elastic resizes that happen during the wait
+        # push ``expected_depart`` out; keep sleeping until it stops
+        # receding. (A grow-back that would depart *earlier* cannot wake
+        # the scheduled timeout — growth restores the service rate going
+        # forward, it never time-travels the current sleep.)
+        while True:
+            remaining = active.expected_depart - self.sim.now
+            if remaining <= 0:
+                break
             yield self.sim.timeout(remaining)
-            # Migrations that happened during the wait stretched the
-            # session: serve the accrued cost before departing.
-            remaining, active.extra_cycles = active.extra_cycles, 0
+            if active.preempted:
+                return  # evicted mid-sleep; the requeued entry took over
         self._depart(active)
+        # A departure changes the free set: parked placements get a new
+        # try, and spent relief rounds may be worth another shot.
         for entry in self._pending:
             entry.blocked = False
+            entry.relief_exhausted = False
         self._admit_loop()
+        self._grow_back()
         self._sample()
 
     # -- admission ---------------------------------------------------------
@@ -377,9 +432,11 @@ class FleetScheduler:
         while True:
             most_free = max(fc.free_cores() for fc in self.chips)
             entry = self.policy.select(self._pending, most_free)
-            if entry is None:
+            if entry is not None:
+                self._try_admit(entry)
+                continue
+            if not self._elastic_relief():
                 return
-            self._try_admit(entry)
 
     def _try_admit(self, entry: PendingSession) -> None:
         if self._place(entry):
@@ -413,6 +470,8 @@ class FleetScheduler:
             except AllocationError:
                 continue
             self._pending.remove(entry)
+            service = self.cost_model.service_cycles(fleet_chip.chip,
+                                                     session, vnpu)
             active = ActiveFleetSession(
                 session=session,
                 chip_index=fleet_chip.index,
@@ -421,13 +480,18 @@ class FleetScheduler:
                 strategy=vnpu.mapping.strategy,
                 mapping_distance=vnpu.mapping.distance,
                 mapping_connected=vnpu.mapping.connected,
+                slo=session_slo(session),
+                rows=session.rows,
+                cols=session.cols,
+                service_total=service,
+                expected_depart=self.sim.now + service,
+                preemptions=entry.preemptions,
             )
             self._active[(fleet_chip.index, vnpu.vmid)] = active
-            service = self.cost_model.service_cycles(fleet_chip.chip,
-                                                     session, vnpu)
             self.sim.process(
-                self._session_lifetime(active, service),
-                name=f"fleet-session-{session.session_id}",
+                self._session_lifetime(active),
+                name=f"fleet-session-{session.session_id}"
+                     f"-{entry.preemptions}",
             )
             return True
         return False
@@ -450,7 +514,146 @@ class FleetScheduler:
             mapping_connected=active.mapping_connected,
             chip=active.chip_index,
             migrations=active.migrations,
+            slo=active.slo.name,
+            preemptions=active.preemptions,
+            resizes=active.resizes,
         ))
+
+    # -- elastic enforcement ------------------------------------------------
+    def _elastic_relief(self) -> bool:
+        """Shrink/preempt lower tiers for the neediest blocked arrival.
+
+        Chip-local: the arriving session needs its cores on *one* chip,
+        so the plan targets the first chip (fullest-free first) whose
+        lower-tier residents can cover the shortfall. Returns True when
+        at least one enforcement action landed. A round that fails to
+        place its entry marks it ``relief_exhausted`` until the next
+        departure — preemption is not monotonic (an evicted victim can
+        re-admit to the same cores), so this is what keeps the admit
+        loop finite.
+        """
+        if self.elastic is None:
+            return False
+        most_free = max(fc.free_cores() for fc in self.chips)
+        now = self.sim.now
+        candidates = sorted(
+            (e for e in self._pending
+             if not e.relief_exhausted
+             and (e.blocked or e.session.core_count > most_free)
+             and session_slo(e.session).relief_due(
+                 now - e.session.arrival_cycle)),
+            key=lambda e: (-session_slo(e.session).tier,
+                           e.session.arrival_cycle, e.session.session_id),
+        )
+        if not candidates:
+            return False
+        entry = candidates[0]
+        tier = session_slo(entry.session).tier
+        for fleet_chip in sorted(self.chips,
+                                 key=lambda fc: (-fc.free_cores(), fc.index)):
+            needed = max(1,
+                         entry.session.core_count - fleet_chip.free_cores())
+            victims = self._victims(fleet_chip, tier)
+            actions = self.elastic.plan(needed, victims)
+            if not actions:
+                continue
+            executed = sum(1 for action in actions
+                           if self._execute_action(fleet_chip, action))
+            if executed == 0:
+                continue
+            for pending in self._pending:
+                pending.blocked = False
+            # The squeeze happened on *this* entry's behalf: place it
+            # first, before any queue-mate (under fcfs/best_fit a
+            # lower-tier head would otherwise consume the just-freed
+            # cores). A failed attempt spends the entry's relief budget
+            # for this instant — the plan covered the core *count*, so
+            # what remains is a topology problem more squeezing cannot
+            # fix right now.
+            self._try_admit(entry)
+            if entry in self._pending:
+                entry.relief_exhausted = True
+            return True
+        return False
+
+    def _victims(self, fleet_chip: FleetChip,
+                 below_tier: int) -> list[ElasticVictim]:
+        victims = []
+        for chip_index, vmid in sorted(self._active):
+            if chip_index != fleet_chip.index:
+                continue
+            active = self._active[(chip_index, vmid)]
+            if active.slo.tier >= below_tier:
+                continue
+            victim = make_victim(active)
+            if victim is not None:
+                victims.append(victim)
+        return victims
+
+    def _execute_action(self, fleet_chip: FleetChip,
+                        action: ElasticAction) -> bool:
+        active = action.victim.key
+        if action.kind == "shrink":
+            smaller = shrink_shape(active.rows, active.cols)
+            if smaller is None:
+                return False
+            return self._resize(fleet_chip, active, smaller)
+        if action.kind == "preempt":
+            return self._preempt(fleet_chip, active)
+        raise ServingError(f"unknown elastic action {action.kind!r}")
+
+    def _resize(self, fleet_chip: FleetChip, active: ActiveFleetSession,
+                shape) -> bool:
+        """Live-resize ``active`` on its chip and re-price its residency."""
+        grew = shape.node_count > active.cores
+        spec = VNpuSpec(
+            name=active.session.tenant,
+            topology=shape,
+            memory_bytes=resize_memory_bytes(active.session,
+                                             shape.node_count),
+        )
+        try:
+            vnpu, charge = fleet_chip.hypervisor.resize_vnpu(
+                active.vmid, spec, strategy=self.strategy)
+        except AllocationError:
+            return False
+        active.rows, active.cols = shape.rows, shape.cols
+        active.strategy = vnpu.mapping.strategy
+        active.mapping_distance = vnpu.mapping.distance
+        active.mapping_connected = vnpu.mapping.connected
+        active.resizes += 1
+        new_total = self.cost_model.service_cycles(
+            fleet_chip.chip, active.sized_session(), vnpu)
+        reprice(active, new_total, charge, self.sim.now)
+        self.metrics.record_resize(charge, grew=grew)
+        return True
+
+    def _preempt(self, fleet_chip: FleetChip,
+                 active: ActiveFleetSession) -> bool:
+        fleet_chip.hypervisor.destroy_vnpu(active.vmid)
+        del self._active[(active.chip_index, active.vmid)]
+        active.preempted = True
+        self.metrics.preemptions += 1
+        requeue_in_arrival_order(self._pending, active.session,
+                                 active.preemptions + 1)
+        return True
+
+    def _grow_back(self) -> None:
+        """Give shrunk sessions their cores back once the queue is clear.
+
+        Conservative by design: growth only happens when nothing is
+        waiting (queued arrivals outrank a squeezed tenant's comfort),
+        highest tier first.
+        """
+        if self.elastic is None or self._pending:
+            return
+        shrunk = sorted(
+            (a for a in self._active.values() if a.shrunk),
+            key=lambda a: (-a.slo.tier, a.admit_cycle, a.session.session_id),
+        )
+        for active in shrunk:
+            self._resize(self.chips[active.chip_index], active,
+                         active.session.shape)
 
     # -- defragmentation ---------------------------------------------------
     def _defragment(self, session: TenantSession) -> bool:
@@ -513,7 +716,7 @@ class FleetScheduler:
             active.strategy = migrated.mapping.strategy
             active.mapping_distance = migrated.mapping.distance
             active.mapping_connected = migrated.mapping.connected
-            active.extra_cycles += cost
+            active.expected_depart += cost
             active.migrations += 1
             self._active[(destination.index, migrated.vmid)] = active
             self.metrics.record_migration(cost)

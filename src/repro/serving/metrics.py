@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.arch.topology import Topology
+from repro.serving.slo import resolve_slo
 
 
 def percentile(values: list[int | float], pct: float) -> float:
@@ -70,6 +71,13 @@ class SessionRecord:
     chip: int = 0
     #: Live migrations this session survived while resident.
     migrations: int = 0
+    #: SLO class the session was served under ("" for pre-SLO records).
+    slo: str = ""
+    #: Times this session was preempted (torn down and requeued) before
+    #: finally completing.
+    preemptions: int = 0
+    #: Live grow/shrink resizes this session survived while resident.
+    resizes: int = 0
 
     @property
     def queue_delay_cycles(self) -> int:
@@ -92,6 +100,50 @@ class ClusterSample:
 
 
 @dataclass
+class SLOMetrics:
+    """Per-SLO-class outcomes distilled from the session records.
+
+    ``attainment`` is the fraction of completed sessions whose admission
+    delay met their class target (classes without a target always
+    attain); ``goodput_sessions_per_second`` counts only the sessions
+    that met it. Everything is computed from the deterministic record
+    stream, so the digest is byte-stable across runs.
+    """
+
+    #: class name -> {completed, met, attainment, p99, preemptions, ...}
+    per_class: dict[str, dict] = field(default_factory=dict)
+
+    @classmethod
+    def from_records(cls, records: list[SessionRecord],
+                     seconds: float) -> "SLOMetrics":
+        grouped: dict[str, list[SessionRecord]] = {}
+        for record in records:
+            if record.slo:
+                grouped.setdefault(record.slo, []).append(record)
+        per_class: dict[str, dict] = {}
+        for name in sorted(grouped):
+            slo = resolve_slo(name)
+            group = grouped[name]
+            delays = [r.queue_delay_cycles for r in group]
+            met = sum(1 for r in group if slo.met(r.queue_delay_cycles))
+            per_class[name] = {
+                "attainment": round(met / len(group), 6),
+                "goodput_sessions_per_second": round(
+                    met / seconds if seconds else 0.0, 6),
+                "p99_queue_delay_cycles": percentile(delays, 99),
+                "preemptions": sum(r.preemptions for r in group),
+                "resizes": sum(r.resizes for r in group),
+                "sessions_completed": len(group),
+                "sessions_met_slo": met,
+                "tier": slo.tier,
+            }
+        return cls(per_class)
+
+    def digest(self) -> dict:
+        return dict(self.per_class)
+
+
+@dataclass
 class ServingMetrics:
     """Accumulates records and samples over one scheduler run."""
 
@@ -104,12 +156,26 @@ class ServingMetrics:
     admission_failures: int = 0
     #: Sessions dropped because even an empty chip could not host them.
     rejected: int = 0
+    #: Elastic-enforcement counters: sessions torn down and requeued for
+    #: a higher tier, live resizes by direction, and the total cycles
+    #: charged to victims for those resizes.
+    preemptions: int = 0
+    shrinks: int = 0
+    grows: int = 0
+    resize_cycles: int = 0
 
     def record_departure(self, record: SessionRecord) -> None:
         self.records.append(record)
 
     def sample(self, sample: ClusterSample) -> None:
         self.samples.append(sample)
+
+    def record_resize(self, cycles: int, grew: bool) -> None:
+        if grew:
+            self.grows += 1
+        else:
+            self.shrinks += 1
+        self.resize_cycles += cycles
 
     # -- aggregation -------------------------------------------------------
     def _time_weighted_mean(self, attribute: str) -> float:
@@ -153,6 +219,14 @@ class ServingMetrics:
                                     default=0),
             "admission_failures": self.admission_failures,
             "sessions_rejected": self.rejected,
+            "slo": {
+                "classes": SLOMetrics.from_records(self.records,
+                                                   seconds).digest(),
+                "grows": self.grows,
+                "preemptions": self.preemptions,
+                "resize_cycles": self.resize_cycles,
+                "shrinks": self.shrinks,
+            },
         }
 
 

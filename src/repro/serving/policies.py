@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 from repro.core.registry import Registry
 from repro.errors import ServingError
+from repro.serving.slo import effective_priority
 
 if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.serving.scheduler import PendingSession
@@ -83,17 +84,37 @@ class BestFitPolicy:
 
 
 class PriorityPolicy:
-    """Highest tenant priority first, FCFS within a priority class."""
+    """Highest tenant priority first, FCFS within a priority class.
+
+    Priority holds the line *while queued*, not just at selection time:
+    the highest-priority waiter blocks lower classes from overtaking it
+    even when it does not fit the current free cores yet (the starvation
+    case the original fits-only comparison mishandled — a large
+    high-priority request could wait forever behind a stream of small
+    low-priority arrivals). Entries whose last placement attempt failed
+    on this free set (``blocked``) are skipped, exactly like FCFS skips
+    its blocked head — retrying them would fail identically, and letting
+    them block the line would deadlock the queue.
+
+    Sessions carrying an explicit SLO class rank by its tier
+    (:func:`~repro.serving.slo.effective_priority`); legacy sessions
+    rank by their raw ``priority`` value as always.
+    """
 
     name = "priority"
 
     def select(self, pending, free_cores):
-        fits = _admissible(pending, free_cores)
-        if not fits:
-            return None
-        return min(fits, key=lambda e: (-e.session.priority,
-                                        e.session.arrival_cycle,
-                                        e.session.session_id))
+        # Only the top-ranked unblocked entry matters (blocked ones are
+        # skipped unconditionally), so one O(n) min beats sorting the
+        # whole queue on every admit-loop iteration.
+        top = min((e for e in pending if not e.blocked),
+                  key=lambda e: (-effective_priority(e.session),
+                                 e.session.arrival_cycle,
+                                 e.session.session_id),
+                  default=None)
+        if top is not None and top.session.core_count <= free_cores:
+            return top
+        return None  # the top-priority waiter must go first
 
 
 _REGISTRY: Registry[AdmissionPolicy] = Registry("admission policy",

@@ -24,7 +24,7 @@ metrics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.arch.chip import Chip
 from repro.core.hypervisor import Hypervisor
@@ -39,6 +39,18 @@ from repro.serving.metrics import (
     fragmentation_ratio,
 )
 from repro.serving.policies import AdmissionPolicy, resolve_policy
+from repro.serving.slo import (
+    ElasticAction,
+    ElasticPolicy,
+    ElasticVictim,
+    SLOClass,
+    coerce_elastic,
+    make_victim,
+    reprice,
+    resize_memory_bytes,
+    session_slo,
+    shrink_shape,
+)
 from repro.serving.workload import MODEL_BUILDERS, TenantSession  # noqa: F401  (re-export)
 
 
@@ -48,11 +60,20 @@ class PendingSession:
 
     Blocked entries are skipped by policies until a departure changes the
     free-core set (re-trying the same placement against the same free set
-    would fail identically).
+    would fail identically). ``preemptions`` counts how many times this
+    session was elastically evicted back into the queue.
     """
 
     session: TenantSession
     blocked: bool = False
+    preemptions: int = 0
+    #: Set when an elastic-relief round was spent on this entry and its
+    #: placement *still* failed (a topology problem squeezing cannot
+    #: fix this instant). Cleared, like ``blocked``, when a departure
+    #: changes the free set — without it a preempt-capable policy can
+    #: livelock: evict a victim, fail to place, watch the victim
+    #: re-admit to the same cores, evict again, forever.
+    relief_exhausted: bool = False
 
 
 @dataclass
@@ -63,6 +84,37 @@ class ActiveSession:
     strategy: str
     mapping_distance: float
     mapping_connected: bool
+    slo: SLOClass
+    #: Mesh the session currently *holds* (differs from the request
+    #: while elastically shrunk).
+    rows: int
+    cols: int
+    #: Full-service estimate on the current placement and the absolute
+    #: cycle the session is currently projected to depart at.
+    service_total: int
+    expected_depart: int
+    resizes: int = 0
+    preemptions: int = 0
+    #: Set when the session is elastically evicted: the sleeping
+    #: lifetime process must vanish instead of departing.
+    preempted: bool = False
+
+    @property
+    def cores(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def shrunk(self) -> bool:
+        return self.cores < self.session.core_count
+
+    def sized_session(self) -> TenantSession:
+        """The session re-shaped to its *current* allocation, for the
+        cost model (which prices by the held mesh, not the request)."""
+        if not self.shrunk:
+            return self.session
+        return replace(self.session, rows=self.rows, cols=self.cols,
+                       memory_bytes=resize_memory_bytes(self.session,
+                                                        self.cores))
 
 
 def drive_simulation(sim, until: int | None, limit: int | None) -> int:
@@ -81,6 +133,26 @@ def drive_simulation(sim, until: int | None, limit: int | None) -> int:
     if limit is not None:
         return sim.run_until_processes_done(limit=limit)
     return sim.run_until_processes_done()
+
+
+def requeue_in_arrival_order(pending: "list[PendingSession]",
+                             session: TenantSession,
+                             preemptions: int) -> PendingSession:
+    """Put a preempted session back in the queue *by arrival cycle*.
+
+    FCFS walks list order, so a tail append would silently cost the
+    victim its place in line on top of the restarted service. Shared by
+    both schedulers so the requeue discipline cannot drift.
+    """
+    requeued = PendingSession(session, preemptions=preemptions)
+    key = (session.arrival_cycle, session.session_id)
+    index = len(pending)
+    for i, entry in enumerate(pending):
+        if (entry.session.arrival_cycle, entry.session.session_id) > key:
+            index = i
+            break
+    pending.insert(index, requeued)
+    return requeued
 
 
 def coerce_policy(policy: "AdmissionPolicy | str") -> AdmissionPolicy:
@@ -116,7 +188,8 @@ class ClusterScheduler:
                  hypervisor: Hypervisor | None = None,
                  policy: AdmissionPolicy | str = "fcfs",
                  strategy: str | None = None,
-                 cost_model: "CostModel | str" = "analytic") -> None:
+                 cost_model: "CostModel | str" = "analytic",
+                 elastic: "ElasticPolicy | str | None" = None) -> None:
         self.chip = chip
         self.sim = chip.sim
         self.hypervisor = hypervisor or Hypervisor(chip)
@@ -126,6 +199,8 @@ class ClusterScheduler:
         #: Mapping-strategy name forwarded to ``create_vnpu`` (None ->
         #: the hypervisor's default).
         self.strategy = strategy
+        #: SLO enforcement: None = static behavior (queue and wait).
+        self.elastic = coerce_elastic(elastic)
         self.metrics = ServingMetrics()
         self._pending: list[PendingSession] = []
         self._active: dict[int, ActiveSession] = {}
@@ -204,13 +279,28 @@ class ClusterScheduler:
             self._admit_loop()
             self._sample()
 
-    def _session_lifetime(self, active: ActiveSession, service_cycles: int):
-        yield self.sim.timeout(service_cycles)
+    def _session_lifetime(self, active: ActiveSession):
+        # ``expected_depart`` may move while we sleep (an elastic resize
+        # stretched the victim); keep sleeping until it stops receding.
+        # A projection that moved *earlier* (grow-back) cannot wake the
+        # already-scheduled timeout, so the session departs at the
+        # originally scheduled instant — growth restores the service
+        # rate going forward, it never time-travels the current sleep.
+        while True:
+            remaining = active.expected_depart - self.sim.now
+            if remaining <= 0:
+                break
+            yield self.sim.timeout(remaining)
+            if active.preempted:
+                return  # evicted mid-sleep; the requeued entry took over
         self._depart(active)
-        # A departure changes the free set: parked placements get a new try.
+        # A departure changes the free set: parked placements get a new
+        # try, and spent relief rounds may be worth another shot.
         for entry in self._pending:
             entry.blocked = False
+            entry.relief_exhausted = False
         self._admit_loop()
+        self._grow_back()
         self._sample()
 
     # -- admission ---------------------------------------------------------
@@ -218,9 +308,11 @@ class ClusterScheduler:
         while True:
             entry = self.policy.select(self._pending,
                                        self.hypervisor.free_core_count())
-            if entry is None:
+            if entry is not None:
+                self._try_admit(entry)
+                continue
+            if not self._elastic_relief():
                 return
-            self._try_admit(entry)
 
     def _try_admit(self, entry: PendingSession) -> None:
         session = entry.session
@@ -244,6 +336,7 @@ class ClusterScheduler:
                 entry.blocked = True
             return
         self._pending.remove(entry)
+        service = self.cost_model.service_cycles(self.chip, session, vnpu)
         active = ActiveSession(
             session=session,
             vmid=vnpu.vmid,
@@ -251,12 +344,18 @@ class ClusterScheduler:
             strategy=vnpu.mapping.strategy,
             mapping_distance=vnpu.mapping.distance,
             mapping_connected=vnpu.mapping.connected,
+            slo=session_slo(session),
+            rows=session.rows,
+            cols=session.cols,
+            service_total=service,
+            expected_depart=self.sim.now + service,
+            preemptions=entry.preemptions,
         )
         self._active[vnpu.vmid] = active
-        service = self.cost_model.service_cycles(self.chip, session, vnpu)
         self.sim.process(
-            self._session_lifetime(active, service),
-            name=f"serving-session-{session.session_id}",
+            self._session_lifetime(active),
+            name=f"serving-session-{session.session_id}"
+                 f"-{entry.preemptions}",
         )
         # No sample here: the _admit_loop caller samples once afterwards,
         # and same-cycle duplicates carry zero weight in the summaries.
@@ -276,7 +375,137 @@ class ClusterScheduler:
             strategy=active.strategy,
             mapping_distance=active.mapping_distance,
             mapping_connected=active.mapping_connected,
+            slo=active.slo.name,
+            preemptions=active.preemptions,
+            resizes=active.resizes,
         ))
+
+    # -- elastic enforcement ------------------------------------------------
+    def _elastic_relief(self) -> bool:
+        """Shrink/preempt lower tiers for the neediest blocked arrival.
+
+        Returns True when at least one enforcement action landed (the
+        free set changed, so the admit loop should try again). The loop
+        stays finite because a relief round that fails to place its
+        entry marks it ``relief_exhausted`` until the next departure:
+        preemption is not monotonic (an evicted victim can re-admit to
+        the same cores), so only the plan-is-empty condition is not
+        enough to terminate.
+        """
+        if self.elastic is None:
+            return False
+        free = self.hypervisor.free_core_count()
+        now = self.sim.now
+        candidates = sorted(
+            (e for e in self._pending
+             if not e.relief_exhausted
+             and (e.blocked or e.session.core_count > free)
+             and session_slo(e.session).relief_due(
+                 now - e.session.arrival_cycle)),
+            key=lambda e: (-session_slo(e.session).tier,
+                           e.session.arrival_cycle, e.session.session_id),
+        )
+        if not candidates:
+            return False
+        entry = candidates[0]
+        tier = session_slo(entry.session).tier
+        needed = max(1, entry.session.core_count - free)
+        victims = self._victims(tier)
+        actions = self.elastic.plan(needed, victims)
+        executed = 0
+        for action in actions:
+            if self._execute_action(action):
+                executed += 1
+        if executed == 0:
+            return False
+        for pending in self._pending:
+            pending.blocked = False
+        # The squeeze happened on *this* entry's behalf: place it first,
+        # before any queue-mate (under fcfs/best_fit a lower-tier head
+        # would otherwise consume the just-freed cores and the victims
+        # would have been squeezed for nothing). A failed attempt spends
+        # the entry's relief budget for this instant — the plan covered
+        # the core *count*, so what remains is a topology problem more
+        # squeezing cannot fix right now.
+        self._try_admit(entry)
+        if entry in self._pending:
+            entry.relief_exhausted = True
+        return True
+
+    def _victims(self, below_tier: int) -> list[ElasticVictim]:
+        victims = []
+        for vmid in sorted(self._active):
+            active = self._active[vmid]
+            if active.slo.tier >= below_tier:
+                continue
+            victim = make_victim(active)
+            if victim is not None:
+                victims.append(victim)
+        return victims
+
+    def _execute_action(self, action: ElasticAction) -> bool:
+        active = action.victim.key
+        if action.kind == "shrink":
+            return self._shrink(active)
+        if action.kind == "preempt":
+            return self._preempt(active)
+        raise ServingError(f"unknown elastic action {action.kind!r}")
+
+    def _shrink(self, active: ActiveSession) -> bool:
+        smaller = shrink_shape(active.rows, active.cols)
+        if smaller is None:
+            return False
+        return self._resize(active, smaller)
+
+    def _resize(self, active: ActiveSession, shape) -> bool:
+        """Live-resize ``active`` to ``shape`` and re-price its residency."""
+        grew = shape.node_count > active.cores
+        spec = VNpuSpec(
+            name=active.session.tenant,
+            topology=shape,
+            memory_bytes=resize_memory_bytes(active.session,
+                                             shape.node_count),
+        )
+        try:
+            vnpu, charge = self.hypervisor.resize_vnpu(
+                active.vmid, spec, strategy=self.strategy)
+        except AllocationError:
+            return False
+        active.rows, active.cols = shape.rows, shape.cols
+        active.strategy = vnpu.mapping.strategy
+        active.mapping_distance = vnpu.mapping.distance
+        active.mapping_connected = vnpu.mapping.connected
+        active.resizes += 1
+        new_total = self.cost_model.service_cycles(
+            self.chip, active.sized_session(), vnpu)
+        reprice(active, new_total, charge, self.sim.now)
+        self.metrics.record_resize(charge, grew=grew)
+        return True
+
+    def _preempt(self, active: ActiveSession) -> bool:
+        self.hypervisor.destroy_vnpu(active.vmid)
+        del self._active[active.vmid]
+        active.preempted = True
+        self.metrics.preemptions += 1
+        requeue_in_arrival_order(self._pending, active.session,
+                                 active.preemptions + 1)
+        return True
+
+    def _grow_back(self) -> None:
+        """Give shrunk sessions their cores back once the queue is clear.
+
+        Conservative by design: growth only happens when nothing is
+        waiting (queued arrivals outrank a squeezed tenant's comfort),
+        highest tier first.
+        """
+        if self.elastic is None or self._pending:
+            return
+        shrunk = sorted(
+            (a for a in self._active.values() if a.shrunk),
+            key=lambda a: (-a.slo.tier, a.admit_cycle, a.session.session_id),
+        )
+        for active in shrunk:
+            self._resize(active, active.session.shape)
 
     # -- observability -----------------------------------------------------
     def _sample(self) -> None:

@@ -136,6 +136,166 @@ def test_migration_moves_all_resources_cross_chip():
     assert_pristine(target)
 
 
+def churn_with_resize(seed, steps=70):
+    """Arbitrary grow-shrink-migrate-create-destroy interleavings."""
+    rng = random.Random(seed)
+    hypervisor = Hypervisor(Chip(sim_config(16)))
+    live = []
+    for step in range(steps):
+        roll = rng.random()
+        if live and roll < 0.25:
+            # Resize a live tenant to a fresh random shape (grow or
+            # shrink, relocating when the adjacent cores refuse).
+            vmid = rng.choice(live)
+            try:
+                resized, cost = hypervisor.resize_vnpu(
+                    vmid, random_spec(rng, f"resize-{step}"))
+            except AllocationError:
+                continue
+            assert cost >= resized.setup_cycles
+            assert resized.vmid == vmid  # resize keeps the VMID
+        elif live and roll < 0.4:
+            vmid = rng.choice(live)
+            try:
+                migrated, cost = hypervisor.migrate_vnpu(vmid)
+            except AllocationError:
+                continue
+            assert migrated.vmid == vmid
+        elif live and roll < 0.6:
+            vmid = live.pop(rng.randrange(len(live)))
+            hypervisor.destroy_vnpu(vmid)
+        else:
+            try:
+                vnpu = hypervisor.create_vnpu(random_spec(rng, step))
+            except AllocationError:
+                continue
+            live.append(vnpu.vmid)
+    for vmid in live:
+        hypervisor.destroy_vnpu(vmid)
+    return hypervisor
+
+
+@pytest.mark.parametrize("seed", [2, 5, 17, 23, 61, 101])
+def test_resize_churn_leaves_no_trace(seed):
+    """Grow-shrink-migrate interleavings leak nothing over >= 6 seeds."""
+    assert_pristine(churn_with_resize(seed))
+
+
+@pytest.mark.parametrize("seed", [4, 9, 31, 47, 73, 2026])
+def test_elastic_serving_churn_leaves_no_trace(seed):
+    """A full elastic serving run (shrink + preempt + grow-back) tears
+    everything down: the scheduler-driven resize path leaks nothing."""
+    from repro.arch.config import sim_config as cfg
+    from repro.serving import (
+        ClusterScheduler,
+        DEFAULT_SLO_MIX,
+        generate_trace,
+    )
+    chip = Chip(cfg(16))
+    hypervisor = Hypervisor(chip)
+    scheduler = ClusterScheduler(chip, hypervisor, policy="priority",
+                                 elastic="shrink_then_preempt")
+    trace = generate_trace(seed, 30, max_cores=16,
+                           mean_interarrival_cycles=2_000_000,
+                           arrival_process="bursty",
+                           slo_mix=DEFAULT_SLO_MIX)
+    metrics = scheduler.serve(trace)
+    assert len(metrics.records) + metrics.rejected == len(trace)
+    assert_pristine(hypervisor)
+
+
+def test_resize_mapper_free_sets_stay_synced():
+    """notify_alloc/notify_free deltas survive resize churn: the mapper's
+    incremental free topology must equal a from-scratch rebuild."""
+    hypervisor = churn_with_resize(13, steps=40)
+    mapper = hypervisor.mapper
+    stats = mapper.cache_stats()
+    assert stats["free_updates"] > 0  # resizes actually used the deltas
+    # After total teardown the tracked free set must be the whole chip:
+    # any mapping request must see all 16 cores free.
+    vnpu = hypervisor.create_vnpu(
+        VNpuSpec("post-churn", MeshShape(4, 4), 64 * MB))
+    assert len(vnpu.physical_cores) == 16
+    hypervisor.destroy_vnpu(vnpu.vmid)
+    assert_pristine(hypervisor)
+
+
+class TestResizeSemantics:
+    def test_shrink_within_own_block_charges_reconfig_only(self):
+        """A shrink that fits the tenant's own cores is in place: the
+        data stays put, only the Fig-11 reconfiguration is charged."""
+        hv = Hypervisor(Chip(sim_config(16)))
+        vnpu = hv.create_vnpu(VNpuSpec("t", MeshShape(2, 3), 96 * MB))
+        old_cores = set(vnpu.physical_cores)
+        resized, cost = hv.resize_vnpu(
+            vnpu.vmid, VNpuSpec("t", MeshShape(1, 2), 32 * MB))
+        assert set(resized.physical_cores) <= old_cores
+        assert cost == resized.setup_cycles
+        assert resized.memory_bytes == 32 * MB
+        hv.destroy_vnpu(resized.vmid)
+        assert_pristine(hv)
+
+    def test_grow_keeps_vmid_and_updates_resources(self):
+        hv = Hypervisor(Chip(sim_config(16)))
+        vnpu = hv.create_vnpu(VNpuSpec("t", MeshShape(2, 2), 64 * MB))
+        resized, cost = hv.resize_vnpu(
+            vnpu.vmid, VNpuSpec("t", MeshShape(3, 3), 144 * MB))
+        assert resized.vmid == vnpu.vmid
+        assert resized.core_count == 9
+        assert resized.memory_bytes == 144 * MB
+        assert cost >= resized.setup_cycles
+        assert hv.vnpu(vnpu.vmid) is resized
+        hv.destroy_vnpu(resized.vmid)
+        assert_pristine(hv)
+
+    def test_relocated_resize_charges_data_movement(self):
+        """When the adjacent cores cannot host the grow, the fallback
+        re-place additionally pays the retained-memory copy."""
+        from repro.cost.charges import resize_cycles
+        config = sim_config(16)
+        in_place = resize_cycles(config, 64 * MB, 100, relocated=False)
+        relocated = resize_cycles(config, 64 * MB, 100, relocated=True)
+        assert in_place == 100
+        assert relocated > in_place
+
+    def test_failed_grow_leaves_vnpu_untouched(self):
+        """No room to grow -> AllocationError and zero mutation."""
+        hv = Hypervisor(Chip(sim_config(16)))
+        squatter = hv.create_vnpu(VNpuSpec("sq", MeshShape(3, 4), 32 * MB))
+        vnpu = hv.create_vnpu(VNpuSpec("t", MeshShape(1, 2), 16 * MB))
+        before_cores = list(vnpu.physical_cores)
+        before_free = hv.buddy.free_bytes
+        with pytest.raises(AllocationError):
+            hv.resize_vnpu(vnpu.vmid, VNpuSpec("t", MeshShape(3, 3), 48 * MB))
+        assert hv.vnpu(vnpu.vmid) is vnpu
+        assert vnpu.physical_cores == before_cores
+        assert hv.buddy.free_bytes == before_free
+        assert sorted(v.vmid for v in hv.vnpus) == sorted(
+            [squatter.vmid, vnpu.vmid])
+
+    def test_failed_memory_grow_restores_placement(self):
+        """Cores fit but memory does not: the teardown/provision cycle
+        must restore the original placement."""
+        hv = Hypervisor(Chip(sim_config(16)))
+        vnpu = hv.create_vnpu(VNpuSpec("t", MeshShape(2, 2), 64 * MB))
+        before_cores = list(vnpu.physical_cores)
+        too_much = hv.buddy.capacity * 2
+        with pytest.raises(AllocationError):
+            hv.resize_vnpu(vnpu.vmid, VNpuSpec("t", MeshShape(2, 3),
+                                               too_much))
+        restored = hv.vnpu(vnpu.vmid)
+        assert restored.physical_cores == before_cores
+        assert restored.memory_bytes == 64 * MB
+        hv.destroy_vnpu(restored.vmid)
+        assert_pristine(hv)
+
+    def test_resize_unknown_vmid_raises(self):
+        from repro.errors import HypervisorError
+        hv = Hypervisor(Chip(sim_config(16)))
+        with pytest.raises(HypervisorError):
+            hv.resize_vnpu(99, VNpuSpec("t", MeshShape(1, 2), 16 * MB))
+
+
 def test_failed_migration_leaves_source_untouched():
     """No destination room -> AllocationError and zero source mutation."""
     sim = Simulator()

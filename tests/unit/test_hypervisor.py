@@ -4,13 +4,12 @@ import pytest
 
 from repro.arch.chip import Chip
 from repro.arch.config import MB, fpga_config, sim_config
-from repro.arch.topology import MeshShape, Topology
+from repro.arch.topology import MeshShape
 from repro.core.hypervisor import GUEST_VA_BASE, Hypervisor
 from repro.core.routing_table import ShapedRoutingTable, StandardRoutingTable
 from repro.core.vnpu import VNpuSpec
 from repro.errors import (
     AllocationError,
-    ConfigError,
     HypervisorError,
     IsolationViolation,
 )

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.compiler.partitioner import Stage, partition
+from repro.compiler.partitioner import partition
 from repro.errors import CompilationError
 from repro.workloads import gpt2, resnet, transformer_block
 from repro.workloads.graph import Layer, ModelGraph

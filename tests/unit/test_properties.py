@@ -120,7 +120,6 @@ class TestFailureInjection:
         from repro.arch.dma import DmaEngine, TensorAccess
         from repro.core.vchunk import RangeTranslator
         from repro.errors import PermissionFault
-        from repro.mem.address_space import Translator
 
         translator = RangeTranslator()
         translator.map_range(0, 0, 0x1000, permissions="W")

@@ -45,6 +45,38 @@ GOLDEN_STICKY = (
     "c54327096dda46ac5cdb9765391246cb2111823b80cda855873f55de46710a97"
 )
 
+# -- elastic-era pins (PR 5): the appended draws get their own hashes ------
+
+GOLDEN_BURSTY_SLO = {
+    0: "b1c0042ee35870d3b00403ac2c1f9668e63c507c2bfd59cb8a753bfabbb26634",
+    7: "6110dc6975b4b5c137c371e15adf2e4472a43f2cf721b836817e75f052a17a77",
+    42: "f487f35327ac828140696f88808985d3c58e663640c7995bef64d92c7fb0cfee",
+}
+
+GOLDEN_DIURNAL = {
+    0: "2c4885b81e27d1f6583cc2299948c4e9997371c4d31ed7fcf777183b4bfba16b",
+    7: "172e526a3f04786ea29a2caf8831dfce72b30a68f1440d1d6b63ea26a6e08064",
+    42: "7dc4912e36396c1581497f1c073a39e7e72aa617443704600ea163a7fbba58f0",
+}
+
+GOLDEN_SLO_ONLY = (
+    "aea4e88ab91b3f0e900687c51f869b341c1a803e70dc586727b06c6c3ca01276"
+)
+
+GOLDEN_ELASTIC_FLEET = (
+    "21988a2fa3d268b42b579016bf2546f262b375a290fc8c39d3c148e92227e9f2"
+)
+
+
+def slo_trace_digest(trace, n=25) -> str:
+    """The original digest extended with the drawn SLO class."""
+    lines = [
+        f"{s.session_id}|{s.tenant}|{s.arrival_cycle}|{s.rows}x{s.cols}|"
+        f"{s.memory_bytes}|{s.model}|{s.inferences}|{s.priority}|{s.slo}"
+        for s in trace[:n]
+    ]
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()
+
 
 class TestGoldenTraces:
     def test_generate_trace_draw_order_pinned(self):
@@ -74,3 +106,72 @@ class TestGoldenTraces:
             "alexnet", "bert-base", "gpt2-small", "mobilenet",
             "resnet18", "resnet34", "yolo-lite",
         ]
+
+
+class TestElasticEraGoldenTraces:
+    """Pins for the PR-5 additions: bursty/diurnal arrivals + SLO mixes.
+
+    Two guarantees: (1) the *default* path re-deals identically (the
+    original ``GOLDEN_TRACE`` pins above stay untouched); (2) with the
+    new knobs on, each session's original ``(gap, shape, model,
+    inferences, priority)`` draws still come first — the appended SLO /
+    burst draws only shift *later* sessions' gaps, never reorder a
+    session's own deal.
+    """
+
+    def test_bursty_slo_draw_order_pinned(self):
+        from repro.serving import DEFAULT_SLO_MIX, generate_trace
+        for seed, expected in GOLDEN_BURSTY_SLO.items():
+            trace = generate_trace(seed, 40, arrival_process="bursty",
+                                   slo_mix=DEFAULT_SLO_MIX)
+            assert slo_trace_digest(trace) == expected, (
+                f"seed {seed}: bursty/slo draw order changed"
+            )
+
+    def test_diurnal_draw_order_pinned(self):
+        from repro.serving import generate_trace
+        for seed, expected in GOLDEN_DIURNAL.items():
+            trace = generate_trace(seed, 40, arrival_process="diurnal")
+            assert slo_trace_digest(trace) == expected, (
+                f"seed {seed}: diurnal gap modulation changed"
+            )
+
+    def test_slo_mix_draw_order_pinned(self):
+        from repro.serving import DEFAULT_SLO_MIX, generate_trace
+        trace = generate_trace(11, 40, slo_mix=DEFAULT_SLO_MIX)
+        assert slo_trace_digest(trace) == GOLDEN_SLO_ONLY
+
+    def test_elastic_fleet_trace_pinned(self):
+        from repro.serving import DEFAULT_SLO_MIX
+        trace = generate_fleet_trace(7, 40, chips=8, max_cores=16,
+                                     arrival_process="bursty",
+                                     slo_mix=DEFAULT_SLO_MIX)
+        assert slo_trace_digest(trace) == GOLDEN_ELASTIC_FLEET
+
+    def test_new_draws_appended_not_interleaved(self):
+        """Session 0's full original deal precedes any appended draw, and
+        the non-gap draws survive per-session for every session when no
+        *extra* draw shifts the stream (diurnal)."""
+        from repro.serving import DEFAULT_SLO_MIX, generate_trace
+        base = generate_trace(7, 40)
+        with_slo = generate_trace(7, 40, slo_mix=DEFAULT_SLO_MIX)
+        bursty = generate_trace(7, 40, arrival_process="bursty",
+                                slo_mix=DEFAULT_SLO_MIX)
+        diurnal = generate_trace(7, 40, arrival_process="diurnal")
+
+        def deal(s):
+            return (s.arrival_cycle, s.rows, s.cols, s.model,
+                    s.inferences, s.priority)
+
+        assert deal(base[0]) == deal(with_slo[0]) == deal(bursty[0])
+        # Diurnal adds zero draws: every session's deal is identical,
+        # only the (deterministically rescaled) arrival cycles move.
+        assert ([(s.rows, s.cols, s.model, s.inferences, s.priority)
+                 for s in diurnal]
+                == [(s.rows, s.cols, s.model, s.inferences, s.priority)
+                    for s in base])
+
+    def test_default_path_has_no_slo(self):
+        """Pre-SLO call signatures produce pre-SLO sessions."""
+        from repro.serving import generate_trace
+        assert all(s.slo == "" for s in generate_trace(3, 20))
