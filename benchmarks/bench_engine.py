@@ -1,0 +1,327 @@
+#!/usr/bin/env python
+"""Event-engine benchmark: calendar-queue throughput on four hot-path
+workload shapes, pinned by an events/s trajectory gate.
+
+Drives the :mod:`repro.sim.engine` calendar queue through the workload
+shapes that dominate every serving replay and emits two artifacts,
+mirroring the ``BENCH_cost`` split:
+
+- ``BENCH_engine.json`` — the *deterministic* digest: per-workload event
+  counts, dispatch mix (single-waiter / multi-waiter / no-waiter
+  events), bucket-sweep counts and peak bucket occupancy, and final
+  cycles. Byte-identical across runs (the CI determinism check).
+- ``BENCH_engine_timing.json`` — wall-clock events/s per workload
+  (median over repeats) plus the trajectory-gate verdict. Host timing is
+  inherently non-reproducible, so it lives outside the determinism-
+  checked artifact.
+
+Workloads:
+
+- ``timeout_hot_ab`` — the interleaved timeout-hot A/B stress from PR 3
+  (two process groups on different periods; 665k events/s on the heap
+  engine). This is the **gate workload**.
+- ``same_cycle_burst`` — broadcast fan-out: multi-waiter events joined
+  by ``all_of``, the bucket-sweep best case.
+- ``far_future_sparse`` — seeded far-future timeouts scattered over
+  distinct cycles, the calendar queue's singleton-bucket worst case.
+- ``resource_pipeline`` — FIFO ``Resource`` contention, stressing the
+  ``succeed`` scheduling path.
+
+The trajectory gate (``--gate``, run by CI) reads the floor pinned in
+``benchmarks/engine_floor.json`` and fails when the gate workload's
+median events/s drops more than the configured tolerance below it. The
+floor is updated only deliberately, in-repo — never auto-ratcheted from
+a CI measurement.
+
+Run:  PYTHONPATH=src python benchmarks/bench_engine.py [--quick] [--gate]
+      (or plainly ``python benchmarks/bench_engine.py`` — the script
+      bootstraps ``src`` onto ``sys.path`` itself)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import statistics
+import sys
+import time
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+for _entry in (str(_ROOT), str(_ROOT / "src")):
+    if _entry not in sys.path:
+        sys.path.insert(0, _entry)
+
+from benchmarks.common import Table, write_bench_json  # noqa: E402
+from repro.sim.engine import Simulator  # noqa: E402
+from repro.sim.resources import Resource  # noqa: E402
+
+FLOOR_PATH = Path(__file__).parent / "engine_floor.json"
+
+
+class CountingSimulator(Simulator):
+    """A Simulator whose drain loop counts dispatch structure.
+
+    The counters live in a subclass so the production loop stays
+    branch-free; the bench cross-checks ``now`` and bucket bookkeeping
+    against a plain run to keep this copy honest.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.events_dispatched = 0
+        self.single_callback = 0
+        self.multi_callback = 0
+        self.no_callback = 0
+        self.bucket_sweeps = 0
+        self.max_bucket = 0
+
+    def _drain(self, until: int | None) -> int:
+        cycle_heap = self._cycle_heap
+        buckets = self._buckets
+        from heapq import heappop
+        while cycle_heap:
+            cycle = cycle_heap[0]
+            if until is not None and cycle > until:
+                self.now = until
+                return self.now
+            heappop(cycle_heap)
+            self.now = cycle
+            self.bucket_sweeps += 1
+            bucket = buckets[cycle]
+            for event in bucket:
+                event._dispatched = True
+                self.events_dispatched += 1
+                callback = event._callback
+                if callback is None:
+                    self.no_callback += 1
+                    continue
+                callback(event)
+                extra = event._extra
+                if extra is None:
+                    self.single_callback += 1
+                else:
+                    self.multi_callback += 1
+                    for cb in extra:
+                        cb(event)
+            if len(bucket) > self.max_bucket:
+                self.max_bucket = len(bucket)
+            del buckets[cycle]
+        return self.now
+
+    def digest(self) -> dict:
+        return {
+            "bucket_sweeps": self.bucket_sweeps,
+            "events_dispatched": self.events_dispatched,
+            "final_cycle": self.now,
+            "max_bucket_occupancy": self.max_bucket,
+            "mix": {
+                "multi_waiter": self.multi_callback,
+                "no_waiter": self.no_callback,
+                "single_waiter": self.single_callback,
+            },
+        }
+
+
+# -- workload shapes ---------------------------------------------------------
+
+def timeout_hot_ab(sim: Simulator, scale: int) -> None:
+    """Interleaved timeout-hot A/B: the PR 3 engine stress (gate shape)."""
+    workers = 5 * scale
+
+    def worker_a(sim):
+        for _ in range(2000):
+            yield sim.timeout(1)
+
+    def worker_b(sim):
+        for _ in range(1000):
+            yield sim.timeout(2)
+
+    for _ in range(workers):
+        sim.process(worker_a(sim))
+        sim.process(worker_b(sim))
+
+
+def same_cycle_burst(sim: Simulator, scale: int) -> None:
+    """Broadcast fan-out: one multi-waiter event per round, all_of join."""
+    rounds, fanout = 30 * scale, 32
+
+    def waiter(sim, gate):
+        value = yield gate
+        return value
+
+    def driver(sim):
+        for round_index in range(rounds):
+            gate = sim.event(name="burst")
+            waiters = [sim.process(waiter(sim, gate)) for _ in range(fanout)]
+            gate.succeed(round_index)
+            yield sim.all_of(waiters)
+            yield sim.timeout(1)
+
+    sim.process(driver(sim))
+
+
+def far_future_sparse(sim: Simulator, scale: int) -> None:
+    """Seeded far-future timeouts: scattered, mostly-singleton buckets."""
+    workers, steps = 20 * scale, 250
+    rng = random.Random(0xC0FFEE)
+    delays = [[rng.randrange(1, 100_000) for _ in range(steps)]
+              for _ in range(workers)]
+
+    def worker(sim, plan):
+        for delay in plan:
+            yield sim.timeout(delay)
+
+    for plan in delays:
+        sim.process(worker(sim, plan))
+
+
+def resource_pipeline(sim: Simulator, scale: int) -> None:
+    """FIFO Resource contention: grants exercise the succeed path."""
+    contenders, grabs = 8 * scale, 100
+    resource = Resource(sim, capacity=2, name="link")
+
+    def contender(sim, occupancy):
+        for _ in range(grabs):
+            yield resource.acquire()
+            yield sim.timeout(occupancy)
+            resource.release()
+
+    for index in range(contenders):
+        sim.process(contender(sim, 1 + index % 3))
+
+
+WORKLOADS = (
+    ("timeout_hot_ab", timeout_hot_ab),
+    ("same_cycle_burst", same_cycle_burst),
+    ("far_future_sparse", far_future_sparse),
+    ("resource_pipeline", resource_pipeline),
+)
+
+#: The trajectory gate pins this workload's median events/s.
+GATE_WORKLOAD = "timeout_hot_ab"
+
+
+def run_workload(build, scale: int, repeats: int) -> tuple[dict, dict]:
+    """One counting run (digest) plus ``repeats`` timed plain runs."""
+    counting = CountingSimulator()
+    build(counting, scale)
+    counting.run()
+    digest = counting.digest()
+
+    rates = []
+    walls = []
+    for _ in range(repeats):
+        sim = Simulator()
+        build(sim, scale)
+        start = time.perf_counter()
+        sim.run()
+        wall = time.perf_counter() - start
+        if sim.now != digest["final_cycle"]:
+            raise AssertionError(
+                f"counting drain drifted from the engine: final cycle "
+                f"{sim.now} != {digest['final_cycle']}")
+        walls.append(wall)
+        rates.append(digest["events_dispatched"] / wall if wall else 0.0)
+    timing = {
+        "median_events_per_second": round(statistics.median(rates)),
+        "best_events_per_second": round(max(rates)),
+        "median_wall_seconds": round(statistics.median(walls), 4),
+        "repeats": repeats,
+    }
+    return digest, timing
+
+
+def load_floor() -> dict:
+    return json.loads(FLOOR_PATH.read_text())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=int, default=10,
+                        help="workload size multiplier (default: 10)")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timed runs per workload (default: 5)")
+    parser.add_argument("--quick", action="store_true",
+                        help="scale-2, 3-repeat smoke run (CI determinism)")
+    parser.add_argument("--gate", action="store_true",
+                        help="enforce the events/s trajectory gate against "
+                             "benchmarks/engine_floor.json")
+    parser.add_argument("--out", default=None,
+                        help="directory for BENCH_engine*.json "
+                             "(default: benchmarks/)")
+    args = parser.parse_args(argv)
+    scale = 2 if args.quick else args.scale
+    repeats = 3 if args.quick else args.repeats
+
+    digests: dict[str, dict] = {}
+    timings: dict[str, dict] = {}
+    for name, build in WORKLOADS:
+        digests[name] = {}
+        digest, timing = run_workload(build, scale, repeats)
+        digests[name] = digest
+        timings[name] = timing
+
+    payload = {
+        "config": {
+            "bench": "engine",
+            "gate_workload": GATE_WORKLOAD,
+            "repeats": repeats,
+            "scale": scale,
+        },
+        "workloads": digests,
+    }
+    path = write_bench_json("engine", payload, directory=args.out)
+
+    floor = load_floor()
+    gate_rate = timings[GATE_WORKLOAD]["median_events_per_second"]
+    gate_floor = floor["floor_events_per_second"]
+    tolerance = floor["tolerance"]
+    gate_minimum = gate_floor * (1.0 - tolerance)
+    gate_ok = gate_rate >= gate_minimum
+    timing_payload = {
+        "config": payload["config"],
+        "gate": {
+            "enforced": bool(args.gate),
+            "floor_events_per_second": gate_floor,
+            "median_events_per_second": gate_rate,
+            "minimum_events_per_second": round(gate_minimum),
+            "passed": gate_ok,
+            "tolerance": tolerance,
+            "workload": GATE_WORKLOAD,
+        },
+        "workloads": timings,
+    }
+    timing_dir = Path(args.out) if args.out else Path(__file__).parent
+    timing_path = timing_dir / "BENCH_engine_timing.json"
+    timing_path.write_text(
+        json.dumps(timing_payload, indent=2, sort_keys=True) + "\n")
+
+    table = Table(
+        f"Event engine — calendar queue, scale {scale}, {repeats} repeats",
+        ["workload", "events", "sweeps", "max bucket", "median events/s"],
+    )
+    for name, _build in WORKLOADS:
+        table.add(name, digests[name]["events_dispatched"],
+                  digests[name]["bucket_sweeps"],
+                  digests[name]["max_bucket_occupancy"],
+                  f"{timings[name]['median_events_per_second']:,}")
+    table.show()
+    print(f"gate workload {GATE_WORKLOAD}: {gate_rate:,} events/s median "
+          f"(floor {gate_floor:,}, tolerance {tolerance:.0%})")
+    print(f"wrote {path}")
+    print(f"wrote {timing_path}")
+
+    if args.gate and not gate_ok:
+        print(f"FAIL: {GATE_WORKLOAD} median {gate_rate:,} events/s is more "
+              f"than {tolerance:.0%} below the pinned floor of "
+              f"{gate_floor:,} events/s — engine throughput regressed "
+              f"(update benchmarks/engine_floor.json only for deliberate "
+              f"trade-offs)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

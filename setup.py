@@ -1,3 +1,34 @@
-from setuptools import setup
+"""Package metadata for the vNPU serving-stack reproduction.
 
-setup()
+The runtime dependency set is deliberately small: ``numpy`` and
+``scipy`` carry the vectorized mapper inner loops (Hungarian reward
+matrices via ``scipy.optimize.linear_sum_assignment``, multi-source
+BFS hop tables), and ``networkx`` backs the isomorphism checks in
+topology mapping. Test/benchmark tooling (pytest, hypothesis, ruff)
+stays out of ``install_requires`` — see README "Getting started".
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-vnpu",
+    version="0.6.0",
+    description=(
+        "Reproduction of an ISCA NPU-virtualization paper grown into an "
+        "event-driven multi-tenant vNPU serving stack"
+    ),
+    packages=find_packages("src"),
+    package_dir={"": "src"},
+    python_requires=">=3.11",
+    install_requires=[
+        "networkx>=3.0",
+        "numpy>=1.24",
+        "scipy>=1.10",
+    ],
+    classifiers=[
+        "Development Status :: 3 - Alpha",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3.11",
+        "Topic :: System :: Emulators",
+    ],
+)

@@ -1,0 +1,1 @@
+"""repro.analysis subpackage (regular package so ``pip install`` ships it)."""

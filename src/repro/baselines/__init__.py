@@ -1,0 +1,1 @@
+"""repro.baselines subpackage (regular package so ``pip install`` ships it)."""

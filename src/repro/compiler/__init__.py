@@ -1,0 +1,1 @@
+"""repro.compiler subpackage (regular package so ``pip install`` ships it)."""

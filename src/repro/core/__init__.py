@@ -1,0 +1,1 @@
+"""repro.core subpackage (regular package so ``pip install`` ships it)."""

@@ -222,14 +222,50 @@ def _closing_cost(t1, t2, order, assignment, costs):
 # Bipartite (Riesen-Bunke) approximation
 # ---------------------------------------------------------------------------
 
+def _pair_cost_block(t1: Topology, t2: Topology,
+                     costs: EditCosts) -> "np.ndarray | None":
+    """Vectorized substitution-plus-local-edge block of the reward matrix.
+
+    Returns the ``n1 x n2`` block built entirely with numpy broadcasting,
+    or ``None`` when either cost callable is customized (arbitrary Python
+    callables cannot be vectorized; callers fall back to the scalar
+    loop). Under the default costs every term is a dyadic rational and
+    each elementwise operation mirrors the scalar expression tree, so the
+    block is **bit-identical** to the loop-built one — the Hungarian
+    assignment, and hence the mapping, cannot drift.
+    """
+    if (costs.node_substitute is not _default_node_substitute
+            or costs.edge_delete is not _default_edge_cost):
+        return None
+    deg1 = np.array([t1.degree(u) for u in t1.nodes], dtype=np.float64)
+    deg2 = np.array([t2.degree(v) for v in t2.nodes], dtype=np.float64)
+    attrs1 = np.array([t1.attr(u) for u in t1.nodes], dtype=object)
+    attrs2 = np.array([t2.attr(v) for v in t2.nodes], dtype=object)
+    # Default node_substitute: a *tagged* source pays 1.0 iff the target's
+    # tag differs; untagged sources map anywhere for free.
+    sub = ((attrs1[:, None] != "") & (attrs1[:, None] != attrs2[None, :])
+           ).astype(np.float64)
+    diff = deg1[:, None] - deg2[None, :]
+    # deg1 > deg2: unit edge costs make adjacent_del == deg1, so the
+    # scalar's adjacent_del / max(deg1, 1) collapses to exactly 1.0
+    # (deg1 > deg2 >= 0 implies deg1 >= 1). deg2 > deg1 prices the
+    # degree excess as insertions, matching the scalar operation order.
+    local = np.where(diff > 0.0, 0.5 * diff, (0.5 * -diff) * costs.edge_insert)
+    return sub + local
+
+
 def bipartite_ged(t1: Topology, t2: Topology,
-                  costs: EditCosts | None = None) -> float:
+                  costs: EditCosts | None = None,
+                  vectorize: bool = True) -> float:
     """Upper-bound edit distance via Hungarian node assignment.
 
     The cost matrix prices each node pair with its substitution cost plus
     half the local edge mismatch (each edge is shared by two endpoints);
     deletions/insertions carry their adjacent edges. The winning
     assignment is then re-priced exactly with :func:`induced_edit_cost`.
+    ``vectorize=False`` forces the scalar reference loop (the identity
+    oracle); vectorization also falls back automatically on custom cost
+    callables.
     """
     costs = costs or EditCosts()
     nodes1, nodes2 = t1.nodes, t2.nodes
@@ -238,26 +274,39 @@ def bipartite_ged(t1: Topology, t2: Topology,
     big = 1e18
     matrix = np.full((size, size), 0.0)
 
-    for i, u in enumerate(nodes1):
-        deg1 = t1.degree(u)
-        adjacent_del = sum(
-            costs.edge_del(t1, u, nbr) for nbr in t1.neighbors(u)
-        )
+    block = _pair_cost_block(t1, t2, costs) if vectorize and n1 and n2 \
+        else None
+    if block is not None:
+        deg1 = np.array([t1.degree(u) for u in nodes1], dtype=np.float64)
+        deg2 = np.array([t2.degree(v) for v in nodes2], dtype=np.float64)
+        matrix[:n1, :n2] = block
+        matrix[:n1, n2:] = big
+        matrix[:n1, n2:][np.arange(n1), np.arange(n1)] = \
+            costs.node_delete + 0.5 * deg1
+        matrix[n1:, :n2] = big
+        matrix[n1:, :n2][np.arange(n2), np.arange(n2)] = \
+            costs.node_insert + (0.5 * deg2) * costs.edge_insert
+    else:
+        for i, u in enumerate(nodes1):
+            deg1 = t1.degree(u)
+            adjacent_del = sum(
+                costs.edge_del(t1, u, nbr) for nbr in t1.neighbors(u)
+            )
+            for j, v in enumerate(nodes2):
+                deg2 = t2.degree(v)
+                local = 0.0
+                if deg1 > deg2:
+                    # Some of u's edges will have no counterpart.
+                    local += 0.5 * (deg1 - deg2) * (adjacent_del / max(deg1, 1))
+                elif deg2 > deg1:
+                    local += 0.5 * (deg2 - deg1) * costs.edge_insert
+                matrix[i, j] = costs.node_sub(t1, u, t2, v) + local
+            matrix[i, n2:] = big
+            matrix[i, n2 + i] = costs.node_delete + 0.5 * adjacent_del
         for j, v in enumerate(nodes2):
-            deg2 = t2.degree(v)
-            local = 0.0
-            if deg1 > deg2:
-                # Some of u's edges will have no counterpart.
-                local += 0.5 * (deg1 - deg2) * (adjacent_del / max(deg1, 1))
-            elif deg2 > deg1:
-                local += 0.5 * (deg2 - deg1) * costs.edge_insert
-            matrix[i, j] = costs.node_sub(t1, u, t2, v) + local
-        matrix[i, n2:] = big
-        matrix[i, n2 + i] = costs.node_delete + 0.5 * adjacent_del
-    for j, v in enumerate(nodes2):
-        matrix[n1:, j] = big
-        matrix[n1 + j, j] = (costs.node_insert
-                             + 0.5 * t2.degree(v) * costs.edge_insert)
+            matrix[n1:, j] = big
+            matrix[n1 + j, j] = (costs.node_insert
+                                 + 0.5 * t2.degree(v) * costs.edge_insert)
     matrix[n1:, n2:] = 0.0
 
     rows, cols = linear_sum_assignment(matrix)
@@ -269,12 +318,17 @@ def bipartite_ged(t1: Topology, t2: Topology,
 
 
 def best_bijection(t1: Topology, t2: Topology,
-                   costs: EditCosts | None = None) -> tuple[float, dict[int, int]]:
+                   costs: EditCosts | None = None,
+                   vectorize: bool = True) -> tuple[float, dict[int, int]]:
     """Minimum-cost *bijective* node mapping between equal-sized topologies.
 
     This is what core allocation needs (requirement R-1 fixes the node
     count): a Hungarian assignment over substitution-plus-local-edge
     costs, re-priced exactly. Returns ``(cost, mapping t1-node -> t2-node)``.
+    The reward matrix is built with numpy broadcasting
+    (:func:`_pair_cost_block`, bit-identical to the loop) unless
+    ``vectorize=False`` selects the scalar reference loop or a custom
+    cost callable forces it.
     """
     costs = costs or EditCosts()
     if t1.node_count != t2.node_count:
@@ -283,27 +337,30 @@ def best_bijection(t1: Topology, t2: Topology,
         )
     nodes1, nodes2 = t1.nodes, t2.nodes
     n = len(nodes1)
-    matrix = np.zeros((n, n))
-    for i, u in enumerate(nodes1):
-        deg1 = t1.degree(u)
-        adjacent_del = sum(
-            costs.edge_del(t1, u, nbr) for nbr in t1.neighbors(u)
-        )
-        for j, v in enumerate(nodes2):
-            deg2 = t2.degree(v)
-            local = 0.0
-            if deg1 > deg2:
-                local += 0.5 * (deg1 - deg2) * (adjacent_del / max(deg1, 1))
-            elif deg2 > deg1:
-                local += 0.5 * (deg2 - deg1) * costs.edge_insert
-            matrix[i, j] = costs.node_sub(t1, u, t2, v) + local
+    matrix = _pair_cost_block(t1, t2, costs) if vectorize and n else None
+    if matrix is None:
+        matrix = np.zeros((n, n))
+        for i, u in enumerate(nodes1):
+            deg1 = t1.degree(u)
+            adjacent_del = sum(
+                costs.edge_del(t1, u, nbr) for nbr in t1.neighbors(u)
+            )
+            for j, v in enumerate(nodes2):
+                deg2 = t2.degree(v)
+                local = 0.0
+                if deg1 > deg2:
+                    local += 0.5 * (deg1 - deg2) * (adjacent_del / max(deg1, 1))
+                elif deg2 > deg1:
+                    local += 0.5 * (deg2 - deg1) * costs.edge_insert
+                matrix[i, j] = costs.node_sub(t1, u, t2, v) + local
     rows, cols = linear_sum_assignment(matrix)
     mapping = {nodes1[row]: nodes2[col] for row, col in zip(rows, cols)}
     return induced_edit_cost(t1, t2, mapping, costs), mapping
 
 
 def bijection_lower_bound(t1: Topology, t2: Topology,
-                          costs: EditCosts | None = None) -> float:
+                          costs: EditCosts | None = None,
+                          vectorize: bool = True) -> float:
     """Admissible lower bound on any bijection's induced edit cost.
 
     The topology mapper screens candidate core sets with this before
@@ -330,14 +387,26 @@ def bijection_lower_bound(t1: Topology, t2: Topology,
     if t1.node_count == 0:
         return 0.0
     node_term = _node_assignment_lower_bound(t1, t2, costs)
-    s1 = sorted(t1.degree(node) for node in t1.nodes)
-    s2 = sorted(t2.degree(node) for node in t2.nodes)
-    matchable = sum(min(a, b) for a, b in zip(s1, s2)) // 2
+    if vectorize:
+        # Same integers, numpy-sorted: sort/min/sum on int64 is exact,
+        # so the bound is identical to the scalar loop's.
+        s1 = np.sort(np.array([t1.degree(node) for node in t1.nodes],
+                              dtype=np.int64))
+        s2 = np.sort(np.array([t2.degree(node) for node in t2.nodes],
+                              dtype=np.int64))
+        matchable = int(np.minimum(s1, s2).sum()) // 2
+    else:
+        s1 = sorted(t1.degree(node) for node in t1.nodes)
+        s2 = sorted(t2.degree(node) for node in t2.nodes)
+        matchable = sum(min(a, b) for a, b in zip(s1, s2)) // 2
     deletions = max(0, t1.edge_count - matchable)
     insertions = max(0, t2.edge_count - matchable)
     edge_term = insertions * costs.edge_insert
     if deletions:
-        cheapest = min(costs.edge_del(t1, u, v) for u, v in t1.edges)
+        if vectorize and costs.edge_delete is _default_edge_cost:
+            cheapest = 1.0  # every request edge prices identically
+        else:
+            cheapest = min(costs.edge_del(t1, u, v) for u, v in t1.edges)
         edge_term += deletions * cheapest
     return node_term + edge_term
 

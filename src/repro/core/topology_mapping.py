@@ -41,7 +41,13 @@ reference implementation for equivalence checks and perf regressions):
   best-so-far early exit across refinement seeds. Deltas are used only
   when the edit costs are provably dyadic (the defaults are); exotic
   float costs fall back to the full-recompute refine so accept/reject
-  decisions — and hence results — never drift.
+  decisions — and hence results — never drift;
+- *numpy-vectorized inner loops* — Hungarian reward matrices and
+  admissible lower bounds are built with broadcasting
+  (:func:`~repro.core.ged._pair_cost_block`, bit-identical to the scalar
+  loops under the default dyadic costs), and hop tables come from one
+  multi-source matrix-BFS instead of per-node Python BFS. Custom cost
+  callables automatically fall back to the scalar loops.
 
 Both paths return identical ``(distance, vmap)`` results; the
 equivalence is enforced by property tests and the
@@ -65,6 +71,7 @@ from repro.core.ged import (
 from repro.errors import AllocationError, TopologyError, TopologyLockIn
 
 import networkx as nx
+import numpy as np
 
 
 @dataclass
@@ -604,7 +611,8 @@ class TopologyMapper:
             best: tuple[float, Topology, dict[int, int]] | None = None
             for candidate in candidates:  # line 30-32 (serial here)
                 distance, mapping = best_bijection(request, candidate,
-                                                   self.costs)
+                                                   self.costs,
+                                                   vectorize=False)
                 if best is None or distance < best[0]:
                     best = (distance, candidate, mapping)
             _distance, candidate, mapping = best
@@ -616,10 +624,16 @@ class TopologyMapper:
 
     def _scored(self, request_key: tuple, request: Topology,
                 candidate: Topology) -> tuple[float, dict[int, int]]:
-        """Hungarian score + mapping, memoized per (request, candidate)."""
+        """Hungarian score + mapping, memoized per (request, candidate).
+
+        The fast path builds the Hungarian reward matrix with numpy
+        broadcasting (bit-identical to the scalar loop, so the
+        assignment — and hence the mapping — cannot drift).
+        """
         distance, mapping = self._memoized(
             self._score_memo, (request_key, frozenset(candidate.nodes)),
-            lambda: best_bijection(request, candidate, self.costs))
+            lambda: best_bijection(request, candidate, self.costs,
+                                   vectorize=True))
         return distance, dict(mapping)
 
     def _select_screened(self, request_key: tuple, request: Topology,
@@ -639,7 +653,7 @@ class TopologyMapper:
             self._memoized(
                 self._bound_memo, (request_key, frozenset(candidate.nodes)),
                 lambda candidate=candidate: bijection_lower_bound(
-                    request, candidate, self.costs))
+                    request, candidate, self.costs, vectorize=True))
             for candidate in candidates
         ]
         order = sorted(range(len(candidates)), key=lambda i: (bounds[i], i))
@@ -705,6 +719,7 @@ class TopologyMapper:
 
     @staticmethod
     def _all_pairs_hops(topology: Topology) -> dict[int, dict[int, int]]:
+        """Reference hop table: one Python BFS per source node."""
         hops: dict[int, dict[int, int]] = {}
         for start in topology.nodes:
             dist = {start: 0}
@@ -718,11 +733,53 @@ class TopologyMapper:
             hops[start] = dist
         return hops
 
+    @staticmethod
+    def _all_pairs_hops_vectorized(topology: Topology) -> dict[int, dict[int, int]]:
+        """Hop table via one vectorized multi-source BFS (fast path).
+
+        A boolean frontier matrix (one row per source) is advanced by
+        adjacency matmul, levelling every source's BFS in lockstep —
+        the per-node Python BFS loop becomes ``O(diameter)`` numpy ops.
+        Hop counts are integers, so the table equals
+        :meth:`_all_pairs_hops` exactly (unreachable pairs are absent
+        from both); only dict insertion order may differ, which no
+        consumer observes.
+        """
+        nodes = topology.nodes
+        n = len(nodes)
+        if n == 0:
+            return {}
+        index = {node: i for i, node in enumerate(nodes)}
+        adjacency = np.zeros((n, n), dtype=np.int64)
+        for u, v in topology.edges:
+            i, j = index[u], index[v]
+            adjacency[i, j] = 1
+            adjacency[j, i] = 1
+        dist = np.full((n, n), -1, dtype=np.int64)
+        frontier = np.eye(n, dtype=bool)
+        reached = frontier.copy()
+        dist[frontier] = 0
+        level = 0
+        while True:
+            frontier = ((frontier @ adjacency) > 0) & ~reached
+            if not frontier.any():
+                break
+            level += 1
+            dist[frontier] = level
+            reached |= frontier
+        return {
+            u: {nodes[j]: int(dist[i, j])
+                for j in np.flatnonzero(dist[i] >= 0)}
+            for i, u in enumerate(nodes)
+        }
+
     @property
     def chip_hops(self) -> dict[int, dict[int, int]]:
         """Chip-level all-pairs hop table, computed once per mapper."""
         if self._chip_hops is None:
-            self._chip_hops = self._all_pairs_hops(self.chip)
+            build = (self._all_pairs_hops_vectorized if self.fast_path
+                     else self._all_pairs_hops)
+            self._chip_hops = build(self.chip)
         return self._chip_hops
 
     def _candidate_hops(self, candidate: Topology) -> dict[int, dict[int, int]]:
@@ -743,7 +800,7 @@ class TopologyMapper:
                 nodes = candidate.nodes
                 return {u: {v: chip_hops[u][v] for v in nodes}
                         for u in nodes}
-            return self._all_pairs_hops(candidate)
+            return self._all_pairs_hops_vectorized(candidate)
         return self._memoized(self._hops_memo, frozenset(candidate.nodes),
                               build)
 
@@ -898,7 +955,8 @@ class TopologyMapper:
             chosen.extend(ordered[:take])
             remaining -= fragment
         candidate = free.subtopology(chosen)
-        distance, mapping = best_bijection(request, candidate, self.costs)
+        distance, mapping = best_bijection(request, candidate, self.costs,
+                                           vectorize=self.fast_path)
         return MappingResult(
             strategy="fragmented", vmap=mapping, distance=distance,
             connected=self.chip.is_connected(set(chosen)),

@@ -1,0 +1,1 @@
+"""repro.isa subpackage (regular package so ``pip install`` ships it)."""

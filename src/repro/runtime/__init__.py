@@ -1,0 +1,1 @@
+"""repro.runtime subpackage (regular package so ``pip install`` ships it)."""

@@ -54,7 +54,7 @@ from repro.serving.slo import (
 from repro.serving.workload import MODEL_BUILDERS, TenantSession  # noqa: F401  (re-export)
 
 
-@dataclass
+@dataclass(slots=True)
 class PendingSession:
     """A queued arrival; ``blocked`` marks a failed placement attempt.
 
@@ -76,7 +76,7 @@ class PendingSession:
     relief_exhausted: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class ActiveSession:
     session: TenantSession
     vmid: int

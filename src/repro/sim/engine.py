@@ -15,6 +15,21 @@ The design intentionally mirrors a tiny subset of SimPy:
 - :meth:`Simulator.run` drives the event loop until no events remain, a
   deadline is reached, or every process has finished.
 
+Scheduler data structure
+------------------------
+Events live in a **calendar queue**: one FIFO bucket (a plain list) per
+distinct cycle, plus a min-heap of the occupied cycles. Dispatch order is
+the exact ``(cycle, sequence)`` total order of the original binary-heap
+engine — all events at cycle *c* fire before any at *c' > c*, and within
+one cycle events fire in scheduling order, because appends to a bucket
+happen in sequence order by construction. The win over a heap: one heap
+operation per *occupied cycle* instead of two per *event*, so same-cycle
+bursts (the serving schedulers' timeout-hot loops, broadcast fan-outs)
+are drained in a single bucket sweep. Events scheduled *at the current
+cycle from inside the sweep* (zero timeouts, ``succeed`` at ``now``) are
+appended to the live bucket and drained by the same sweep, exactly as
+the heap dispatched them.
+
 Example
 -------
 >>> sim = Simulator()
@@ -30,9 +45,8 @@ Example
 
 from __future__ import annotations
 
-import heapq
-import itertools
 from collections.abc import Generator
+from heapq import heappop, heappush
 from typing import Any
 
 from repro.errors import SimulationError
@@ -46,14 +60,21 @@ class Event:
     An event is *triggered* at most once, optionally carrying a value.
     Any number of processes may wait on the same event; all are resumed
     (in registration order) when it fires.
+
+    Waiters are stored in a single ``_callback`` slot with an ``_extra``
+    overflow list: nearly every event on the hot path (timeouts, process
+    completions, resource grants) has exactly one waiter, so the common
+    case allocates no list at all.
     """
 
-    __slots__ = ("sim", "_callbacks", "triggered", "_dispatched", "value", "name")
+    __slots__ = ("sim", "_callback", "_extra", "triggered", "_dispatched",
+                 "value", "name")
 
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
         self.name = name
-        self._callbacks: list = []
+        self._callback = None
+        self._extra: list | None = None
         self.triggered = False
         self._dispatched = False
         self.value: Any = None
@@ -64,7 +85,18 @@ class Event:
             raise SimulationError(f"event {self.name!r} triggered twice")
         self.triggered = True
         self.value = value
-        self.sim._schedule(self.sim.now, self)
+        # Inlined self.sim._schedule(self.sim.now, self): succeed fires on
+        # every process completion and resource grant, so the extra method
+        # call is measurable engine-wide.
+        sim = self.sim
+        cycle = sim.now
+        buckets = sim._buckets
+        bucket = buckets.get(cycle)
+        if bucket is None:
+            buckets[cycle] = [self]
+            heappush(sim._cycle_heap, cycle)
+        else:
+            bucket.append(self)
         return self
 
     def add_callback(self, callback) -> None:
@@ -76,10 +108,14 @@ class Event:
         """
         if self._dispatched:
             proxy = Event(self.sim, name=f"late:{self.name}")
-            proxy._callbacks.append(callback)
+            proxy._callback = callback
             proxy.succeed(self.value)
+        elif self._callback is None:
+            self._callback = callback
+        elif self._extra is None:
+            self._extra = [callback]
         else:
-            self._callbacks.append(callback)
+            self._extra.append(callback)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "triggered" if self.triggered else "pending"
@@ -95,18 +131,28 @@ class Timeout(Event):
         if delay < 0:
             raise SimulationError(f"negative timeout: {delay}")
         # Timeouts are the hot path (every compute/DMA/NoC wait makes
-        # one); inlining Event.__init__ here — constant name, no super()
-        # call — is worth ~25% engine throughput. Kept in lockstep with
-        # Event by test_sim_engine's slot-initialization check: a new
-        # Event field must be initialized here too.
+        # one); inlining Event.__init__ *and* the bucket insertion here —
+        # constant name, no super() call, no method dispatch — is worth
+        # ~25% engine throughput. Kept in lockstep with Event by
+        # test_sim_engine's slot-initialization check: a new Event field
+        # must be initialized here too.
         self.sim = sim
         self.name = "timeout"
-        self._callbacks = []
+        self._callback = None
+        self._extra = None
         self.triggered = True
         self._dispatched = False
         self.value = None
-        self.delay = int(delay)
-        sim._schedule(sim.now + self.delay, self)
+        delay = int(delay)
+        self.delay = delay
+        cycle = sim.now + delay
+        buckets = sim._buckets
+        bucket = buckets.get(cycle)
+        if bucket is None:
+            buckets[cycle] = [self]
+            heappush(sim._cycle_heap, cycle)
+        else:
+            bucket.append(self)
 
 
 class Process(Event):
@@ -114,22 +160,28 @@ class Process(Event):
 
     The value of the event is the generator's return value (``StopIteration``
     payload), so processes can be joined with ``result = yield other_proc``.
+
+    ``_send`` and ``_resume_cb`` cache the generator's bound ``send`` and
+    this process's bound ``_resume``: both would otherwise be re-created
+    on every event the process waits on.
     """
 
-    __slots__ = ("generator", "alive")
+    __slots__ = ("generator", "alive", "_send", "_resume_cb")
 
     def __init__(self, sim: "Simulator", generator: ProcessGenerator, name: str = "") -> None:
         super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
         self.generator = generator
         self.alive = True
+        self._send = generator.send
+        self._resume_cb = self._resume
         # Kick off the process at the current cycle.
         bootstrap = Event(sim, name=f"start:{self.name}")
-        bootstrap.add_callback(self._resume)
+        bootstrap._callback = self._resume_cb
         bootstrap.succeed()
 
     def _resume(self, event: Event) -> None:
         try:
-            target = self.generator.send(event.value)
+            target = self._send(event.value)
         except StopIteration as stop:
             self.alive = False
             self.succeed(stop.value)
@@ -138,16 +190,56 @@ class Process(Event):
             raise SimulationError(
                 f"process {self.name!r} yielded {target!r}; expected an Event"
             )
-        target.add_callback(self._resume)
+        target.add_callback(self._resume_cb)
+
+
+class _AllOfState:
+    """Countdown shared by one ``all_of`` gate: a plain int decrement."""
+
+    __slots__ = ("gate", "results", "remaining")
+
+    def __init__(self, gate: Event, count: int) -> None:
+        self.gate = gate
+        self.results: list[Any] = [None] * count
+        self.remaining = count
+
+
+class _AllOfWaiter:
+    """Per-event callback for ``all_of`` — a ``__slots__`` callable.
+
+    Replaces the previous dict-based countdown closure (one dict plus one
+    closure cell per gate, one closure per event) on the broadcast hot
+    path with two fixed-slot objects and an int decrement.
+    """
+
+    __slots__ = ("state", "index")
+
+    def __init__(self, state: _AllOfState, index: int) -> None:
+        self.state = state
+        self.index = index
+
+    def __call__(self, event: Event) -> None:
+        state = self.state
+        state.results[self.index] = event.value
+        state.remaining -= 1
+        if not state.remaining:
+            state.gate.succeed(state.results)
 
 
 class Simulator:
-    """The event loop: a priority queue of (cycle, sequence, event)."""
+    """The event loop: a calendar queue of per-cycle FIFO buckets.
+
+    ``_buckets`` maps cycle -> list of events scheduled for that cycle in
+    scheduling (sequence) order; ``_cycle_heap`` is a min-heap of the
+    occupied cycles. A cycle is pushed exactly once (when its bucket is
+    created) and popped exactly once (when its bucket is drained), so the
+    heap never holds duplicates or stale entries.
+    """
 
     def __init__(self) -> None:
         self.now: int = 0
-        self._queue: list[tuple[int, int, Event]] = []
-        self._sequence = itertools.count()
+        self._buckets: dict[int, list[Event]] = {}
+        self._cycle_heap: list[int] = []
         self._processes: list[Process] = []
 
     # -- construction -----------------------------------------------------
@@ -167,47 +259,79 @@ class Simulator:
 
     # -- scheduling --------------------------------------------------------
     def _schedule(self, cycle: int, event: Event) -> None:
-        heapq.heappush(self._queue, (cycle, next(self._sequence), event))
+        """Append ``event`` to the cycle's bucket (creating it if needed).
+
+        The hot constructors (``Timeout.__init__``, ``Event.succeed``)
+        inline this body; keep them in lockstep when changing it.
+        """
+        bucket = self._buckets.get(cycle)
+        if bucket is None:
+            self._buckets[cycle] = [event]
+            heappush(self._cycle_heap, cycle)
+        else:
+            bucket.append(event)
+
+    def _drain(self, until: int | None) -> int:
+        """Dispatch buckets in cycle order; the shared engine core.
+
+        Each occupied cycle is drained in one sweep: iterating the bucket
+        list picks up events appended *during* the sweep (re-entrant
+        same-cycle scheduling), which is exactly where the heap engine
+        would have dispatched them. Does not advance ``now`` past the
+        last dispatched cycle when the queue empties — callers decide
+        whether the deadline is a target time (:meth:`run`) or a safety
+        horizon (:meth:`run_until_processes_done`).
+        """
+        cycle_heap = self._cycle_heap
+        buckets = self._buckets
+        if until is None:
+            while cycle_heap:
+                cycle = heappop(cycle_heap)
+                self.now = cycle
+                bucket = buckets[cycle]
+                for event in bucket:
+                    event._dispatched = True
+                    callback = event._callback
+                    if callback is not None:
+                        callback(event)
+                        extra = event._extra
+                        if extra is not None:
+                            for cb in extra:
+                                cb(event)
+                del buckets[cycle]
+            return self.now
+        while cycle_heap:
+            cycle = cycle_heap[0]
+            if cycle > until:
+                self.now = until
+                return self.now
+            heappop(cycle_heap)
+            self.now = cycle
+            bucket = buckets[cycle]
+            for event in bucket:
+                event._dispatched = True
+                callback = event._callback
+                if callback is not None:
+                    callback(event)
+                    extra = event._extra
+                    if extra is not None:
+                        for cb in extra:
+                            cb(event)
+            del buckets[cycle]
+        return self.now
 
     def run(self, until: int | None = None) -> int:
         """Drive the loop; returns the final cycle.
 
         ``until`` bounds simulated time; events scheduled beyond it remain
-        queued (useful for sampling a steady state).
+        queued (useful for sampling a steady state). After a bounded run
+        the clock always reads ``until`` — even when the queue drained
+        early — so steady-state sampling loops never observe a stale
+        ``now`` (SimPy semantics).
         """
-        queue = self._queue
-        pop = heapq.heappop
-        if until is None:
-            # Unbounded fast path: pop directly (no peek-then-pop double
-            # heap access) and resume the common single-waiter case
-            # without the generic callback loop.
-            while queue:
-                cycle, _seq, event = pop(queue)
-                self.now = cycle
-                callbacks = event._callbacks
-                event._callbacks = []
-                event._dispatched = True
-                if len(callbacks) == 1:
-                    callbacks[0](event)
-                else:
-                    for callback in callbacks:
-                        callback(event)
-            return self.now
-        while queue:
-            cycle = queue[0][0]
-            if cycle > until:
-                self.now = until
-                return self.now
-            _, _seq, event = pop(queue)
-            self.now = cycle
-            callbacks = event._callbacks
-            event._callbacks = []
-            event._dispatched = True
-            if len(callbacks) == 1:
-                callbacks[0](event)
-            else:
-                for callback in callbacks:
-                    callback(event)
+        final = self._drain(until)
+        if until is not None and final < until:
+            self.now = until
         return self.now
 
     def run_until_processes_done(self, limit: int = 10_000_000_000) -> int:
@@ -215,8 +339,12 @@ class Simulator:
 
         Raises :class:`SimulationError` if the queue drains while some
         process is still alive (a wait that nobody will ever satisfy).
+        ``limit`` is a safety horizon, not a target time: when the queue
+        drains early the clock stays at the last dispatched cycle (so
+        makespans and deadlock reports name the real final cycle, not the
+        horizon).
         """
-        self.run(until=limit)
+        self._drain(limit)
         stuck = [p.name for p in self._processes if p.alive]
         if stuck:
             raise SimulationError(
@@ -231,21 +359,10 @@ class Simulator:
     def all_of(self, events: list[Event], name: str = "all_of") -> Event:
         """An event that fires once every event in ``events`` has fired."""
         gate = self.event(name=name)
-        remaining = {"count": len(events)}
-        if remaining["count"] == 0:
+        if not events:
             gate.succeed([])
             return gate
-        results: list[Any] = [None] * len(events)
-
-        def make_callback(index: int):
-            def _cb(ev: Event) -> None:
-                results[index] = ev.value
-                remaining["count"] -= 1
-                if remaining["count"] == 0:
-                    gate.succeed(results)
-
-            return _cb
-
+        state = _AllOfState(gate, len(events))
         for index, ev in enumerate(events):
-            ev.add_callback(make_callback(index))
+            ev.add_callback(_AllOfWaiter(state, index))
         return gate

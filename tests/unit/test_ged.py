@@ -8,6 +8,7 @@ from repro.arch.topology import Topology
 from repro.core.ged import (
     EditCosts,
     best_bijection,
+    bijection_lower_bound,
     bipartite_ged,
     exact_ged,
     ged,
@@ -214,3 +215,74 @@ def test_property_bipartite_upper_bounds_exact(seed, n):
     a = small_topology(seed, n)
     b = small_topology(seed + 7, n)
     assert bipartite_ged(a, b) >= exact_ged(a, b) - 1e-9
+
+
+def tagged_topology(seed: int, n: int) -> Topology:
+    """Like :func:`small_topology` but with a pseudo-random tag mix."""
+    base = small_topology(seed, n)
+    tags = ("", "mem", "sa", "vu")
+    attrs = {node: tags[(seed + node * 3) % len(tags)]
+             for node in base.nodes}
+    attrs = {node: tag for node, tag in attrs.items() if tag}
+    return Topology(base.nodes, base.edges, node_attrs=attrs)
+
+
+class TestVectorizedIdentity:
+    """The numpy reward-matrix block must be *bit-identical* to the
+    scalar reference loop — ``vectorize=False`` is the property-tested
+    oracle the fast path is judged against."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed1=st.integers(0, 1000), seed2=st.integers(0, 1000),
+           n=st.integers(1, 9))
+    def test_best_bijection_matches_scalar_oracle(self, seed1, seed2, n):
+        a = tagged_topology(seed1, n)
+        b = tagged_topology(seed2, n)
+        fast_cost, fast_map = best_bijection(a, b, vectorize=True)
+        slow_cost, slow_map = best_bijection(a, b, vectorize=False)
+        assert fast_cost == slow_cost  # exact float equality, no epsilon
+        assert fast_map == slow_map
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed1=st.integers(0, 1000), seed2=st.integers(0, 1000),
+           n1=st.integers(1, 8), n2=st.integers(1, 8))
+    def test_bipartite_ged_matches_scalar_oracle(self, seed1, seed2, n1, n2):
+        a = tagged_topology(seed1, n1)
+        b = tagged_topology(seed2, n2)
+        assert (bipartite_ged(a, b, vectorize=True)
+                == bipartite_ged(a, b, vectorize=False))
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed1=st.integers(0, 1000), seed2=st.integers(0, 1000),
+           n=st.integers(1, 9))
+    def test_lower_bound_matches_scalar_oracle(self, seed1, seed2, n):
+        a = tagged_topology(seed1, n)
+        b = tagged_topology(seed2, n)
+        fast = bijection_lower_bound(a, b, vectorize=True)
+        slow = bijection_lower_bound(a, b, vectorize=False)
+        assert fast == slow
+        # Admissibility must survive vectorization.
+        exact_cost, _ = best_bijection(a, b)
+        assert fast <= exact_cost + 1e-9
+
+    def test_custom_costs_fall_back_to_scalar_loop(self):
+        # A custom callable cannot be broadcast; vectorize=True must
+        # silently take the reference loop, not crash or drift.
+        a = small_topology(3, 6)
+        b = small_topology(11, 6)
+
+        def pricey(topology, u, v):
+            return 2.5
+
+        costs = EditCosts(edge_delete=pricey)
+        assert (best_bijection(a, b, costs, vectorize=True)
+                == best_bijection(a, b, costs, vectorize=False))
+        assert (bipartite_ged(a, b, costs, vectorize=True)
+                == bipartite_ged(a, b, costs, vectorize=False))
+        assert (bijection_lower_bound(a, b, costs, vectorize=True)
+                == bijection_lower_bound(a, b, costs, vectorize=False))
+
+    def test_empty_topology(self):
+        empty = Topology([], [])
+        assert bipartite_ged(empty, empty, vectorize=True) == 0.0
+        assert bijection_lower_bound(empty, empty, vectorize=True) == 0.0

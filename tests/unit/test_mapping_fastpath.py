@@ -408,3 +408,41 @@ class TestPerfHarness:
         assert deterministic["equivalence"]["mismatches"] == 0
         assert deterministic["pruning_accounted"]
         assert report["timing"]["fast_seconds"] >= 0.0
+
+
+class TestHopTableIdentity:
+    """The multi-source matrix-BFS hop table must equal the per-node
+    Python BFS dict-for-dict (unreachable pairs absent from both)."""
+
+    @staticmethod
+    def _random_topology(seed, n, connect_prob=0.25):
+        rng = random.Random(seed)
+        nodes = list(range(n))
+        edges = []
+        for u in range(n):
+            for v in range(u + 1, n):
+                if rng.random() < connect_prob:
+                    edges.append((u, v))
+        return Topology(nodes, edges)
+
+    def test_mesh_hop_tables_identical(self):
+        for rows, cols in ((1, 1), (2, 3), (4, 4), (3, 7)):
+            mesh = Topology.mesh2d(rows, cols)
+            assert (TopologyMapper._all_pairs_hops_vectorized(mesh)
+                    == TopologyMapper._all_pairs_hops(mesh))
+
+    def test_random_hop_tables_identical(self):
+        # Includes sparse draws with isolated nodes and disconnected
+        # components — unreachable pairs must be absent, not inf.
+        for seed in range(20):
+            topology = self._random_topology(seed, 12,
+                                             connect_prob=0.08 + seed * 0.02)
+            assert (TopologyMapper._all_pairs_hops_vectorized(topology)
+                    == TopologyMapper._all_pairs_hops(topology))
+
+    def test_empty_and_singleton(self):
+        empty = Topology([], [])
+        single = Topology([0], [])
+        for topology in (empty, single):
+            assert (TopologyMapper._all_pairs_hops_vectorized(topology)
+                    == TopologyMapper._all_pairs_hops(topology))

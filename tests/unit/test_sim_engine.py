@@ -269,3 +269,188 @@ class TestHotLoopFastPaths:
         timeout = sim.timeout(1)
         for slot in Event.__slots__:
             getattr(timeout, slot)  # AttributeError = drifted inline
+
+
+class TestClockSemantics:
+    """run() vs run_until_processes_done() treat their bound differently:
+    ``until`` is a target the clock reaches even on early drain (SimPy
+    semantics); ``limit`` is only a safety horizon and must never
+    inflate the clock past the last dispatched event."""
+
+    def test_run_advances_clock_to_until_when_queue_drains_early(self):
+        # Regression: the queue empties at cycle 3, but run(until=50)
+        # must still leave the clock at 50, not 3.
+        sim = Simulator()
+
+        def proc(sim):
+            yield sim.timeout(3)
+
+        sim.process(proc(sim))
+        assert sim.run(until=50) == 50
+        assert sim.now == 50
+
+    def test_run_on_empty_queue_advances_to_until(self):
+        sim = Simulator()
+        assert sim.run(until=25) == 25
+        assert sim.now == 25
+
+    def test_run_without_until_stops_at_last_event(self):
+        sim = Simulator()
+
+        def proc(sim):
+            yield sim.timeout(7)
+
+        sim.process(proc(sim))
+        assert sim.run() == 7
+        assert sim.now == 7
+
+    def test_clock_resumes_from_until_after_early_drain(self):
+        # Events scheduled after an early-drained bounded run must fire
+        # relative to the advanced clock.
+        sim = Simulator()
+        log = []
+
+        def first(sim):
+            yield sim.timeout(2)
+
+        sim.process(first(sim))
+        sim.run(until=10)
+
+        def second(sim):
+            yield sim.timeout(5)
+            log.append(sim.now)
+
+        sim.process(second(sim))
+        sim.run()
+        assert log == [15]
+
+    def test_run_until_processes_done_keeps_clock_at_last_event(self):
+        # The limit is a runaway guard, not a target: a workload that
+        # finishes at cycle 42 must report now == 42, not the horizon.
+        # Inflating the clock here would change every makespan-derived
+        # metric in the serving benches.
+        sim = Simulator()
+
+        def proc(sim):
+            yield sim.timeout(42)
+
+        sim.process(proc(sim))
+        sim.run_until_processes_done(limit=1_000_000)
+        assert sim.now == 42
+
+
+class TestAllOfInternals:
+    """all_of uses a counted-down state cell (no dict captures)."""
+
+    def test_results_preserve_argument_order_not_finish_order(self):
+        sim = Simulator()
+        seen = []
+
+        def child(sim, delay):
+            yield sim.timeout(delay)
+            return delay
+
+        def parent(sim):
+            procs = [sim.process(child(sim, d)) for d in (8, 1, 4)]
+            values = yield sim.all_of(procs)
+            seen.append(values)
+
+        sim.process(parent(sim))
+        sim.run()
+        assert seen == [[8, 1, 4]]
+
+    def test_mixed_already_triggered_and_pending_events(self):
+        sim = Simulator()
+        seen = []
+        pre = sim.event("pre")
+        pre.succeed("early")
+
+        def firer(sim, ev):
+            yield sim.timeout(3)
+            ev.succeed("late")
+
+        def parent(sim, pre, post):
+            values = yield sim.all_of([pre, post])
+            seen.append((sim.now, values))
+
+        post = sim.event("post")
+        sim.process(firer(sim, post))
+        sim.process(parent(sim, pre, post))
+        sim.run()
+        assert seen == [(3, ["early", "late"])]
+
+    def test_same_cycle_completions_fire_gate_once(self):
+        sim = Simulator()
+        seen = []
+
+        def child(sim):
+            yield sim.timeout(5)
+            return "v"
+
+        def parent(sim):
+            procs = [sim.process(child(sim)) for _ in range(6)]
+            values = yield sim.all_of(procs)
+            seen.append((sim.now, values))
+
+        sim.process(parent(sim))
+        sim.run()
+        assert seen == [(5, ["v"] * 6)]
+
+
+class TestSlotHygiene:
+    """Hot-path objects must stay dict-free: a stray attribute (or a
+    subclass missing __slots__) silently reintroduces a per-instance
+    __dict__ and the allocation cost the engine rewrite removed."""
+
+    def _assert_dictless(self, obj):
+        assert not hasattr(obj, "__dict__"), (
+            f"{type(obj).__name__} grew a __dict__ — check __slots__ on "
+            "the class and every base")
+        # Slotted classes raise AttributeError; frozen+slots dataclasses
+        # raise TypeError from their regenerated __setattr__. Either way
+        # a stray attribute must not silently stick.
+        with pytest.raises((AttributeError, TypeError)):
+            obj.stray_attribute = 1
+
+    def test_engine_objects_have_no_dict(self):
+        from repro.sim.engine import _AllOfState, _AllOfWaiter
+        sim = Simulator()
+
+        def proc(sim):
+            yield sim.timeout(1)
+
+        self._assert_dictless(sim.event("e"))
+        self._assert_dictless(sim.timeout(2))
+        self._assert_dictless(sim.process(proc(sim)))
+        state = _AllOfState(sim.event("gate"), 2)
+        self._assert_dictless(state)
+        self._assert_dictless(_AllOfWaiter(state, 0))
+        sim.run()
+
+    def test_serving_objects_have_no_dict(self):
+        from repro.serving.metrics import (ClusterSample, FleetSample,
+                                           SessionRecord)
+        from repro.serving.scheduler import ActiveSession, PendingSession
+        from repro.serving.slo import session_slo
+        from repro.serving.workload import TenantSession
+
+        session = TenantSession(
+            session_id=0, tenant="t0", arrival_cycle=0, rows=2, cols=2,
+            memory_bytes=1 << 20, model="bert", inferences=4)
+        self._assert_dictless(PendingSession(session=session))
+        self._assert_dictless(ActiveSession(
+            session=session, vmid=1, admit_cycle=5, strategy="exact",
+            mapping_distance=0.0, mapping_connected=True,
+            slo=session_slo(session), rows=2, cols=2,
+            service_total=100, expected_depart=105))
+        self._assert_dictless(ClusterSample(
+            cycle=0, free_cores=12, utilization=0.5, fragmentation=0.0,
+            queue_length=1))
+        self._assert_dictless(FleetSample(
+            cycle=0, queue_length=1, free_cores=(12,),
+            utilization=(0.5,), fragmentation=(0.0,)))
+        self._assert_dictless(SessionRecord(
+            session_id=0, tenant="t0", model="bert", cores=4,
+            arrival_cycle=0, admit_cycle=5, depart_cycle=105,
+            strategy="exact", mapping_distance=0.0,
+            mapping_connected=True))
