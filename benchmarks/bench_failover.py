@@ -1,0 +1,202 @@
+#!/usr/bin/env python
+"""Failover benchmark: chip-failure injection on a bursty 8-chip fleet.
+
+Replays one seeded bursty trace with a gold/silver/best-effort SLO mix
+across an 8-chip :class:`~repro.serving.fleet.FleetScheduler` four
+times — a fault-free baseline, then the same seeded
+:class:`~repro.serving.faults.FailureSchedule` of chip/link/HBM
+outages drained under each evacuation policy (``evacuate``,
+``shrink_to_fit``, ``kill_requeue``) — and emits a canonical JSON
+artifact: per-class SLO attainment under faults, killed sessions,
+lost service cycles, evacuation counts and costs. Two runs with the
+same seed produce byte-identical JSON.
+
+The full run is also a gate: it exits 1 unless ``shrink_to_fit``
+*strictly beats* ``kill_requeue`` on gold-tier SLO attainment — the
+acceptance bar for the evacuation path (live-migrating gold residents
+off a failing chip must preserve attainment that a fail-stop
+kill-and-requeue forfeits). ``--quick`` skips the gate (the short
+trace is for the CI determinism matrix, not the comparison).
+
+Run:  PYTHONPATH=src python benchmarks/bench_failover.py [--quick]
+      (or plainly ``python benchmarks/bench_failover.py`` — the script
+      bootstraps ``src`` onto ``sys.path`` itself)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+for _entry in (str(_ROOT), str(_ROOT / "src")):
+    if _entry not in sys.path:
+        sys.path.insert(0, _entry)
+
+from benchmarks.common import Table, write_bench_json  # noqa: E402
+from repro.serving import (  # noqa: E402
+    DEFAULT_SLO_MIX,
+    FleetScheduler,
+    generate_failure_schedule,
+    generate_fleet_trace,
+)
+
+#: Fleet-wide mean inter-arrival gap (the elastic bench's regime).
+MEAN_INTERARRIVAL = 20_000_000
+
+#: Mean outage length. Long enough that an un-evacuated chip's worth of
+#: residents visibly restarts, short enough that the fleet recovers
+#: within the trace.
+MEAN_OUTAGE = 50_000_000
+
+
+def run_failover(trace, schedule, chips: int, cores: int,
+                 evacuation: str | None) -> dict:
+    # The flagship serving config (priority admission + shrink/preempt
+    # elastic relief): with gold arrivals already admitted fast in every
+    # variant, the evacuation policies differ by what happens to gold
+    # *residents* on a failing chip — migrated live vs killed.
+    fleet = FleetScheduler.homogeneous(
+        chips, cores=cores, policy="priority",
+        elastic="shrink_then_preempt",
+        faults=schedule if evacuation else None,
+        evacuation=evacuation or "shrink_to_fit")
+    metrics = fleet.serve(trace)
+    frequency = fleet.chips[0].chip.config.frequency_hz
+    return metrics.summary(frequency)
+
+
+def digest(summary: dict) -> dict:
+    """The comparable slice of one run's summary."""
+    sliced = {
+        "admission_failures": summary["admission_failures"],
+        "queue_delay_cycles": summary["queue_delay_cycles"],
+        "sessions_completed": summary["sessions_completed"],
+        "sessions_rejected": summary["sessions_rejected"],
+        "slo": summary["slo"],
+    }
+    if "faults" in summary:
+        sliced["faults"] = summary["faults"]
+    return sliced
+
+
+def gold(summary: dict) -> dict:
+    return summary["slo"]["classes"]["gold"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sessions", type=int, default=400,
+                        help="trace length (default: 400)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--chips", type=int, default=8,
+                        help="fleet size (default: 8)")
+    parser.add_argument("--cores", type=int, default=16,
+                        help="cores per chip (default: 16)")
+    parser.add_argument("--failures", type=int, default=12,
+                        help="injected faults (default: 12)")
+    parser.add_argument("--quick", action="store_true",
+                        help="100-session smoke run, no gate (CI)")
+    parser.add_argument("--out", default=None,
+                        help="directory for BENCH_failover.json "
+                             "(default: benchmarks/)")
+    args = parser.parse_args(argv)
+    sessions = 100 if args.quick else args.sessions
+
+    trace = generate_fleet_trace(
+        args.seed, sessions, chips=args.chips, max_cores=args.cores,
+        mean_interarrival_cycles=MEAN_INTERARRIVAL,
+        arrival_process="bursty", slo_mix=DEFAULT_SLO_MIX,
+    )
+    # Faults land across the arrival span (plus one mean service's worth
+    # of tail) so late outages still find residents to drain.
+    horizon = trace[-1].arrival_cycle + MEAN_OUTAGE
+    schedule = generate_failure_schedule(
+        args.seed, chips=args.chips, horizon_cycles=horizon,
+        failures=args.failures, mean_outage_cycles=MEAN_OUTAGE,
+    )
+    variants = {
+        "fault_free": run_failover(trace, schedule, args.chips, args.cores,
+                                   None),
+        "evacuate": run_failover(trace, schedule, args.chips, args.cores,
+                                 "evacuate"),
+        "shrink_to_fit": run_failover(trace, schedule, args.chips,
+                                      args.cores, "shrink_to_fit"),
+        "kill_requeue": run_failover(trace, schedule, args.chips,
+                                     args.cores, "kill_requeue"),
+    }
+
+    shrink_gold = gold(variants["shrink_to_fit"])
+    kill_gold = gold(variants["kill_requeue"])
+    payload = {
+        "config": {
+            "arrival_process": "bursty",
+            "bench": "failover",
+            "chips": args.chips,
+            "cores_per_chip": args.cores,
+            "elastic": "shrink_then_preempt",
+            "failures_requested": args.failures,
+            "failures_scheduled": len(schedule),
+            "mean_interarrival_cycles": MEAN_INTERARRIVAL,
+            "mean_outage_cycles": MEAN_OUTAGE,
+            "seed": args.seed,
+            "sessions": sessions,
+            "slo_mix": {name: weight for name, weight in DEFAULT_SLO_MIX},
+        },
+        "failover_comparison": {
+            "gold_attainment_cost_of_faults": round(
+                gold(variants["fault_free"])["attainment"]
+                - shrink_gold["attainment"], 6),
+            "gold_attainment_saved_by_evacuation": round(
+                shrink_gold["attainment"] - kill_gold["attainment"], 6),
+            "lost_cycles_saved_by_evacuation": (
+                variants["kill_requeue"]["faults"]["lost_service_cycles"]
+                - variants["shrink_to_fit"]["faults"]
+                ["lost_service_cycles"]),
+        },
+        "variants": {name: digest(summary)
+                     for name, summary in variants.items()},
+    }
+    path = write_bench_json("failover", payload, directory=args.out)
+
+    table = Table(
+        f"Failover — {sessions} sessions, seed {args.seed}, "
+        f"{args.chips} x {args.cores}-core chips, "
+        f"{len(schedule)} injected faults",
+        ["metric", "fault-free", "evacuate", "shrink-to-fit",
+         "kill+requeue"],
+    )
+    order = ("fault_free", "evacuate", "shrink_to_fit", "kill_requeue")
+    rows = [
+        ("gold attainment", lambda s: gold(s)["attainment"]),
+        ("silver attainment",
+         lambda s: s["slo"]["classes"]["silver"]["attainment"]),
+        ("sessions completed", lambda s: s["sessions_completed"]),
+        ("killed sessions",
+         lambda s: s.get("faults", {}).get("killed_sessions", 0)),
+        ("evacuations",
+         lambda s: s.get("faults", {}).get("evacuations", 0)),
+        ("lost service cycles",
+         lambda s: s.get("faults", {}).get("lost_service_cycles", 0)),
+        ("evacuation cycles",
+         lambda s: s.get("faults", {}).get("evacuation_cycles", 0)),
+    ]
+    for label, extract in rows:
+        table.add(label, *(extract(variants[name]) for name in order))
+    table.show()
+    print(f"gold attainment: shrink_to_fit {shrink_gold['attainment']:.3f} "
+          f"vs kill_requeue {kill_gold['attainment']:.3f}")
+    print(f"wrote {path}")
+
+    if args.quick:
+        return 0
+    if shrink_gold["attainment"] <= kill_gold["attainment"]:
+        print("FAIL: shrink_to_fit does not strictly beat kill_requeue "
+              "on gold-tier SLO attainment")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -34,6 +34,7 @@ BENCHES: tuple[tuple[str, str, tuple[str, ...]], ...] = (
     ("cost", "bench_cost.py", ("BENCH_cost.json",)),
     ("mapping_perf", "bench_mapping_perf.py", ("BENCH_mapping_perf.json",)),
     ("elastic", "bench_elastic.py", ("BENCH_elastic.json",)),
+    ("failover", "bench_failover.py", ("BENCH_failover.json",)),
     ("engine", "bench_engine.py", ("BENCH_engine.json",)),
 )
 

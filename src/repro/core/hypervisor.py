@@ -17,7 +17,15 @@ each ``create_vnpu`` it:
 5. wires the NoC vRouter in confined or DOR mode per the spec.
 
 ``destroy_vnpu`` releases cores, coalesces memory back into the buddy
-allocator and removes the routing table. ``migrate_vnpu`` is live
+allocator and removes the routing table; ``kill_vnpu`` is its
+fail-stop sibling (kerf's ``kill``): the same teardown, but the
+resident guest state is *abandoned*, not drained — the caller gets the
+lost byte count back to account the discarded work. The hypervisor
+also carries a health flag for fault injection: ``mark_failed`` puts
+the chip in degraded mode, where ``create_vnpu`` (and migrating *onto*
+the chip) fail fast with :class:`~repro.errors.HypervisorError` while
+drain operations — migrating *off*, resizing a resident down,
+destroy/kill — stay allowed. ``migrate_vnpu`` is live
 migration for defragmentation: the tenant is re-placed (on this chip or
 another chip's hypervisor), its guest memory re-mapped onto the
 destination buddy allocator, routing table and meta-zones rebuilt, and
@@ -76,6 +84,7 @@ class Hypervisor:
         self.buddy = BuddyAllocator(capacity=capacity, min_block=min_block)
         self._vnpus: dict[int, VirtualNPU] = {}
         self._next_vmid = 1
+        self._healthy = True
 
     # -- queries ----------------------------------------------------------
     @property
@@ -101,16 +110,57 @@ class Hypervisor:
     def free_core_count(self) -> int:
         return self.chip.core_count - len(self.allocated_cores)
 
+    @property
+    def healthy(self) -> bool:
+        """False while the chip is inside an injected fault outage."""
+        return self._healthy
+
+    @property
+    def guest_memory_capacity(self) -> int:
+        """Largest guest allocation this chip can ever satisfy (the buddy
+        pool size) — what admission validates ``memory_bytes`` against."""
+        return self.buddy.capacity
+
+    # -- health lifecycle --------------------------------------------------
+    def mark_failed(self) -> None:
+        """Enter degraded mode: new placements fail fast, drains allowed."""
+        self._healthy = False
+
+    def mark_recovered(self) -> None:
+        self._healthy = True
+
+    def _require_healthy(self, operation: str) -> None:
+        if not self._healthy:
+            raise HypervisorError(
+                f"chip {self.chip.topology.name!r} is failed; "
+                f"cannot {operation}")
+
     # -- lifecycle -----------------------------------------------------------
     def create_vnpu(self, spec: VNpuSpec,
                     strategy: str | None = None) -> VirtualNPU:
         """Allocate and configure a virtual NPU for ``spec``."""
+        self._require_healthy(f"create vNPU {spec.name!r}")
         strategy = strategy or self.strategy
         mapping = self._map_cores(spec, resolve_strategy(strategy))
         return self._provision(spec, mapping)
 
     def destroy_vnpu(self, vmid: int) -> None:
         self._teardown(self.vnpu(vmid))
+
+    def kill_vnpu(self, vmid: int) -> int:
+        """Force-terminate a vNPU: immediate teardown, state abandoned.
+
+        The fail-stop path (kerf's ``kill``, vs ``destroy_vnpu`` =
+        ``unload``): no drain, no data movement — the resident guest
+        memory is simply discarded. Returns the abandoned byte count so
+        the caller can account the lost work. Fails fast
+        (:class:`~repro.errors.HypervisorError`) on an unknown VMID,
+        and is allowed on a failed chip (it is *the* failed-chip path).
+        """
+        vnpu = self.vnpu(vmid)
+        lost_bytes = vnpu.memory_bytes
+        self._teardown(vnpu)
+        return lost_bytes
 
     def migrate_vnpu(self, vmid: int,
                      destination: "Hypervisor | None" = None,
@@ -133,6 +183,9 @@ class Hypervisor:
         vNPU untouched.
         """
         destination = destination if destination is not None else self
+        # Migrating *off* a failed chip is the evacuation drain and stays
+        # allowed; migrating *onto* one fails fast before any teardown.
+        destination._require_healthy(f"migrate vNPU {vmid} onto it")
         vnpu = self.vnpu(vmid)
         strat = resolve_strategy(strategy or destination.strategy)
         in_place = destination is self

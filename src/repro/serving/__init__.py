@@ -15,9 +15,19 @@ price sessions through a pluggable :mod:`repro.cost` fidelity tier
 grow/shrink resizing and preemption of lower tiers
 (:mod:`repro.serving.slo`); traces can additionally model bursty
 (Markov-modulated) and diurnal arrival processes with per-session SLO
-mixes.
+mixes. :mod:`repro.serving.faults` adds deterministic chip/link/HBM
+failure injection (:class:`FailureSchedule`) with policy-driven vNPU
+evacuation off failing chips.
 """
 
+from repro.serving.faults import (
+    EVACUATION_POLICIES,
+    FAILURE_KINDS,
+    FailureEvent,
+    FailureSchedule,
+    coerce_evacuation,
+    generate_failure_schedule,
+)
 from repro.serving.fleet import (
     BestFitPlacement,
     DefragPolicy,
@@ -102,11 +112,15 @@ __all__ = [
     "ClusterScheduler",
     "DEFAULT_SLO_MIX",
     "DefragPolicy",
+    "EVACUATION_POLICIES",
     "ElasticAction",
     "ElasticPolicy",
     "ElasticVictim",
+    "FAILURE_KINDS",
     "FCFSPolicy",
     "FRAGMENTATION_SHAPE_MIX",
+    "FailureEvent",
+    "FailureSchedule",
     "FleetChip",
     "FleetMetrics",
     "FleetSample",
@@ -134,9 +148,11 @@ __all__ = [
     "available_policies",
     "available_slos",
     "coerce_elastic",
+    "coerce_evacuation",
     "coerce_policy",
     "effective_priority",
     "fragmentation_ratio",
+    "generate_failure_schedule",
     "generate_fleet_trace",
     "generate_trace",
     "percentile",

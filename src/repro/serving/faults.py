@@ -1,0 +1,198 @@
+"""Deterministic fault injection for the serving fleet.
+
+A :class:`FailureSchedule` is a seeded, pre-materialized timeline of
+infrastructure events — whole-chip crashes, NoC link failures and HBM
+(memory-system) faults, each paired with a recovery after a drawn
+outage duration. The :class:`~repro.serving.fleet.FleetScheduler`
+replays the schedule as a simulator process on the shared clock, so a
+failure interleaves deterministically with arrivals, departures and
+migrations: two runs with the same trace and schedule are
+byte-identical.
+
+The three kinds differ in what survives the fault:
+
+- ``"chip"`` — fail-stop crash. Resident vNPU state is gone; every
+  resident is **killed** (torn down, its accrued service discarded)
+  and requeued, whatever the evacuation policy says.
+- ``"hbm"`` — the memory system degrades but the chip stays coherent
+  long enough to drain: every resident is evacuated per the configured
+  evacuation policy.
+- ``"link"`` — one NoC link (drawn per event) goes down. Only residents
+  whose placement touches an endpoint of the failed link must move;
+  the rest keep serving on the degraded chip (degraded-mode serving).
+  The chip still refuses *new* placements until recovery.
+
+Evacuation policies (``FleetScheduler(evacuation=...)``):
+
+- ``"evacuate"`` — live-migrate each affected resident, full size, to
+  the healthiest survivor; what cannot move is killed and requeued.
+- ``"shrink_to_fit"`` — like ``evacuate``, but when no survivor can
+  host the full mesh the victim is shrunk step by step
+  (:func:`~repro.serving.slo.shrink_shape` via live
+  :meth:`~repro.core.hypervisor.Hypervisor.resize_vnpu`) until a
+  survivor accepts it; it grows back through the existing
+  queue-drained grow-back path. Gold (unshrinkable) classes only ever
+  move full size.
+- ``"kill_requeue"`` — no migration at all: tear down and requeue
+  (the fastest drain, and the most lost work).
+
+Lost work is accounted honestly: a killed session's
+``lost_service_cycles`` (cycles served since its last admission,
+discarded by the kill) follow it through the requeue into its final
+:class:`~repro.serving.metrics.SessionRecord`, and the fleet summary
+carries failure/recovery/evacuation/kill counters.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ServingError
+
+#: Failure kinds the injector understands.
+FAILURE_KINDS = ("chip", "link", "hbm")
+
+#: Evacuation policies the fleet scheduler understands.
+EVACUATION_POLICIES = ("evacuate", "shrink_to_fit", "kill_requeue")
+
+
+def coerce_evacuation(policy: str) -> str:
+    """Validate an evacuation-policy name (fail fast, kerf-style)."""
+    if policy not in EVACUATION_POLICIES:
+        raise ServingError(
+            f"unknown evacuation policy {policy!r}; "
+            f"known: {EVACUATION_POLICIES}")
+    return policy
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One infrastructure fault: a chip goes down at ``cycle`` and
+    recovers ``duration_cycles`` later.
+
+    ``link_index`` selects which NoC link fails for ``kind == "link"``
+    (resolved against the chip's sorted edge list modulo its length, so
+    one schedule is valid for any chip size); other kinds ignore it.
+    """
+
+    cycle: int
+    chip_index: int
+    kind: str
+    duration_cycles: int
+    link_index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAILURE_KINDS:
+            raise ServingError(
+                f"unknown failure kind {self.kind!r}; known: {FAILURE_KINDS}")
+        if self.cycle < 0:
+            raise ServingError(f"failure cycle must be >= 0, got {self.cycle}")
+        if self.chip_index < 0:
+            raise ServingError(
+                f"chip index must be >= 0, got {self.chip_index}")
+        if self.duration_cycles < 1:
+            raise ServingError(
+                f"outage duration must be positive, got "
+                f"{self.duration_cycles}")
+
+    @property
+    def recovery_cycle(self) -> int:
+        return self.cycle + self.duration_cycles
+
+
+@dataclass(frozen=True)
+class FailureSchedule:
+    """An ordered, non-overlapping set of failure events.
+
+    Construction normalizes: events are sorted by ``(cycle,
+    chip_index)`` and any event that would hit a chip still inside an
+    earlier outage is dropped (a down chip cannot fail again). The
+    result is what actually gets injected, so the normalization is part
+    of the determinism contract.
+    """
+
+    events: tuple[FailureEvent, ...]
+
+    def __post_init__(self) -> None:
+        ordered = sorted(self.events,
+                         key=lambda e: (e.cycle, e.chip_index, e.kind))
+        kept: list[FailureEvent] = []
+        down_until: dict[int, int] = {}
+        for event in ordered:
+            if event.cycle < down_until.get(event.chip_index, 0):
+                continue  # chip is still down: overlapping fault dropped
+            kept.append(event)
+            down_until[event.chip_index] = event.recovery_cycle
+        object.__setattr__(self, "events", tuple(kept))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def validate(self, chip_count: int) -> None:
+        """Fail fast before injection (kerf's validate-all-before-deploy)."""
+        for event in self.events:
+            if event.chip_index >= chip_count:
+                raise ServingError(
+                    f"failure event targets chip {event.chip_index}; "
+                    f"fleet has {chip_count}")
+
+    def timeline(self) -> list[tuple[int, str, FailureEvent]]:
+        """The merged injection order: ``(cycle, action, event)`` with
+        ``action`` in {"fail", "recover"}.
+
+        At one instant recoveries fire before failures, so back-to-back
+        outages of the same chip (recovery and next fault at the same
+        cycle) observe the recovered state first.
+        """
+        steps = []
+        for event in self.events:
+            steps.append((event.cycle, 1, "fail", event))
+            steps.append((event.recovery_cycle, 0, "recover", event))
+        steps.sort(key=lambda s: (s[0], s[1], s[3].chip_index, s[3].kind))
+        return [(cycle, action, event) for cycle, _, action, event in steps]
+
+
+def generate_failure_schedule(seed: int,
+                              chips: int,
+                              horizon_cycles: int,
+                              failures: int = 4,
+                              mean_outage_cycles: int = 50_000_000,
+                              kind_mix: tuple = (("chip", 1), ("link", 1),
+                                                 ("hbm", 1))) -> FailureSchedule:
+    """A seeded schedule of ``failures`` faults over ``horizon_cycles``.
+
+    Fault instants are uniform over the horizon, the target chip is
+    uniform over the fleet, kinds are dealt by ``kind_mix`` weights and
+    outage durations are exponential around ``mean_outage_cycles``.
+    Fully determined by the seed; overlapping same-chip faults are
+    dropped by :class:`FailureSchedule` normalization, so the returned
+    schedule may hold fewer than ``failures`` events.
+    """
+    if chips < 1:
+        raise ServingError(f"schedule needs at least one chip, got {chips}")
+    if horizon_cycles < 1:
+        raise ServingError(
+            f"horizon must be positive, got {horizon_cycles}")
+    if failures < 0:
+        raise ServingError(f"failure count must be >= 0, got {failures}")
+    kinds = [name for name, _ in kind_mix]
+    weights = [weight for _, weight in kind_mix]
+    for kind in kinds:
+        if kind not in FAILURE_KINDS:
+            raise ServingError(
+                f"unknown failure kind {kind!r}; known: {FAILURE_KINDS}")
+    rng = random.Random(seed)
+    events = []
+    for _ in range(failures):
+        # Per-event draw order (cycle, chip, kind, duration, link) is
+        # part of the determinism contract; new draws go strictly after.
+        cycle = rng.randrange(horizon_cycles)
+        chip_index = rng.randrange(chips)
+        kind = rng.choices(kinds, weights=weights, k=1)[0]
+        duration = 1 + int(rng.expovariate(1.0 / mean_outage_cycles))
+        link_index = rng.randrange(1 << 16)
+        events.append(FailureEvent(cycle=cycle, chip_index=chip_index,
+                                   kind=kind, duration_cycles=duration,
+                                   link_index=link_index))
+    return FailureSchedule(tuple(events))

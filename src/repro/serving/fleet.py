@@ -24,6 +24,16 @@ place — their guest memory re-mapped onto the destination buddy
 allocator and routing tables rebuilt, with the migration cost (data
 movement + Fig-11 reconfiguration) charged to the migrated session's
 timeline. The fleet converts fragmentation into admitted sessions.
+
+The fleet also survives infrastructure faults: a
+:class:`~repro.serving.faults.FailureSchedule` injected at ``submit``
+replays chip/link/HBM failures on the shared clock. A failing chip is
+drained through the configured evacuation policy (``evacuate`` /
+``shrink_to_fit`` / ``kill_requeue``) — gold tier first, live
+migration onto healthy survivors where possible, shrink-to-fit via
+``resize_vnpu`` when the full mesh fits nowhere, fail-stop kill +
+requeue for the rest — and every placement decision honors
+:attr:`FleetChip.healthy` until the recovery event lands.
 """
 
 from __future__ import annotations
@@ -40,6 +50,11 @@ from repro.core.strategies import resolve_strategy
 from repro.core.vnpu import VNpuSpec
 from repro.cost import CostModel, coerce_cost_model
 from repro.errors import AllocationError, ServingError
+from repro.serving.faults import (
+    FailureEvent,
+    FailureSchedule,
+    coerce_evacuation,
+)
 from repro.serving.metrics import (
     ClusterSample,
     FleetMetrics,
@@ -78,6 +93,15 @@ class FleetChip:
     chip: Chip
     hypervisor: Hypervisor
 
+    @property
+    def healthy(self) -> bool:
+        """False while the chip is inside an injected fault outage.
+
+        Every placement policy honors this: an unhealthy chip is never
+        ranked, so no new session lands on it until recovery.
+        """
+        return self.hypervisor.healthy
+
     def free_cores(self) -> int:
         return self.hypervisor.free_core_count()
 
@@ -95,8 +119,9 @@ class PlacementPolicy:
     """Orders the fleet's chips for one session's placement attempt.
 
     ``rank`` returns the chips to try, best first; chips without enough
-    free cores are excluded. An empty ranking parks the session until a
-    departure (or migration) changes some chip's free set.
+    free cores — and chips inside a fault outage (``not healthy``) —
+    are excluded. An empty ranking parks the session until a departure
+    (or migration, or recovery) changes some chip's free set.
     """
 
     name: str
@@ -112,7 +137,8 @@ class LeastLoadedPlacement(PlacementPolicy):
     name = "least_loaded"
 
     def rank(self, chips, session):
-        fits = [c for c in chips if session.core_count <= c.free_cores()]
+        fits = [c for c in chips
+                if c.healthy and session.core_count <= c.free_cores()]
         return sorted(fits, key=lambda c: (-c.free_cores(), c.index))
 
 
@@ -137,6 +163,8 @@ class BestFitPlacement(PlacementPolicy):
                                   name="placement-probe")
         scored = []
         for fleet_chip in chips:
+            if not fleet_chip.healthy:
+                continue
             if session.core_count > fleet_chip.free_cores():
                 continue
             mapper = fleet_chip.hypervisor.mapper
@@ -167,7 +195,8 @@ class PowerOfTwoPlacement(PlacementPolicy):
         self.seed = seed
 
     def rank(self, chips, session):
-        fits = [c for c in chips if session.core_count <= c.free_cores()]
+        fits = [c for c in chips
+                if c.healthy and session.core_count <= c.free_cores()]
         if len(fits) <= 2:
             return sorted(fits, key=lambda c: (-c.free_cores(), c.index))
         rng = random.Random(self.seed * 1_000_003 + session.session_id)
@@ -251,8 +280,14 @@ class ActiveFleetSession:
     migrations: int = 0
     resizes: int = 0
     preemptions: int = 0
-    #: Set when the session is elastically evicted: the sleeping
-    #: lifetime process must vanish instead of departing.
+    #: Fault-tolerance history: live evacuations off failing chips this
+    #: session survived, fail-stop kills it was requeued by, and the
+    #: service cycles those kills discarded.
+    evacuations: int = 0
+    kills: int = 0
+    lost_service_cycles: int = 0
+    #: Set when the session is elastically evicted (or fault-killed):
+    #: the sleeping lifetime process must vanish instead of departing.
     preempted: bool = False
 
     @property
@@ -283,7 +318,9 @@ class FleetScheduler:
                  defrag: DefragPolicy | None = None,
                  sim: Simulator | None = None,
                  cost_model: "CostModel | str" = "analytic",
-                 elastic: "ElasticPolicy | str | None" = None) -> None:
+                 elastic: "ElasticPolicy | str | None" = None,
+                 faults: FailureSchedule | None = None,
+                 evacuation: str = "shrink_to_fit") -> None:
         if not configs:
             raise ServingError("fleet needs at least one chip config")
         self.sim = sim or Simulator()
@@ -300,7 +337,15 @@ class FleetScheduler:
         self.defrag = defrag
         #: SLO enforcement: None = static behavior (queue and wait).
         self.elastic = coerce_elastic(elastic)
+        #: Fault injection: events replayed on the shared clock, with
+        #: ``evacuation`` governing how a failing chip is drained.
+        #: Validated fail-fast (kerf-style) before anything runs.
+        self.evacuation = coerce_evacuation(evacuation)
+        if faults is not None:
+            faults.validate(len(self.chips))
+        self.faults = faults
         self.metrics = FleetMetrics()
+        self.metrics.faults_enabled = faults is not None
         #: The fidelity tier pricing every session's residency.
         self.cost_model = coerce_cost_model(cost_model)
         self._pending: list[PendingSession] = []
@@ -364,6 +409,8 @@ class FleetScheduler:
         if self._trace_loaded:
             raise ServingError("scheduler already has a trace submitted")
         largest = max(fc.chip.core_count for fc in self.chips)
+        largest_memory = max(fc.hypervisor.guest_memory_capacity
+                             for fc in self.chips)
         ordered = sorted(trace, key=lambda s: (s.arrival_cycle, s.session_id))
         for session in ordered:
             if session.model not in self.cost_model.models:
@@ -377,7 +424,18 @@ class FleetScheduler:
                     f"{session.core_count} cores; largest fleet chip has "
                     f"{largest}"
                 )
+            if session.memory_bytes > largest_memory:
+                # Mirror the core check: a request no empty chip can
+                # ever satisfy must be refused up front — parked behind
+                # a busy fleet it would otherwise wait forever.
+                raise ServingError(
+                    f"session {session.session_id} wants "
+                    f"{session.memory_bytes} guest bytes; largest fleet "
+                    f"chip can map {largest_memory}"
+                )
         self.sim.process(self._arrivals(ordered), name="fleet-arrivals")
+        if self.faults is not None and len(self.faults):
+            self.sim.process(self._failure_timeline(), name="fleet-faults")
         self._trace_loaded = True
 
     def run(self, until: int | None = None,
@@ -430,7 +488,9 @@ class FleetScheduler:
     # -- admission ---------------------------------------------------------
     def _admit_loop(self) -> None:
         while True:
-            most_free = max(fc.free_cores() for fc in self.chips)
+            most_free = max(
+                (fc.free_cores() for fc in self.chips if fc.healthy),
+                default=0)
             entry = self.policy.select(self._pending, most_free)
             if entry is not None:
                 self._try_admit(entry)
@@ -442,9 +502,10 @@ class FleetScheduler:
         if self._place(entry):
             return
         self.metrics.admission_failures += 1
-        if not any(fc.hypervisor.vnpus for fc in self.chips):
-            # Even an empty fleet cannot host this request: drop it
-            # instead of deadlocking the queue behind it.
+        if self._refused_by_idle_chip(entry.session):
+            # An idle chip is the best host this session's ranking will
+            # ever see; when even it refuses, no amount of waiting
+            # helps — drop instead of deadlocking the queue behind it.
             self._pending.remove(entry)
             self.metrics.rejected += 1
             return
@@ -455,10 +516,47 @@ class FleetScheduler:
                 return
         entry.blocked = True
 
+    def _refused_by_idle_chip(self, session: TenantSession) -> bool:
+        """Was the failed placement hopeless, not just crowded out?
+
+        The old rule dropped only when the *entire fleet* was empty, so
+        an impossible request (say, a shape the mapping strategy cannot
+        carve out of any chip) parked forever behind a busy fleet. The
+        tightened rule: probe the largest healthy *empty* chip — the
+        best case any ranking can offer — and drop when even its fully
+        free topology refuses the mapping. Smaller empty chips prove
+        nothing (a bigger busy chip may host the session later), so
+        only maximal chips are consulted; memory is already validated
+        at submit against the largest chip's guest capacity.
+        """
+        healthy = [fc for fc in self.chips if fc.healthy]
+        if not healthy:
+            return False  # everything is down: park until recovery
+        largest = max(fc.chip.core_count for fc in healthy)
+        idle = [fc for fc in healthy
+                if fc.chip.core_count == largest
+                and not fc.hypervisor.vnpus
+                and session.core_count <= fc.chip.core_count
+                and session.memory_bytes
+                <= fc.hypervisor.guest_memory_capacity]
+        if not idle:
+            return False
+        probe = idle[0]
+        spec = VNpuSpec(name=session.tenant, topology=session.shape,
+                        memory_bytes=session.memory_bytes)
+        strat = resolve_strategy(self.strategy or probe.hypervisor.strategy)
+        try:
+            strat.map(probe.hypervisor.mapper, spec, set())
+        except AllocationError:
+            return True
+        return False
+
     def _place(self, entry: PendingSession) -> bool:
         """Try the placement policy's chip ranking; admit on first success."""
         session = entry.session
         for fleet_chip in self.placement.rank(self.chips, session):
+            if not fleet_chip.healthy:
+                continue  # custom policies may not filter; never place here
             spec = VNpuSpec(
                 name=session.tenant,
                 topology=session.shape,
@@ -486,6 +584,9 @@ class FleetScheduler:
                 service_total=service,
                 expected_depart=self.sim.now + service,
                 preemptions=entry.preemptions,
+                evacuations=entry.evacuations,
+                kills=entry.kills,
+                lost_service_cycles=entry.lost_service_cycles,
             )
             self._active[(fleet_chip.index, vnpu.vmid)] = active
             self.sim.process(
@@ -517,6 +618,9 @@ class FleetScheduler:
             slo=active.slo.name,
             preemptions=active.preemptions,
             resizes=active.resizes,
+            evacuations=active.evacuations,
+            kills=active.kills,
+            lost_service_cycles=active.lost_service_cycles,
         ))
 
     # -- elastic enforcement ------------------------------------------------
@@ -534,7 +638,9 @@ class FleetScheduler:
         """
         if self.elastic is None:
             return False
-        most_free = max(fc.free_cores() for fc in self.chips)
+        most_free = max(
+            (fc.free_cores() for fc in self.chips if fc.healthy),
+            default=0)
         now = self.sim.now
         candidates = sorted(
             (e for e in self._pending
@@ -549,8 +655,9 @@ class FleetScheduler:
             return False
         entry = candidates[0]
         tier = session_slo(entry.session).tier
-        for fleet_chip in sorted(self.chips,
-                                 key=lambda fc: (-fc.free_cores(), fc.index)):
+        for fleet_chip in sorted(
+                (fc for fc in self.chips if fc.healthy),
+                key=lambda fc: (-fc.free_cores(), fc.index)):
             needed = max(1,
                          entry.session.core_count - fleet_chip.free_cores())
             victims = self._victims(fleet_chip, tier)
@@ -634,8 +741,10 @@ class FleetScheduler:
         del self._active[(active.chip_index, active.vmid)]
         active.preempted = True
         self.metrics.preemptions += 1
-        requeue_in_arrival_order(self._pending, active.session,
-                                 active.preemptions + 1)
+        requeue_in_arrival_order(
+            self._pending, active.session, active.preemptions + 1,
+            evacuations=active.evacuations, kills=active.kills,
+            lost_service_cycles=active.lost_service_cycles)
         return True
 
     def _grow_back(self) -> None:
@@ -648,7 +757,8 @@ class FleetScheduler:
         if self.elastic is None or self._pending:
             return
         shrunk = sorted(
-            (a for a in self._active.values() if a.shrunk),
+            (a for a in self._active.values()
+             if a.shrunk and self.chips[a.chip_index].healthy),
             key=lambda a: (-a.slo.tier, a.admit_cycle, a.session.session_id),
         )
         for active in shrunk:
@@ -664,7 +774,8 @@ class FleetScheduler:
         """
         threshold = self.defrag.fragmentation_threshold
         fragmented = sorted(
-            (fc for fc in self.chips if fc.fragmentation() > threshold),
+            (fc for fc in self.chips
+             if fc.healthy and fc.fragmentation() > threshold),
             key=lambda fc: (-fc.fragmentation(), fc.index),
         )
         moved = 0
@@ -688,28 +799,46 @@ class FleetScheduler:
             self.metrics.migration_failures += 1
         return moved > 0
 
-    def _migrate(self, source: FleetChip, vmid: int) -> bool:
-        """Try destinations emptiest-first, then in-place compaction."""
+    def _migrate(self, source: FleetChip, vmid: int, *,
+                 evacuating: bool = False) -> bool:
+        """Try destinations emptiest-first, then in-place compaction.
+
+        ``evacuating`` drops the in-place fallback: the source chip is
+        failed, so the only useful outcome is landing elsewhere.
+        """
         vnpu = source.hypervisor.vnpu(vmid)
         destinations = sorted(
             (fc for fc in self.chips
-             if fc is not source and vnpu.core_count <= fc.free_cores()),
+             if fc is not source and fc.healthy
+             and vnpu.core_count <= fc.free_cores()),
             key=lambda fc: (-fc.free_cores(), fc.index),
         )
-        destinations.append(source)  # in-place compaction as a last resort
+        if not evacuating:
+            destinations.append(source)  # in-place compaction, last resort
         active = self._active[(source.index, vmid)]
         for destination in destinations:
+            if destination is source:
+                # Probe the compaction placement on a trial mapping
+                # before touching the tenant: an in-place "migration"
+                # that would land on the identical cores frees nothing,
+                # so skip the teardown/rebuild (and the charge) entirely.
+                strat = resolve_strategy(
+                    self.strategy or source.hypervisor.strategy)
+                occupied = (source.hypervisor.allocated_cores
+                            - set(vnpu.physical_cores))
+                try:
+                    trial = strat.map(source.hypervisor.mapper, vnpu.spec,
+                                      occupied)
+                except AllocationError:
+                    continue
+                if trial.physical_cores == vnpu.physical_cores:
+                    return False
             try:
                 migrated, cost = source.hypervisor.migrate_vnpu(
                     vmid, destination=destination.hypervisor,
                     strategy=self.strategy)
             except AllocationError:
                 continue
-            if (destination is source and migrated.vmid == vmid
-                    and migrated.physical_cores == vnpu.physical_cores):
-                # In-place "migration" that landed on the identical
-                # placement freed nothing — don't charge the tenant.
-                return False
             del self._active[(source.index, vmid)]
             active.chip_index = destination.index
             active.vmid = migrated.vmid
@@ -722,6 +851,122 @@ class FleetScheduler:
             self.metrics.record_migration(cost)
             return True
         return False
+
+    # -- fault injection & evacuation ---------------------------------------
+    def _failure_timeline(self):
+        """Replay the failure schedule on the shared clock.
+
+        Recoveries sort before failures at the same cycle (the schedule
+        guarantees it), so a back-to-back outage on one chip never sees
+        the chip already down.
+        """
+        for cycle, action, event in self.faults.timeline():
+            gap = cycle - self.sim.now
+            if gap > 0:
+                yield self.sim.timeout(gap)
+            if action == "fail":
+                self._fail_chip(event)
+            else:
+                self._recover_chip(event)
+
+    def _fail_chip(self, event: FailureEvent) -> None:
+        fleet_chip = self.chips[event.chip_index]
+        if not fleet_chip.healthy:
+            return  # overlaps are dropped at schedule build; belt only
+        fleet_chip.hypervisor.mark_failed()
+        self.metrics.record_chip_failure(self.sim.now, event.chip_index,
+                                         event.kind)
+        # Gold drains first: when survivor capacity runs out mid-drain,
+        # it is the lower tiers that end up killed and requeued.
+        residents = sorted(
+            (a for a in self._active.values()
+             if a.chip_index == event.chip_index),
+            key=lambda a: (-a.slo.tier, a.admit_cycle, a.session.session_id),
+        )
+        if event.kind == "link":
+            # Degraded mode: only tenants owning an endpoint of the
+            # failed link lose their placement; the rest keep serving
+            # on the (unrankable, but alive) chip.
+            residents = [a for a in residents
+                         if self._touches_link(fleet_chip, a, event)]
+        for active in residents:
+            self._evacuate(fleet_chip, active, hard=(event.kind == "chip"))
+        # Evacuations and kills changed free sets and the queue alike.
+        for pending in self._pending:
+            pending.blocked = False
+            pending.relief_exhausted = False
+        self._admit_loop()
+        self._sample()
+
+    def _touches_link(self, fleet_chip: FleetChip,
+                      active: ActiveFleetSession,
+                      event: FailureEvent) -> bool:
+        edges = sorted(fleet_chip.chip.topology.edges)
+        if not edges:
+            return False
+        u, v = edges[event.link_index % len(edges)]
+        cores = set(fleet_chip.hypervisor.vnpu(active.vmid).physical_cores)
+        return u in cores or v in cores
+
+    def _recover_chip(self, event: FailureEvent) -> None:
+        self.chips[event.chip_index].hypervisor.mark_recovered()
+        self.metrics.record_chip_recovery(self.sim.now, event.chip_index,
+                                          event.kind)
+        for pending in self._pending:
+            pending.blocked = False
+            pending.relief_exhausted = False
+        self._admit_loop()
+        self._grow_back()
+        self._sample()
+
+    def _evacuate(self, source: FleetChip,
+                  active: ActiveFleetSession, hard: bool) -> None:
+        """Drain one resident off a failing chip.
+
+        ``hard`` (a fail-stop chip crash) and the ``kill_requeue``
+        policy skip straight to the kill. Otherwise live migration is
+        tried at full size, then — under ``shrink_to_fit``, for
+        shrinkable tiers only — at successively halved meshes resized
+        in place on the failing chip (drains are exempt from the health
+        gate) until some survivor accepts the smaller footprint. A
+        session nothing can host is killed and requeued, its lost
+        cycles charged to the fault accounting.
+        """
+        if hard or self.evacuation == "kill_requeue":
+            self._kill(source, active)
+            return
+        if self._evacuate_migrate(source, active):
+            return
+        if self.evacuation == "shrink_to_fit" and active.slo.shrinkable:
+            shape = shrink_shape(active.rows, active.cols)
+            while shape is not None:
+                if not self._resize(source, active, shape):
+                    break
+                if self._evacuate_migrate(source, active):
+                    return
+                shape = shrink_shape(active.rows, active.cols)
+        self._kill(source, active)
+
+    def _evacuate_migrate(self, source: FleetChip,
+                          active: ActiveFleetSession) -> bool:
+        before = active.expected_depart
+        if not self._migrate(source, active.vmid, evacuating=True):
+            return False
+        active.evacuations += 1
+        self.metrics.record_evacuation(active.expected_depart - before)
+        return True
+
+    def _kill(self, source: FleetChip, active: ActiveFleetSession) -> None:
+        """Fail-stop: the vNPU dies with its chip, in-flight work is lost."""
+        lost = max(0, self.sim.now - active.admit_cycle)
+        source.hypervisor.kill_vnpu(active.vmid)
+        del self._active[(active.chip_index, active.vmid)]
+        active.preempted = True
+        requeue_in_arrival_order(
+            self._pending, active.session, active.preemptions + 1,
+            evacuations=active.evacuations, kills=active.kills + 1,
+            lost_service_cycles=active.lost_service_cycles + lost)
+        self.metrics.record_kill(lost)
 
     # -- observability -----------------------------------------------------
     def _sample(self) -> None:

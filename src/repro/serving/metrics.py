@@ -83,6 +83,12 @@ class SessionRecord:
     preemptions: int = 0
     #: Live grow/shrink resizes this session survived while resident.
     resizes: int = 0
+    #: Fault-tolerance lifecycle: times this session was live-evacuated
+    #: off a failing chip, times it was killed (fail-stop teardown +
+    #: requeue) by one, and the service cycles those kills discarded.
+    evacuations: int = 0
+    kills: int = 0
+    lost_service_cycles: int = 0
 
     @property
     def queue_delay_cycles(self) -> int:
@@ -125,6 +131,11 @@ class SLOMetrics:
         for record in records:
             if record.slo:
                 grouped.setdefault(record.slo, []).append(record)
+        # The fault keys appear only when the run saw fault activity at
+        # all, so fault-free digests (every pre-fault bench artifact)
+        # keep their historical byte layout.
+        faulted = any(r.evacuations or r.kills or r.lost_service_cycles
+                      for r in records)
         per_class: dict[str, dict] = {}
         for name in sorted(grouped):
             slo = resolve_slo(name)
@@ -142,6 +153,13 @@ class SLOMetrics:
                 "sessions_met_slo": met,
                 "tier": slo.tier,
             }
+            if faulted:
+                per_class[name].update({
+                    "evacuations": sum(r.evacuations for r in group),
+                    "killed_sessions": sum(r.kills for r in group),
+                    "lost_service_cycles": sum(r.lost_service_cycles
+                                               for r in group),
+                })
         return cls(per_class)
 
     def digest(self) -> dict:
@@ -267,6 +285,21 @@ class FleetMetrics(ServingMetrics):
     migration_cycles: int = 0
     #: Defrag attempts that found no better placement anywhere.
     migration_failures: int = 0
+    #: Fault-tolerance counters (fleet level). ``faults_enabled`` is set
+    #: by the scheduler when a failure schedule is attached; only then
+    #: does the summary grow its ``faults`` block, so fault-free runs
+    #: keep their historical byte layout.
+    faults_enabled: bool = False
+    chip_failures: int = 0
+    chip_recoveries: int = 0
+    evacuations: int = 0
+    evacuation_cycles: int = 0
+    killed_sessions: int = 0
+    lost_service_cycles: int = 0
+    #: Injection history: {"cycle", "action" ("fail"/"recover"),
+    #: "chip", "kind"} per event, in injection order — what the
+    #: failover bench derives recovery times from.
+    fault_log: list[dict] = field(default_factory=list)
 
     def sample_fleet(self, sample: FleetSample) -> None:
         self.fleet_samples.append(sample)
@@ -274,6 +307,26 @@ class FleetMetrics(ServingMetrics):
     def record_migration(self, cycles: int) -> None:
         self.migrations += 1
         self.migration_cycles += cycles
+
+    def record_chip_failure(self, cycle: int, chip: int, kind: str) -> None:
+        self.chip_failures += 1
+        self.fault_log.append({"action": "fail", "chip": chip,
+                               "cycle": cycle, "kind": kind})
+
+    def record_chip_recovery(self, cycle: int, chip: int, kind: str) -> None:
+        self.chip_recoveries += 1
+        self.fault_log.append({"action": "recover", "chip": chip,
+                               "cycle": cycle, "kind": kind})
+
+    def record_evacuation(self, cycles: int) -> None:
+        """One resident successfully live-migrated off a failing chip."""
+        self.evacuations += 1
+        self.evacuation_cycles += cycles
+
+    def record_kill(self, lost_service_cycles: int) -> None:
+        """One resident fail-stop-killed; its accrued service discarded."""
+        self.killed_sessions += 1
+        self.lost_service_cycles += lost_service_cycles
 
     # -- aggregation -------------------------------------------------------
     def _time_weighted_spread(self) -> float:
@@ -323,4 +376,13 @@ class FleetMetrics(ServingMetrics):
             "per_chip_utilization_time_weighted":
                 self.per_chip_time_weighted_utilization(),
         }
+        if self.faults_enabled:
+            digest["faults"] = {
+                "chip_failures": self.chip_failures,
+                "chip_recoveries": self.chip_recoveries,
+                "evacuation_cycles": self.evacuation_cycles,
+                "evacuations": self.evacuations,
+                "killed_sessions": self.killed_sessions,
+                "lost_service_cycles": self.lost_service_cycles,
+            }
         return digest

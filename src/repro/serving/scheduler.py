@@ -67,6 +67,13 @@ class PendingSession:
     session: TenantSession
     blocked: bool = False
     preemptions: int = 0
+    #: Fault-tolerance history carried across a kill-and-requeue: how
+    #: often this session was evacuated or killed before, and the
+    #: service cycles those kills discarded (flows into the final
+    #: :class:`~repro.serving.metrics.SessionRecord`).
+    evacuations: int = 0
+    kills: int = 0
+    lost_service_cycles: int = 0
     #: Set when an elastic-relief round was spent on this entry and its
     #: placement *still* failed (a topology problem squeezing cannot
     #: fix this instant). Cleared, like ``blocked``, when a departure
@@ -137,14 +144,22 @@ def drive_simulation(sim, until: int | None, limit: int | None) -> int:
 
 def requeue_in_arrival_order(pending: "list[PendingSession]",
                              session: TenantSession,
-                             preemptions: int) -> PendingSession:
-    """Put a preempted session back in the queue *by arrival cycle*.
+                             preemptions: int,
+                             evacuations: int = 0,
+                             kills: int = 0,
+                             lost_service_cycles: int = 0) -> PendingSession:
+    """Put a preempted (or fault-killed) session back in the queue *by
+    arrival cycle*.
 
     FCFS walks list order, so a tail append would silently cost the
     victim its place in line on top of the restarted service. Shared by
-    both schedulers so the requeue discipline cannot drift.
+    both schedulers so the requeue discipline cannot drift. The
+    fault-tolerance counters ride along so a session killed by a chip
+    failure keeps its history through re-admission.
     """
-    requeued = PendingSession(session, preemptions=preemptions)
+    requeued = PendingSession(session, preemptions=preemptions,
+                              evacuations=evacuations, kills=kills,
+                              lost_service_cycles=lost_service_cycles)
     key = (session.arrival_cycle, session.session_id)
     index = len(pending)
     for i, entry in enumerate(pending):
@@ -244,6 +259,16 @@ class ClusterScheduler:
                     f"session {session.session_id} wants "
                     f"{session.core_count} cores; chip has "
                     f"{self.chip.core_count}"
+                )
+            capacity = self.hypervisor.guest_memory_capacity
+            if session.memory_bytes > capacity:
+                # Mirror the core check: a request no empty chip can
+                # ever satisfy must be refused up front, not parked
+                # behind a busy queue forever.
+                raise ServingError(
+                    f"session {session.session_id} wants "
+                    f"{session.memory_bytes} guest bytes; chip can map "
+                    f"{capacity}"
                 )
         self.sim.process(self._arrivals(ordered), name="serving-arrivals")
         self._trace_loaded = True

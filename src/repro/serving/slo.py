@@ -210,9 +210,15 @@ def reprice(active, new_total: int, charge: int, now: int) -> None:
 
     The un-served fraction of the old projection is re-priced at the new
     placement's full-service estimate, plus the resize charge itself.
+    The fraction is clamped to 1.0: migration charges stretch
+    ``expected_depart`` without touching ``service_total``, so a victim
+    migrated and *then* resized can show ``remaining > service_total``
+    — without the clamp the resize would re-bill the already-charged
+    migration at the new placement's rate and over-project the
+    departure.
     """
     remaining = max(0, active.expected_depart - now)
-    fraction = (remaining / active.service_total
+    fraction = (min(1.0, remaining / active.service_total)
                 if active.service_total else 0.0)
     active.service_total = new_total
     active.expected_depart = now + max(1, int(fraction * new_total) + charge)

@@ -311,3 +311,55 @@ def test_failed_migration_leaves_source_untouched():
     assert vnpu.physical_cores == before_cores
     assert source.buddy.free_bytes == before_free
     assert source.chip.controller.ivrouter.vmids == [vnpu.vmid]
+
+
+def fault_churn(seed, evacuation):
+    """A full fleet serving run under injected chip/link/HBM failures."""
+    from repro.serving import (
+        DEFAULT_SLO_MIX,
+        FleetScheduler,
+        generate_failure_schedule,
+        generate_fleet_trace,
+    )
+    faults = generate_failure_schedule(seed, chips=3,
+                                       horizon_cycles=300_000_000,
+                                       failures=5,
+                                       mean_outage_cycles=30_000_000)
+    fleet = FleetScheduler.homogeneous(3, cores=16, policy="priority",
+                                       elastic="shrink_then_preempt",
+                                       faults=faults, evacuation=evacuation)
+    trace = generate_fleet_trace(seed, 36, chips=3, max_cores=16,
+                                 mean_interarrival_cycles=3_000_000,
+                                 arrival_process="bursty",
+                                 slo_mix=DEFAULT_SLO_MIX)
+    metrics = fleet.serve(trace)
+    return fleet, metrics, trace
+
+
+@pytest.mark.parametrize("seed,evacuation", [
+    (6, "shrink_to_fit"), (19, "evacuate"), (37, "kill_requeue"),
+    (53, "shrink_to_fit"), (71, "evacuate"), (89, "kill_requeue"),
+    (2027, "shrink_to_fit"),
+])
+def test_failure_evacuate_recover_churn_leaves_no_trace(seed, evacuation):
+    """Arbitrary failure-evacuate-recover interleavings under load leak
+    nothing: every chip ends healthy and byte-identical to its seed
+    state, and every session is accounted for."""
+    fleet, metrics, trace = fault_churn(seed, evacuation)
+    assert len(metrics.records) + metrics.rejected == len(trace)
+    assert metrics.chip_failures > 0          # the run actually saw faults
+    assert metrics.killed_sessions > 0        # ... that hit live sessions
+    assert metrics.chip_failures == metrics.chip_recoveries
+    for fleet_chip in fleet.chips:
+        assert fleet_chip.healthy
+        assert_pristine(fleet_chip.hypervisor)
+
+
+@pytest.mark.parametrize("seed", [6, 53])
+def test_fault_churn_lost_work_accounting_balances(seed):
+    """Per-record fault counters sum to the fleet-level counters."""
+    _, metrics, _ = fault_churn(seed, "shrink_to_fit")
+    assert sum(r.kills for r in metrics.records) == metrics.killed_sessions
+    assert sum(r.lost_service_cycles for r in metrics.records) == \
+        metrics.lost_service_cycles
+    assert sum(r.evacuations for r in metrics.records) == metrics.evacuations

@@ -496,3 +496,48 @@ class TestElasticFleet:
         metrics = fleet.serve(trace)
         assert all(r.slo in {"gold", "silver", "best_effort"}
                    for r in metrics.records)
+
+
+class TestRepriceClamp:
+    """Regression: the un-served fraction fed into a resize re-pricing
+    must clamp at 1.0. Migration charges stretch ``expected_depart``
+    without touching ``service_total``, so a victim migrated and *then*
+    shrunk used to show ``remaining > service_total`` and re-bill the
+    already-charged migration at the new placement's rate."""
+
+    class Dummy:
+        def __init__(self, service_total, expected_depart):
+            self.service_total = service_total
+            self.expected_depart = expected_depart
+
+    def test_migration_stretched_remaining_is_clamped(self):
+        from repro.serving.slo import reprice
+        # Admitted at 0 for 1_000 cycles, then a migration charged 500:
+        # at now=200 the raw fraction would be 1_300/1_000 = 1.3.
+        active = self.Dummy(service_total=1_000, expected_depart=1_500)
+        reprice(active, new_total=2_000, charge=100, now=200)
+        assert active.service_total == 2_000
+        # Clamped: full remaining service at the new rate plus the
+        # resize charge — not 1.3x of it.
+        assert active.expected_depart == 200 + 2_000 + 100
+
+    def test_unstretched_fraction_still_prorates(self):
+        from repro.serving.slo import reprice
+        active = self.Dummy(service_total=1_000, expected_depart=1_000)
+        reprice(active, new_total=2_000, charge=0, now=500)
+        assert active.expected_depart == 500 + 1_000  # half left, 2x rate
+
+    def test_migrate_then_shrink_projection_stays_bounded(self):
+        """End-to-end: a defrag-migrated tenant that is then elastically
+        shrunk never projects past now + new_total + charge."""
+        from repro.serving.fleet import ActiveFleetSession
+        from repro.serving.slo import BEST_EFFORT, reprice
+        active = ActiveFleetSession(
+            session=session(session_id=1), chip_index=0, vmid=1,
+            admit_cycle=0, strategy="similar", mapping_distance=0.0,
+            mapping_connected=True, slo=BEST_EFFORT, rows=2, cols=2,
+            service_total=1_000, expected_depart=1_000,
+        )
+        active.expected_depart += 700   # migration charge, service_total kept
+        reprice(active, new_total=900, charge=50, now=400)
+        assert active.expected_depart <= 400 + 900 + 50
