@@ -1,0 +1,221 @@
+#!/usr/bin/env python
+"""Sharded-fleet benchmark: 64 chips, 20k sessions, multi-core scaling.
+
+Replays one seeded bursty 20k-session trace with a
+gold/silver/best-effort SLO mix across a 64-chip fleet partitioned
+into 8 shards by :class:`~repro.serving.shard.ShardedFleetScheduler`,
+once per worker count (1, 2, 4, 8). Two artifacts come out:
+
+- ``BENCH_shard.json`` — the deterministic one: run configuration and
+  the aggregate fleet summary. It carries **no worker or timing
+  information**, because the summary is byte-identical for every
+  worker count — that invariance *is* the artifact's gate (the run
+  exits 1 if any worker count disagrees with the ``workers=1``
+  oracle), and the determinism matrix byte-compares the file across
+  runs and worker counts.
+- ``BENCH_shard_timing.json`` — the wall clocks: per-worker-count
+  elapsed seconds, events/s and speedup over one worker. Timing is
+  host-dependent by nature, so it lives outside the determinism
+  check. The speedup gate (>= 3x at 8 workers) enforces only on hosts
+  with at least 8 usable CPUs; elsewhere it self-disables and records
+  the reason in the artifact — a 1-CPU container physically cannot
+  exhibit multi-core speedup, and pretending otherwise would gate on
+  noise.
+
+Run:  PYTHONPATH=src python benchmarks/bench_shard.py [--quick]
+      (or plainly ``python benchmarks/bench_shard.py`` — the script
+      bootstraps ``src`` onto ``sys.path`` itself)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+for _entry in (str(_ROOT), str(_ROOT / "src")):
+    if _entry not in sys.path:
+        sys.path.insert(0, _entry)
+
+from benchmarks.common import Table, write_bench_json  # noqa: E402
+from repro.serving import (  # noqa: E402
+    DEFAULT_SLO_MIX,
+    ShardedFleetScheduler,
+    generate_fleet_trace,
+)
+
+#: Fleet-wide mean inter-arrival gap: scaled by chip count inside
+#: ``generate_fleet_trace``, so each chip sees the serving benches' load.
+MEAN_INTERARRIVAL = 20_000_000
+
+#: Speedup bar at the largest worker count (ISSUE 8's acceptance target).
+SPEEDUP_TARGET = 3.0
+
+#: Worker counts the full run sweeps (the last one carries the gate).
+WORKER_SWEEP = (1, 2, 4, 8)
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
+
+
+def run_sharded(trace, *, chips: int, cores: int, shards: int,
+                epoch_cycles: int, workers: int) -> tuple[dict, float, int]:
+    """One full replay; returns (summary, wall seconds, sim cycles)."""
+    fleet = ShardedFleetScheduler.homogeneous(
+        chips, cores=cores, shards=shards, workers=workers,
+        epoch_cycles=epoch_cycles, policy="priority",
+        elastic="shrink_then_preempt")
+    fleet.submit(trace)
+    start = time.perf_counter()
+    final_fence = fleet.run()
+    wall = time.perf_counter() - start
+    return fleet.summary(), wall, final_fence
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sessions", type=int, default=20_000,
+                        help="trace length (default: 20000)")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--chips", type=int, default=64,
+                        help="fleet size (default: 64)")
+    parser.add_argument("--cores", type=int, default=16,
+                        help="cores per chip (default: 16)")
+    parser.add_argument("--shards", type=int, default=8,
+                        help="shard count (default: 8)")
+    parser.add_argument("--epoch-cycles", type=int, default=25_000_000,
+                        help="fence spacing in cycles (default: 25M)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="run ONE worker count instead of the sweep")
+    parser.add_argument("--quick", action="store_true",
+                        help="16-chip/600-session smoke sweep of "
+                             "workers 1 and 2, no speedup gate (CI)")
+    parser.add_argument("--out", default=None,
+                        help="directory for BENCH_shard.json "
+                             "(default: benchmarks/)")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        sessions, chips, shards = 600, 16, 4
+        sweep = (1, 2)
+    else:
+        sessions, chips, shards = args.sessions, args.chips, args.shards
+        sweep = WORKER_SWEEP
+    if args.workers is not None:
+        sweep = (args.workers,)
+
+    trace = generate_fleet_trace(
+        args.seed, sessions, chips=chips, max_cores=args.cores,
+        mean_interarrival_cycles=MEAN_INTERARRIVAL,
+        arrival_process="bursty", slo_mix=DEFAULT_SLO_MIX,
+    )
+
+    summaries: dict[int, str] = {}
+    walls: dict[int, float] = {}
+    baseline: dict | None = None
+    final_fence = 0
+    for workers in sweep:
+        summary, wall, final_fence = run_sharded(
+            trace, chips=chips, cores=args.cores, shards=shards,
+            epoch_cycles=args.epoch_cycles, workers=workers)
+        summaries[workers] = json.dumps(summary, sort_keys=True)
+        walls[workers] = wall
+        if baseline is None:
+            baseline = summary
+
+    oracle_workers = sweep[0]
+    divergent = [w for w in sweep
+                 if summaries[w] != summaries[oracle_workers]]
+
+    payload = {
+        "config": {
+            "arrival_process": "bursty",
+            "bench": "shard",
+            "chips": chips,
+            "cores_per_chip": args.cores,
+            "dealing": "balanced",
+            "elastic": "shrink_then_preempt",
+            "epoch_cycles": args.epoch_cycles,
+            "mean_interarrival_cycles": MEAN_INTERARRIVAL,
+            "policy": "priority",
+            "seed": args.seed,
+            "sessions": sessions,
+            "shards": shards,
+            "slo_mix": {name: weight for name, weight in DEFAULT_SLO_MIX},
+        },
+        "summary": baseline,
+    }
+    path = write_bench_json("shard", payload, directory=args.out)
+
+    cpus = usable_cpus()
+    top = max(sweep)
+    speedup = {w: round(walls[sweep[0]] / walls[w], 3) for w in sweep}
+    gate_enforced = (not args.quick and args.workers is None
+                     and top >= 8 and cpus >= 8)
+    if gate_enforced:
+        gate_reason = f"host has {cpus} usable CPUs"
+    elif args.quick or args.workers is not None:
+        gate_reason = "quick/single-worker run never gates speedup"
+    else:
+        gate_reason = (f"host has {cpus} usable CPUs; multi-core speedup "
+                       f"is unmeasurable below 8")
+    timing = {
+        "cycles_simulated": final_fence,
+        "gate": {
+            "enforced": gate_enforced,
+            "reason": gate_reason,
+            "speedup_target": SPEEDUP_TARGET,
+        },
+        "usable_cpus": cpus,
+        "workers": {
+            str(w): {
+                "sessions_per_wall_second": round(sessions / walls[w], 1),
+                "speedup": speedup[w],
+                "wall_seconds": round(walls[w], 3),
+            }
+            for w in sweep
+        },
+    }
+    timing_path = write_bench_json("shard_timing", timing,
+                                   directory=args.out)
+
+    table = Table(
+        f"Sharded fleet — {sessions} sessions, seed {args.seed}, "
+        f"{chips} x {args.cores}-core chips, {shards} shards",
+        ["workers", "wall s", "speedup", "sessions/s", "aggregate"],
+    )
+    for w in sweep:
+        table.add(w, round(walls[w], 3), speedup[w],
+                  round(sessions / walls[w], 1),
+                  "DIVERGES" if w in divergent else "identical")
+    table.show()
+    print(f"sessions completed: {baseline['sessions_completed']}, "
+          f"epochs: {baseline['sharding']['epochs']}, "
+          f"spills committed: {baseline['sharding']['spills_committed']}")
+    print(f"wrote {path}")
+    print(f"wrote {timing_path}")
+
+    if divergent:
+        print(f"FAIL: worker counts {divergent} disagree with the "
+              f"{oracle_workers}-worker oracle aggregate")
+        return 1
+    if gate_enforced and speedup[top] < SPEEDUP_TARGET:
+        print(f"FAIL: {top}-worker speedup {speedup[top]:.2f}x is below "
+              f"the {SPEEDUP_TARGET}x target")
+        return 1
+    if not gate_enforced:
+        print(f"speedup gate not enforced: {gate_reason}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

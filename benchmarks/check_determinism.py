@@ -7,21 +7,31 @@ registered here once. The runner executes each bench **twice** with
 and prints one pass/fail table. Any divergence — or any bench exiting
 nonzero (several gate their own acceptance bars) — fails the run.
 
+The 2N bench runs are independent subprocesses, so the runner fans
+them out over a thread pool (``--jobs``, default: usable CPUs). The
+matrix result is unaffected by the fan-out — every run writes into
+its own scratch directory and each comparison only pairs one bench's
+own two runs — so the parallel matrix is byte-stable too: the threads
+merely wait on subprocesses.
+
 This replaces the previous copy-pasted per-bench shell blocks in
 ``.github/workflows/ci.yml``: registering a new bench is one line in
 ``BENCHES`` instead of a new workflow stanza. Wall-clock artifacts
 (``BENCH_*_timing.json``) are deliberately not compared.
 
-Run:  PYTHONPATH=src python benchmarks/check_determinism.py [--bench NAME]
+Run:  PYTHONPATH=src python benchmarks/check_determinism.py \
+          [--bench NAME] [--jobs N]
 """
 
 from __future__ import annotations
 
 import argparse
 import filecmp
+import os
 import subprocess
 import sys
 import tempfile
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 _HERE = Path(__file__).resolve().parent
@@ -36,7 +46,16 @@ BENCHES: tuple[tuple[str, str, tuple[str, ...]], ...] = (
     ("elastic", "bench_elastic.py", ("BENCH_elastic.json",)),
     ("failover", "bench_failover.py", ("BENCH_failover.json",)),
     ("engine", "bench_engine.py", ("BENCH_engine.json",)),
+    ("shard", "bench_shard.py", ("BENCH_shard.json",)),
 )
+
+
+def default_jobs() -> int:
+    """Usable CPUs (affinity-aware), the sensible fan-out width."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
 
 
 def run_bench(script: str, out_dir: Path) -> tuple[int, str]:
@@ -50,12 +69,11 @@ def run_bench(script: str, out_dir: Path) -> tuple[int, str]:
     return result.returncode, result.stdout + result.stderr
 
 
-def check(name: str, script: str, artifacts: tuple[str, ...],
-          scratch: Path) -> tuple[bool, str]:
-    """Run ``script`` twice and byte-compare its artifacts."""
-    first, second = scratch / f"{name}-a", scratch / f"{name}-b"
-    for out_dir in (first, second):
-        code, output = run_bench(script, out_dir)
+def compare(name: str, artifacts: tuple[str, ...], first: Path,
+            second: Path,
+            runs: list[tuple[int, str]]) -> tuple[bool, str]:
+    """Fold one bench's two finished runs into a verdict."""
+    for code, output in runs:
         if code != 0:
             # Surface the bench's own diagnostics (gate messages,
             # tracebacks) — "exit 1" alone is useless in a CI log.
@@ -76,6 +94,9 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--bench", default=None,
                         help="run only this bench (default: all)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="concurrent bench runs "
+                             "(default: usable CPUs)")
     args = parser.parse_args(argv)
     benches = [entry for entry in BENCHES
                if args.bench is None or entry[0] == args.bench]
@@ -83,14 +104,32 @@ def main(argv: list[str] | None = None) -> int:
         known = ", ".join(name for name, _, _ in BENCHES)
         print(f"unknown bench {args.bench!r}; known: {known}")
         return 2
+    jobs = args.jobs if args.jobs else default_jobs()
+    if jobs < 1:
+        print(f"--jobs must be positive, got {jobs}")
+        return 2
 
     failures = 0
     rows = []
     with tempfile.TemporaryDirectory(prefix="bench-determinism-") as scratch:
-        for name, script, artifacts in benches:
-            ok, detail = check(name, script, artifacts, Path(scratch))
-            rows.append((name, "PASS" if ok else "FAIL", detail))
-            failures += 0 if ok else 1
+        scratch_dir = Path(scratch)
+        # Fan every (bench, repeat) pair out at once: 2N independent
+        # subprocesses, then join per bench in registration order.
+        dirs = {name: (scratch_dir / f"{name}-a", scratch_dir / f"{name}-b")
+                for name, _, _ in benches}
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                name: [pool.submit(run_bench, script, out_dir)
+                       for out_dir in dirs[name]]
+                for name, script, _ in benches
+            }
+            for name, _, artifacts in benches:
+                first, second = dirs[name]
+                ok, detail = compare(
+                    name, artifacts, first, second,
+                    [future.result() for future in futures[name]])
+                rows.append((name, "PASS" if ok else "FAIL", detail))
+                failures += 0 if ok else 1
 
     width = max(len(name) for name, _, _ in rows)
     print(f"{'bench'.ljust(width)}  result  detail")

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Perf-trajectory gate: committed timing artifacts vs the ledger.
+
+``benchmarks/trajectory.json`` is the repo's performance ledger: one
+entry per tracked metric (engine events/s, sharded-fleet speedup, ...)
+recording the value each PR locked in. This checker re-reads the
+**committed** timing artifacts and fails when any tracked metric has
+drifted more than its tolerance below the ledger — i.e. when a PR
+regenerates a timing artifact with a regression without a deliberate,
+reviewed ledger update. Improvements never fail (ratchet the ledger
+in the PR that earns them).
+
+Timing artifacts are host-dependent, so entries can name a gate guard
+(``gate_path``): when the artifact records its own gate as
+unenforced — e.g. the shard bench's speedup gate on a host with too
+few CPUs — the entry is skipped with the artifact's recorded reason
+instead of failing on noise.
+
+Run:  PYTHONPATH=src python benchmarks/check_trajectory.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+
+
+def walk(payload: dict, path: list[str]):
+    """Resolve a JSON path like ["workers", "8", "speedup"]."""
+    node = payload
+    for key in path:
+        node = node[key]
+    return node
+
+
+def check_entry(entry: dict, directory: Path) -> tuple[str, str, str]:
+    """One ledger entry -> (metric, verdict, detail)."""
+    metric = entry["metric"]
+    artifact = directory / entry["artifact"]
+    if not artifact.is_file():
+        return metric, "FAIL", f"{entry['artifact']} missing"
+    payload = json.loads(artifact.read_text())
+    if entry.get("gate_path"):
+        gate = walk(payload, entry["gate_path"])
+        if not gate.get("enforced", True):
+            reason = gate.get("reason", "gate disabled")
+            return metric, "SKIP", f"gate not enforced: {reason}"
+    try:
+        measured = walk(payload, entry["path"])
+    except KeyError as exc:
+        return metric, "FAIL", f"path {entry['path']} missing ({exc})"
+    floor = entry["value"] * (1.0 - entry["tolerance"])
+    if measured < floor:
+        return metric, "FAIL", (
+            f"{measured} < {floor:.1f} "
+            f"(ledger {entry['value']} - {entry['tolerance']:.0%})")
+    return metric, "PASS", f"{measured} vs ledger {entry['value']}"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ledger", default=str(_HERE / "trajectory.json"),
+                        help="trajectory ledger "
+                             "(default: benchmarks/trajectory.json)")
+    parser.add_argument("--artifacts", default=str(_HERE),
+                        help="directory holding the committed "
+                             "BENCH_*_timing.json files "
+                             "(default: benchmarks/)")
+    args = parser.parse_args(argv)
+    ledger = json.loads(Path(args.ledger).read_text())
+    directory = Path(args.artifacts)
+
+    rows = [check_entry(entry, directory) for entry in ledger["entries"]]
+    failures = sum(1 for _, verdict, _ in rows if verdict == "FAIL")
+
+    width = max(len(metric) for metric, _, _ in rows)
+    print(f"{'metric'.ljust(width)}  result  detail")
+    print(f"{'-' * width}  ------  ------")
+    for metric, verdict, detail in rows:
+        print(f"{metric.ljust(width)}  {verdict.ljust(6)}  {detail}")
+    print(f"\n{len(rows) - failures}/{len(rows)} within trajectory")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

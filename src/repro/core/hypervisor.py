@@ -64,6 +64,16 @@ GUEST_VA_BASE = 0x1_0000
 STRATEGIES = ("exact", "similar", "straightforward", "fragmented")
 
 
+def guest_capacity_bytes(config) -> int:
+    """Largest guest allocation a chip built from ``config`` can map.
+
+    The static counterpart of :attr:`Hypervisor.guest_memory_capacity`
+    (the buddy pool size), computable without building the chip — what
+    admission-style validation against a *planned* fleet uses.
+    """
+    return _largest_pow2_at_most(config.memory.capacity_bytes)
+
+
 def _largest_pow2_at_most(value: int) -> int:
     return 1 << (value.bit_length() - 1)
 
@@ -134,6 +144,41 @@ class Hypervisor:
             raise HypervisorError(
                 f"chip {self.chip.topology.name!r} is failed; "
                 f"cannot {operation}")
+
+    # -- checkpoint --------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Logical chip state as a picklable dict.
+
+        Captures what ``restore_state`` needs to rebuild an equivalent
+        hypervisor on a fresh chip: health, the vmid counter, and each
+        resident vNPU's (vmid, spec, mapping) triple. Buddy block
+        *addresses* are intentionally not part of the contract — a
+        restore re-allocates from a fresh pool, so guests hold the same
+        sizes at possibly different physical addresses.
+        """
+        return {
+            "healthy": self._healthy,
+            "next_vmid": self._next_vmid,
+            "vnpus": [(v.vmid, v.spec, v.mapping)
+                      for v in self.vnpus],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rebuild residents from a ``snapshot_state`` dict.
+
+        Must run on a freshly constructed hypervisor (no residents);
+        vNPUs are re-provisioned at their pinned vmids with their
+        recorded mappings, then health and the vmid counter are
+        restored — so a later ``snapshot_state`` round-trips equal.
+        """
+        if self._vnpus:
+            raise HypervisorError(
+                "restore_state needs a fresh hypervisor (has "
+                f"{len(self._vnpus)} resident vNPUs)")
+        for vmid, spec, mapping in state["vnpus"]:
+            self._provision(spec, mapping, vmid=vmid)
+        self._next_vmid = state["next_vmid"]
+        self._healthy = state["healthy"]
 
     # -- lifecycle -----------------------------------------------------------
     def create_vnpu(self, spec: VNpuSpec,

@@ -48,5 +48,11 @@ class AnalyticCostModel(CostModel):
             source="analytic",
         )
 
+    def snapshot_state(self) -> dict:
+        return {"cache": dict(self._cache)}
+
+    def restore_state(self, state: dict) -> None:
+        self._cache.update(state["cache"])
+
 
 register_cost_model(AnalyticCostModel)

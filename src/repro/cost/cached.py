@@ -136,6 +136,28 @@ class CachedCostModel(CostModel):
                 best, best_rank = entry, rank
         return best
 
+    # -- checkpoint --------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        # The executor sub-model keeps only compile caches — re-deriving
+        # them is deterministic, so the memoized prices and the counters
+        # are the whole behavioral state.
+        return {
+            "cache": dict(self._cache),
+            "analytic": self._analytic.snapshot_state(),
+            "hits": self.hits,
+            "misses": self.misses,
+            "executor_runs": self.executor_runs,
+            "interpolations": self.interpolations,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._cache.update(state["cache"])
+        self._analytic.restore_state(state["analytic"])
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+        self.executor_runs = state["executor_runs"]
+        self.interpolations = state["interpolations"]
+
     # -- observability -----------------------------------------------------
     def cache_stats(self) -> dict:
         lookups = self.hits + self.misses

@@ -115,6 +115,23 @@ class CostModel(abc.ABC):
         return _migration_charge(source.config, destination.config,
                                  resident_bytes, setup_cycles)
 
+    # -- checkpoint --------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Picklable pricing state (memoized prices, counters).
+
+        Pricing caches are *behavioral* state: a tier that prices a
+        (model, shape) key once and serves the memo afterwards must
+        carry the memo across a checkpoint, or the restored run would
+        re-price the key on a different placement and drift. The model
+        builder table stays out (builders may be lambdas; restore
+        constructs the tier, which rebuilds the table).
+        """
+        return {}
+
+    def restore_state(self, state: dict) -> None:
+        """Splice a ``snapshot_state`` dict into this (same-tier) model."""
+        return None
+
 
 _TIERS: Registry[type[CostModel]] = Registry("cost model tier", ServingError)
 

@@ -17,7 +17,11 @@ grow/shrink resizing and preemption of lower tiers
 (Markov-modulated) and diurnal arrival processes with per-session SLO
 mixes. :mod:`repro.serving.faults` adds deterministic chip/link/HBM
 failure injection (:class:`FailureSchedule`) with policy-driven vNPU
-evacuation off failing chips.
+evacuation off failing chips. :mod:`repro.serving.shard` scales past
+one process: :class:`ShardedFleetScheduler` partitions the fleet into
+chip-group shards, each simulated by its own worker process, and
+coordinates them over deterministic epoch fences — aggregate results
+are byte-identical for any worker count.
 """
 
 from repro.serving.faults import (
@@ -27,6 +31,7 @@ from repro.serving.faults import (
     FailureSchedule,
     coerce_evacuation,
     generate_failure_schedule,
+    partition_schedule,
 )
 from repro.serving.fleet import (
     BestFitPlacement,
@@ -49,6 +54,7 @@ from repro.serving.metrics import (
     SessionRecord,
     SLOMetrics,
     fragmentation_ratio,
+    merge_fleet_summaries,
     percentile,
 )
 from repro.serving.policies import (
@@ -66,6 +72,14 @@ from repro.serving.scheduler import (
     PendingSession,
     ServiceTimeEstimator,
     coerce_policy,
+)
+from repro.serving.shard import (
+    DEALING_MODES,
+    AdmitOrder,
+    EpochPlan,
+    ShardedFleetScheduler,
+    ShardSlice,
+    partition_chips,
 )
 from repro.serving.slo import (
     BEST_EFFORT,
@@ -98,6 +112,7 @@ from repro.serving.workload import (
     MODEL_BUILDERS,
     SHAPE_MIX,
     TenantSession,
+    deal_sessions,
     generate_fleet_trace,
     generate_trace,
 )
@@ -105,17 +120,20 @@ from repro.serving.workload import (
 __all__ = [
     "ARRIVAL_PROCESSES",
     "AdmissionPolicy",
+    "AdmitOrder",
     "BEST_EFFORT",
     "BestFitPlacement",
     "BestFitPolicy",
     "ClusterSample",
     "ClusterScheduler",
+    "DEALING_MODES",
     "DEFAULT_SLO_MIX",
     "DefragPolicy",
     "EVACUATION_POLICIES",
     "ElasticAction",
     "ElasticPolicy",
     "ElasticVictim",
+    "EpochPlan",
     "FAILURE_KINDS",
     "FCFSPolicy",
     "FRAGMENTATION_SHAPE_MIX",
@@ -140,6 +158,8 @@ __all__ = [
     "ServiceTimeEstimator",
     "ServingMetrics",
     "SessionRecord",
+    "ShardSlice",
+    "ShardedFleetScheduler",
     "ShrinkPolicy",
     "ShrinkThenPreemptPolicy",
     "TenantSession",
@@ -150,11 +170,15 @@ __all__ = [
     "coerce_elastic",
     "coerce_evacuation",
     "coerce_policy",
+    "deal_sessions",
     "effective_priority",
     "fragmentation_ratio",
     "generate_failure_schedule",
     "generate_fleet_trace",
     "generate_trace",
+    "merge_fleet_summaries",
+    "partition_chips",
+    "partition_schedule",
     "percentile",
     "register_elastic",
     "register_placement",

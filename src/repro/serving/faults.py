@@ -46,7 +46,7 @@ carries failure/recovery/evacuation/kill counters.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.errors import ServingError
 
@@ -151,6 +151,43 @@ class FailureSchedule:
             steps.append((event.recovery_cycle, 0, "recover", event))
         steps.sort(key=lambda s: (s[0], s[1], s[3].chip_index, s[3].kind))
         return [(cycle, action, event) for cycle, _, action, event in steps]
+
+
+def partition_schedule(schedule: "FailureSchedule | None",
+                       groups: "list[tuple[int, ...]]",
+                       ) -> "list[FailureSchedule | None]":
+    """Split a fleet-wide schedule into per-shard schedules.
+
+    ``groups`` is the shard partition: one tuple of global chip indices
+    per shard. Each event lands in the shard owning its chip, with
+    ``chip_index`` remapped to the shard-local position — so a shard's
+    ``FleetScheduler`` slice can replay its own sub-schedule unchanged.
+    Normalization is a no-op on a subset (overlaps were already dropped
+    fleet-wide, per chip), so the union of the replayed sub-schedules
+    is exactly the original injection. Shards with no events get
+    ``None`` (faults disabled), never an empty schedule — the metrics
+    ``faults_enabled`` flag must stay worker-count-invariant, so it is
+    derived per *shard*, not per worker.
+    """
+    if schedule is None:
+        return [None] * len(groups)
+    owner: dict[int, tuple[int, int]] = {}
+    for shard_id, group in enumerate(groups):
+        for local, chip_index in enumerate(group):
+            if chip_index in owner:
+                raise ServingError(
+                    f"chip {chip_index} appears in two shard groups")
+            owner[chip_index] = (shard_id, local)
+    parts: list[list[FailureEvent]] = [[] for _ in groups]
+    for event in schedule.events:
+        if event.chip_index not in owner:
+            raise ServingError(
+                f"failure event targets chip {event.chip_index}, which "
+                f"no shard group owns")
+        shard_id, local = owner[event.chip_index]
+        parts[shard_id].append(replace(event, chip_index=local))
+    return [FailureSchedule(tuple(events)) if events else None
+            for events in parts]
 
 
 def generate_failure_schedule(seed: int,

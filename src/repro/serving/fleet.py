@@ -38,6 +38,7 @@ requeue for the rest — and every placement decision honors
 
 from __future__ import annotations
 
+import pickle
 import random
 from dataclasses import dataclass, replace
 
@@ -352,6 +353,10 @@ class FleetScheduler:
         #: (chip index, vmid) -> active session.
         self._active: dict[tuple[int, int], ActiveFleetSession] = {}
         self._trace_loaded = False
+        #: Submitted trace + replay cursor, kept so ``snapshot`` can
+        #: capture the arrivals not yet injected.
+        self._trace: list[TenantSession] = []
+        self._arrival_index = 0
 
     @classmethod
     def homogeneous(cls, chips: int, cores: int = 36,
@@ -365,6 +370,15 @@ class FleetScheduler:
     @property
     def chip_count(self) -> int:
         return len(self.chips)
+
+    @property
+    def pending_sessions(self) -> "tuple[PendingSession, ...]":
+        """The waiting queue, in queue order (read-only view)."""
+        return tuple(self._pending)
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
 
     @property
     def core_count(self) -> int:
@@ -433,10 +447,72 @@ class FleetScheduler:
                     f"{session.memory_bytes} guest bytes; largest fleet "
                     f"chip can map {largest_memory}"
                 )
+        self._trace = ordered
+        self._arrival_index = 0
         self.sim.process(self._arrivals(ordered), name="fleet-arrivals")
         if self.faults is not None and len(self.faults):
             self.sim.process(self._failure_timeline(), name="fleet-faults")
         self._trace_loaded = True
+
+    def begin_stream(self) -> None:
+        """Open the scheduler for incremental ``enqueue`` admissions.
+
+        The streaming counterpart of :meth:`submit`: no pre-materialized
+        trace, sessions are pushed one at a time by an external driver
+        (a shard coordinator, or eventually a live control plane). The
+        fault timeline, if any, is scheduled exactly as ``submit`` does.
+        """
+        if self._trace_loaded:
+            raise ServingError("scheduler already has a trace submitted")
+        if self.faults is not None and len(self.faults):
+            self.sim.process(self._failure_timeline(), name="fleet-faults")
+        self._trace_loaded = True
+
+    def enqueue(self, session: TenantSession, *, preemptions: int = 0,
+                evacuations: int = 0, kills: int = 0,
+                lost_service_cycles: int = 0) -> None:
+        """Admit one session into the pending queue *now*.
+
+        Validates the same static caps ``submit`` does, inserts in
+        arrival order (so a re-dealt session slots ahead of younger
+        queue-mates, exactly where the monolithic scheduler would hold
+        it), and runs the admission loop. The counter kwargs carry a
+        session's accumulated preemption/evacuation history across a
+        cross-shard hand-off.
+        """
+        if not self._trace_loaded:
+            raise ServingError("begin_stream() or submit() before enqueue()")
+        if session.model not in self.cost_model.models:
+            raise ServingError(
+                f"session {session.session_id} wants unknown model "
+                f"{session.model!r}")
+        largest = max(fc.chip.core_count for fc in self.chips)
+        if session.core_count > largest:
+            raise ServingError(
+                f"session {session.session_id} wants "
+                f"{session.core_count} cores; largest fleet chip has "
+                f"{largest}")
+        largest_memory = max(fc.hypervisor.guest_memory_capacity
+                             for fc in self.chips)
+        if session.memory_bytes > largest_memory:
+            raise ServingError(
+                f"session {session.session_id} wants "
+                f"{session.memory_bytes} guest bytes; largest fleet "
+                f"chip can map {largest_memory}")
+        requeue_in_arrival_order(
+            self._pending, session, preemptions,
+            evacuations=evacuations, kills=kills,
+            lost_service_cycles=lost_service_cycles)
+        self._admit_loop()
+        self._sample()
+
+    def withdraw(self, session_id: int) -> PendingSession:
+        """Remove a still-pending session (a spill leaving this shard)."""
+        for entry in self._pending:
+            if entry.session.session_id == session_id:
+                self._pending.remove(entry)
+                return entry
+        raise ServingError(f"session {session_id} is not pending here")
 
     def run(self, until: int | None = None,
             limit: int | None = None) -> int:
@@ -452,12 +528,99 @@ class FleetScheduler:
         self.run(limit=limit)
         return self.metrics
 
+    # -- checkpoint --------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Picklable checkpoint of the whole scheduler's logical state.
+
+        Valid between ``run`` calls (the simulator parked at a cycle, no
+        event mid-dispatch). Captures chip residents (via
+        :meth:`Hypervisor.snapshot_state`), the pending queue with its
+        preemption history, active sessions, accumulated metrics, the
+        fault schedule, and the arrivals not yet injected — everything
+        :meth:`restore` needs to continue the run in a fresh process.
+        The dict is detached via a pickle round-trip, so it doubles as
+        the warm-restart wire format (and proves its own picklability).
+        """
+        state = {
+            "cycle": self.sim.now,
+            "configs": [fc.chip.config for fc in self.chips],
+            "chips": [fc.hypervisor.snapshot_state() for fc in self.chips],
+            "pending": [
+                (e.session, e.preemptions, e.evacuations, e.kills,
+                 e.lost_service_cycles, e.blocked, e.relief_exhausted)
+                for e in self._pending
+            ],
+            "active": sorted(
+                self._active.values(),
+                key=lambda a: (a.admit_cycle, a.session.session_id)),
+            "remaining_trace": self._trace[self._arrival_index:],
+            "trace_loaded": self._trace_loaded,
+            "metrics": self.metrics,
+            "faults": self.faults,
+            "evacuation": self.evacuation,
+            "cost_tier": self.cost_model.name,
+            "cost_state": self.cost_model.snapshot_state(),
+        }
+        return pickle.loads(pickle.dumps(state))
+
+    @classmethod
+    def restore(cls, state: dict, **kwargs) -> "FleetScheduler":
+        """Rebuild a running scheduler from a :meth:`snapshot` dict.
+
+        ``kwargs`` must name the same policy/placement/cost-model
+        configuration the checkpointed scheduler ran with (policies are
+        stateless between decisions, so they live outside the snapshot).
+        Buddy-allocator addresses are re-assigned on restore (logical
+        state round-trips; physical addresses may differ — see
+        ``Hypervisor.snapshot_state``).
+        """
+        kwargs.setdefault("evacuation", state["evacuation"])
+        if state["cost_tier"]:
+            kwargs.setdefault("cost_model", state["cost_tier"])
+        fleet = cls(list(state["configs"]), faults=state["faults"],
+                    **kwargs)
+        # Memoized prices are behavioral state: without them the restored
+        # run would re-price cache keys on different placements and drift
+        # off the checkpointed timeline.
+        fleet.cost_model.restore_state(state["cost_state"])
+        fleet.sim.now = state["cycle"]
+        for fleet_chip, chip_state in zip(fleet.chips, state["chips"]):
+            fleet_chip.hypervisor.restore_state(chip_state)
+        fleet.metrics = state["metrics"]
+        for (session, preemptions, evacuations, kills, lost, blocked,
+             relief_exhausted) in state["pending"]:
+            entry = PendingSession(
+                session, preemptions=preemptions, evacuations=evacuations,
+                kills=kills, lost_service_cycles=lost)
+            entry.blocked = blocked
+            entry.relief_exhausted = relief_exhausted
+            fleet._pending.append(entry)
+        for active in state["active"]:
+            fleet._active[(active.chip_index, active.vmid)] = active
+            fleet.sim.process(
+                fleet._session_lifetime(active),
+                name=f"fleet-session-{active.session.session_id}")
+        fleet._trace_loaded = state["trace_loaded"]
+        remaining = list(state["remaining_trace"])
+        if remaining:
+            fleet._trace = remaining
+            fleet.sim.process(fleet._arrivals(remaining),
+                              name="fleet-arrivals")
+        if fleet.faults is not None and len(fleet.faults):
+            steps = [s for s in fleet.faults.timeline()
+                     if s[0] > state["cycle"]]
+            if steps:
+                fleet.sim.process(fleet._failure_timeline(steps),
+                                  name="fleet-faults")
+        return fleet
+
     # -- simulation processes ----------------------------------------------
     def _arrivals(self, trace: "list[TenantSession]"):
         for session in trace:
             gap = session.arrival_cycle - self.sim.now
             if gap > 0:
                 yield self.sim.timeout(gap)
+            self._arrival_index += 1
             self._pending.append(PendingSession(session))
             self._admit_loop()
             self._sample()
@@ -853,14 +1016,17 @@ class FleetScheduler:
         return False
 
     # -- fault injection & evacuation ---------------------------------------
-    def _failure_timeline(self):
+    def _failure_timeline(self, steps=None):
         """Replay the failure schedule on the shared clock.
 
         Recoveries sort before failures at the same cycle (the schedule
         guarantees it), so a back-to-back outage on one chip never sees
-        the chip already down.
+        the chip already down. ``steps`` lets a restore resume mid-way
+        (only the steps strictly after the checkpoint cycle).
         """
-        for cycle, action, event in self.faults.timeline():
+        if steps is None:
+            steps = self.faults.timeline()
+        for cycle, action, event in steps:
             gap = cycle - self.sim.now
             if gap > 0:
                 yield self.sim.timeout(gap)

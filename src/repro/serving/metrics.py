@@ -9,7 +9,7 @@ rather than interpolation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.arch.topology import Topology
 from repro.serving.slo import resolve_slo
@@ -386,3 +386,113 @@ class FleetMetrics(ServingMetrics):
                 "lost_service_cycles": self.lost_service_cycles,
             }
         return digest
+
+
+def merge_fleet_summaries(parts: "list[FleetMetrics]",
+                          core_counts: "list[int]",
+                          chip_offsets: "list[int]",
+                          frequency_hz: int) -> dict:
+    """Aggregate per-shard :class:`FleetMetrics` into one fleet digest.
+
+    The sharded coordinator's summary: the shape mirrors
+    :meth:`FleetMetrics.summary` so downstream tooling reads both, with
+    a ``sharding.per_shard`` breakdown instead of per-chip columns.
+    Everything is computed from the deterministic per-shard streams —
+    records merged in ``(depart_cycle, session_id)`` order with chip
+    indices remapped to fleet-global (``chip_offsets[shard] + local``),
+    counters summed in shard order, utilization/fragmentation
+    core-weighted across shards — so the digest depends only on the
+    shard decomposition, never on how shards were spread over workers.
+
+    Two aggregate caveats, both deliberate: ``queue_length_max`` is the
+    max over per-shard maxima (shard queues are disjoint; instants are
+    not aligned across engines, so a fleet-instant queue length does
+    not exist), and the time-weighted means weight each shard's own
+    makespan-normalized series by its core share.
+    """
+    if not (len(parts) == len(core_counts) == len(chip_offsets)):
+        raise ValueError(
+            f"merge needs aligned inputs; got {len(parts)} metrics, "
+            f"{len(core_counts)} core counts, {len(chip_offsets)} offsets")
+    records: list[SessionRecord] = []
+    for part, offset in zip(parts, chip_offsets):
+        records.extend(replace(r, chip=offset + r.chip)
+                       for r in part.records)
+    records.sort(key=lambda r: (r.depart_cycle, r.session_id))
+    makespan = max((p.samples[-1].cycle for p in parts if p.samples),
+                   default=0)
+    seconds = makespan / frequency_hz if makespan else 0.0
+    delays = [r.queue_delay_cycles for r in records]
+    total_cores = sum(core_counts) or 1
+
+    def core_weighted(values: "list[float]") -> float:
+        return sum(v * c for v, c in zip(values, core_counts)) / total_cores
+
+    digest = {
+        "sessions_completed": len(records),
+        "sessions_per_second": round(
+            len(records) / seconds if seconds else 0.0, 6),
+        "makespan_cycles": makespan,
+        "queue_delay_cycles": {
+            "mean": round(sum(delays) / len(delays) if delays else 0.0, 3),
+            "p50": percentile(delays, 50),
+            "p95": percentile(delays, 95),
+            "max": float(max(delays)) if delays else 0.0,
+        },
+        "utilization_time_weighted": round(core_weighted(
+            [p._time_weighted_mean("utilization") for p in parts]), 6),
+        "fragmentation": {
+            "time_weighted_mean": round(core_weighted(
+                [p._time_weighted_mean("fragmentation") for p in parts]), 6),
+            "max": round(max((s.fragmentation for p in parts
+                              for s in p.samples), default=0.0), 6),
+        },
+        "queue_length_max": max((s.queue_length for p in parts
+                                 for s in p.samples), default=0),
+        "admission_failures": sum(p.admission_failures for p in parts),
+        "sessions_rejected": sum(p.rejected for p in parts),
+        "slo": {
+            "classes": SLOMetrics.from_records(records, seconds).digest(),
+            "grows": sum(p.grows for p in parts),
+            "preemptions": sum(p.preemptions for p in parts),
+            "resize_cycles": sum(p.resize_cycles for p in parts),
+            "shrinks": sum(p.shrinks for p in parts),
+        },
+        "fleet": {
+            "chips": sum((len(p.fleet_samples[0].utilization)
+                          if p.fleet_samples else 0) for p in parts),
+            "migrations": sum(p.migrations for p in parts),
+            "migration_cycles": sum(p.migration_cycles for p in parts),
+            "migration_failures": sum(p.migration_failures for p in parts),
+            "sessions_migrated": sum(1 for r in records if r.migrations > 0),
+        },
+        "sharding": {
+            "shards": len(parts),
+            "per_shard": [
+                {
+                    "chips": (len(p.fleet_samples[0].utilization)
+                              if p.fleet_samples else 0),
+                    "sessions_completed": len(p.records),
+                    "makespan_cycles": (p.samples[-1].cycle
+                                        if p.samples else 0),
+                    "utilization_time_weighted": round(
+                        p._time_weighted_mean("utilization"), 6),
+                    "fragmentation_time_weighted": round(
+                        p._time_weighted_mean("fragmentation"), 6),
+                    "migrations": p.migrations,
+                }
+                for p in parts
+            ],
+        },
+    }
+    if any(p.faults_enabled for p in parts):
+        digest["faults"] = {
+            "chip_failures": sum(p.chip_failures for p in parts),
+            "chip_recoveries": sum(p.chip_recoveries for p in parts),
+            "evacuation_cycles": sum(p.evacuation_cycles for p in parts),
+            "evacuations": sum(p.evacuations for p in parts),
+            "killed_sessions": sum(p.killed_sessions for p in parts),
+            "lost_service_cycles": sum(p.lost_service_cycles
+                                       for p in parts),
+        }
+    return digest

@@ -1,0 +1,703 @@
+"""Sharded multi-process fleet simulation.
+
+The fleet is partitioned into contiguous chip-group **shards**, each
+owned by its own calendar-queue :class:`~repro.sim.engine.Simulator`
+and per-shard :class:`~repro.serving.fleet.FleetScheduler` slice. A
+parent :class:`ShardedFleetScheduler` coordinates the slices over
+**epoch fences** (conservative time windows): every cross-shard
+decision — which shard admits a session, which waiting session spills
+to a less-loaded shard — happens only at a fence, never mid-epoch, so
+each slice can simulate one epoch completely independently and in
+parallel.
+
+The fence protocol per epoch::
+
+    deal        coordinator resolves candidate decisions (new arrivals
+                inside the window, deferred sessions, spill proposals)
+                in one fixed total order: (cycle, source shard id,
+                session id). Every resource claim is validated against
+                the claim-adjusted per-chip free/health map before any
+                decision commits (kerf's validate-all-before-deploy);
+                a claim that fails is deferred to the next fence, a
+                spill that fails stays where it is.
+    broadcast   each worker receives its shards' committed EpochPlans
+                (admissions + withdrawals).
+    run         every slice applies its plan and advances its own
+                simulator to the fence (``sim.run(until=fence)``).
+    report      each slice reports per-chip free cores and health, its
+                queue depth, active count, and spill proposals — the
+                claim map for the next fence.
+
+**Determinism.** Every coordinator decision is a function of the trace,
+the shard decomposition and the per-shard reports — never of worker
+count, scheduling order or wall clock. Workers only decide *which OS
+process executes which shard*; shard results are byte-identical
+regardless. ``workers=1`` runs every slice in-process (no
+multiprocessing at all) and is the oracle the property suite compares
+the multi-process runs against: aggregate ``SessionRecord`` ledgers,
+per-class SLO digests and faults summaries are equal for any worker
+count.
+
+**Worker protocol.** Persistent worker processes (forked where the
+platform allows, spawned otherwise), one duplex pipe each, three
+message kinds: ``("epoch", fence, plans)`` -> ``("report", reports)``,
+``("collect",)`` -> ``("state", per-shard metrics)``, ``("stop",)``.
+A worker dying mid-epoch surfaces as a clean
+:class:`~repro.errors.ServingError` (the pipe raises ``EOFError``);
+the coordinator tears the rest of the pool down in ``finally``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+
+from repro.arch.config import SoCConfig, sim_config
+from repro.core.hypervisor import guest_capacity_bytes
+from repro.cost import coerce_cost_model
+from repro.errors import ServingError
+from repro.serving.fleet import FleetScheduler, resolve_placement
+from repro.serving.faults import (
+    FailureSchedule,
+    coerce_evacuation,
+    partition_schedule,
+)
+from repro.serving.metrics import FleetMetrics, merge_fleet_summaries
+from repro.serving.scheduler import coerce_policy
+from repro.serving.workload import TenantSession, deal_sessions
+
+#: Dealing modes: ``balanced`` routes each session to the eligible
+#: shard with the most claim-adjusted free cores (and spills stale
+#: waiters at fences); ``static`` pins sessions round-robin by arrival
+#: rank (:func:`~repro.serving.workload.deal_sessions`) — no claims,
+#: no spills, useful as the simplest-possible reference dealer.
+DEALING_MODES = ("balanced", "static")
+
+
+def partition_chips(chip_count: int,
+                    shards: int) -> list[tuple[int, ...]]:
+    """Contiguous, balanced chip groups: one tuple of global chip
+    indices per shard (sizes differ by at most one)."""
+    if shards < 1:
+        raise ServingError(f"need at least one shard, got {shards}")
+    if shards > chip_count:
+        raise ServingError(
+            f"cannot cut {chip_count} chips into {shards} shards")
+    base, extra = divmod(chip_count, shards)
+    groups: list[tuple[int, ...]] = []
+    start = 0
+    for shard_id in range(shards):
+        size = base + (1 if shard_id < extra else 0)
+        groups.append(tuple(range(start, start + size)))
+        start += size
+    return groups
+
+
+@dataclass(frozen=True)
+class AdmitOrder:
+    """One committed admission: a session plus the preemption /
+    fault history it accumulated before this (re-)deal."""
+
+    session: TenantSession
+    preemptions: int = 0
+    evacuations: int = 0
+    kills: int = 0
+    lost_service_cycles: int = 0
+
+
+@dataclass(frozen=True)
+class EpochPlan:
+    """A shard's committed plan for one epoch."""
+
+    admissions: tuple[AdmitOrder, ...] = ()
+    #: Session ids leaving this shard's queue (committed spills).
+    withdrawals: tuple[int, ...] = ()
+
+
+class ShardSlice:
+    """One shard: a chip group on its own simulator, driven by fences.
+
+    A thin stateful wrapper around a per-shard
+    :class:`~repro.serving.fleet.FleetScheduler` opened in streaming
+    mode: the coordinator pushes committed admissions each epoch, the
+    slice runs its engine to the fence and reports its claim state.
+    ``spill_after_cycles=None`` disables spill proposals (static
+    dealing pins sessions to their shard).
+    """
+
+    def __init__(self, shard_id: int, configs: list[SoCConfig],
+                 spill_after_cycles: int | None = None,
+                 **fleet_kwargs) -> None:
+        self.shard_id = shard_id
+        self.fleet = FleetScheduler(configs, **fleet_kwargs)
+        self.spill_after_cycles = spill_after_cycles
+        #: session id -> cycle this slice enqueued it (spill aging).
+        self._dealt_cycle: dict[int, int] = {}
+        self.fleet.begin_stream()
+
+    def run_epoch(self, fence: int, plan: EpochPlan | None) -> dict:
+        """Apply ``plan``, advance to ``fence``, report claim state."""
+        if plan is not None:
+            for session_id in plan.withdrawals:
+                self.fleet.withdraw(session_id)
+                self._dealt_cycle.pop(session_id, None)
+            if plan.admissions:
+                self.fleet.sim.process(
+                    self._inject(plan.admissions),
+                    name=f"shard{self.shard_id}-epoch-arrivals")
+        self.fleet.run(until=fence)
+        return self._report(fence)
+
+    def _inject(self, admissions: tuple[AdmitOrder, ...]):
+        """Replay one epoch's committed admissions at their cycles.
+
+        Orders arrive sorted by ``(arrival_cycle, session_id)``;
+        re-dealt sessions (spills, deferrals) with a past arrival are
+        enqueued immediately at the fence, fresh arrivals at their
+        recorded cycle — timeouts are nondecreasing, so one generator
+        replays the whole batch.
+        """
+        sim = self.fleet.sim
+        for order in admissions:
+            gap = order.session.arrival_cycle - sim.now
+            if gap > 0:
+                yield sim.timeout(gap)
+            self._dealt_cycle[order.session.session_id] = sim.now
+            self.fleet.enqueue(
+                order.session,
+                preemptions=order.preemptions,
+                evacuations=order.evacuations,
+                kills=order.kills,
+                lost_service_cycles=order.lost_service_cycles)
+
+    def _report(self, fence: int) -> dict:
+        fleet = self.fleet
+        pending = fleet.pending_sessions
+        spills: list[AdmitOrder] = []
+        if self.spill_after_cycles is not None:
+            for entry in pending:
+                dealt = self._dealt_cycle.get(
+                    entry.session.session_id, entry.session.arrival_cycle)
+                if fence - dealt >= self.spill_after_cycles:
+                    spills.append(AdmitOrder(
+                        session=entry.session,
+                        preemptions=entry.preemptions,
+                        evacuations=entry.evacuations,
+                        kills=entry.kills,
+                        lost_service_cycles=entry.lost_service_cycles))
+        return {
+            "free_cores": tuple(fc.free_cores() for fc in fleet.chips),
+            "healthy": tuple(fc.healthy for fc in fleet.chips),
+            "pending": len(pending),
+            "active": fleet.active_count,
+            "spills": tuple(spills),
+        }
+
+    def collect(self) -> dict:
+        """Final per-shard results (picklable) for aggregation."""
+        return {"metrics": self.fleet.metrics,
+                "mapper": self.fleet.mapper_stats()}
+
+
+def _worker_main(conn, shard_ids: tuple[int, ...],
+                 slice_kwargs: dict, crash) -> None:
+    """Worker process loop: owns a fixed set of slices for the run."""
+    slices = {sid: ShardSlice(**slice_kwargs[sid]) for sid in shard_ids}
+    epoch_index = 0
+    try:
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "epoch":
+                _, fence, plans = message
+                if (crash is not None and crash[0] in slices
+                        and epoch_index == crash[1]):
+                    os._exit(13)  # test hook: die without a report
+                reports = {sid: slices[sid].run_epoch(fence,
+                                                      plans.get(sid))
+                           for sid in shard_ids}
+                epoch_index += 1
+                conn.send(("report", reports))
+            elif kind == "collect":
+                conn.send(("state", {sid: slices[sid].collect()
+                                     for sid in shard_ids}))
+            else:  # "stop"
+                return
+    except (EOFError, KeyboardInterrupt):
+        return
+    finally:
+        conn.close()
+
+
+@dataclass
+class _ShardState:
+    """Coordinator-side claim view of one shard (from its last report)."""
+
+    free_cores: list[int]
+    healthy: list[bool]
+    pending: int = 0
+    active: int = 0
+
+
+class ShardedFleetScheduler:
+    """Parent coordinator: deals a trace across shard slices at fences.
+
+    The multi-process counterpart of
+    :class:`~repro.serving.fleet.FleetScheduler`: same trace in, an
+    aggregate :meth:`summary` out — byte-identical for any ``workers``
+    value. ``workers`` is clamped to the shard count (a shard is the
+    unit of parallelism); ``workers=1`` runs in-process and is the
+    determinism oracle.
+
+    Per-shard scheduler options (``policy``, ``placement``,
+    ``strategy``, ``defrag``, ``cost_model``, ``elastic``,
+    ``evacuation``) are forwarded to every slice; pass registry *names*
+    (not instances) when worker processes may be spawned rather than
+    forked, so the options cross the pipe.
+    """
+
+    def __init__(self, configs: list[SoCConfig], *,
+                 shards: int | None = None,
+                 workers: int = 1,
+                 epoch_cycles: int = 25_000_000,
+                 dealing: str = "balanced",
+                 spill_after_cycles: int | None = None,
+                 faults: FailureSchedule | None = None,
+                 _worker_crash: tuple[int, int] | None = None,
+                 **slice_options) -> None:
+        if not configs:
+            raise ServingError("fleet needs at least one chip config")
+        if epoch_cycles < 1:
+            raise ServingError(
+                f"epoch_cycles must be positive, got {epoch_cycles}")
+        if workers < 1:
+            raise ServingError(f"need at least one worker, got {workers}")
+        if dealing not in DEALING_MODES:
+            raise ServingError(
+                f"unknown dealing mode {dealing!r}; known: {DEALING_MODES}")
+        self.configs = list(configs)
+        self.shards = min(8, len(configs)) if shards is None else shards
+        self.groups = partition_chips(len(configs), self.shards)
+        self.workers = min(workers, self.shards)
+        self.epoch_cycles = epoch_cycles
+        self.dealing = dealing
+        #: A waiter this many cycles old at a fence proposes a spill.
+        self.spill_after_cycles = (epoch_cycles if spill_after_cycles is None
+                                   else spill_after_cycles)
+        if faults is not None:
+            faults.validate(len(configs))
+        self.faults = faults
+        self._shard_faults = partition_schedule(faults, self.groups)
+        self._fault_horizon = max(
+            (e.recovery_cycle for e in faults.events), default=0
+        ) if faults is not None else 0
+        # Fail fast on bad registry names before any worker starts.
+        coerce_policy(slice_options.get("policy", "fcfs"))
+        placement = slice_options.get("placement", "least_loaded")
+        if isinstance(placement, str):
+            resolve_placement(placement)
+        coerce_cost_model(slice_options.get("cost_model", "analytic"))
+        coerce_evacuation(slice_options.get("evacuation", "shrink_to_fit"))
+        self._slice_options = slice_options
+        if _worker_crash is not None and self.workers == 1:
+            raise ServingError(
+                "_worker_crash needs workers > 1 (in-process mode has "
+                "no worker to kill)")
+        self._crash = _worker_crash
+        #: Static per-(shard, chip) capability map for claim validation.
+        self._chip_cores = [
+            [configs[i].mesh_rows * configs[i].mesh_cols for i in group]
+            for group in self.groups
+        ]
+        self._chip_capacity = [
+            [guest_capacity_bytes(configs[i]) for i in group]
+            for group in self.groups
+        ]
+        self._frequency_hz = configs[0].frequency_hz
+        self._trace: list[TenantSession] = []
+        self._trace_loaded = False
+        self._static_target: dict[int, int] = {}
+        # Run state.
+        self._cursor = 0
+        self._deferred: list[AdmitOrder] = []
+        self._spills: list[tuple[int, AdmitOrder]] = []
+        self._states = [
+            _ShardState(free_cores=list(cores),
+                        healthy=[True] * len(cores))
+            for cores in self._chip_cores
+        ]
+        self._epochs = 0
+        self.deferred_total = 0
+        self.spills_committed = 0
+        self.spills_rejected = 0
+        self.shard_metrics: list[FleetMetrics] | None = None
+        self._mapper_stats: dict | None = None
+        self._slices: dict[int, ShardSlice] = {}
+        self._procs: list = []
+        self._conns: list = []
+        self._owned: list[tuple[int, ...]] = [
+            tuple(sid for sid in range(self.shards)
+                  if sid % self.workers == w)
+            for w in range(self.workers)
+        ]
+
+    @classmethod
+    def homogeneous(cls, chips: int, cores: int = 36,
+                    **kwargs) -> "ShardedFleetScheduler":
+        """A sharded fleet of ``chips`` identical SIM-configured chips."""
+        if chips < 1:
+            raise ServingError(f"fleet needs at least one chip, got {chips}")
+        return cls([sim_config(cores) for _ in range(chips)], **kwargs)
+
+    @property
+    def chip_count(self) -> int:
+        return len(self.configs)
+
+    # -- public API --------------------------------------------------------
+    def submit(self, trace: list[TenantSession]) -> None:
+        """Queue a trace (validated fleet-wide, like the monolith)."""
+        if self._trace_loaded:
+            raise ServingError("scheduler already has a trace submitted")
+        largest = max(max(cores) for cores in self._chip_cores)
+        largest_memory = max(max(caps) for caps in self._chip_capacity)
+        cost_model = coerce_cost_model(
+            self._slice_options.get("cost_model", "analytic"))
+        ordered = sorted(trace,
+                         key=lambda s: (s.arrival_cycle, s.session_id))
+        for session in ordered:
+            if session.model not in cost_model.models:
+                raise ServingError(
+                    f"session {session.session_id} wants unknown model "
+                    f"{session.model!r}")
+            if session.core_count > largest:
+                raise ServingError(
+                    f"session {session.session_id} wants "
+                    f"{session.core_count} cores; largest fleet chip has "
+                    f"{largest}")
+            if session.memory_bytes > largest_memory:
+                raise ServingError(
+                    f"session {session.session_id} wants "
+                    f"{session.memory_bytes} guest bytes; largest fleet "
+                    f"chip can map {largest_memory}")
+        if self.dealing == "static":
+            dealt = deal_sessions(ordered, self.shards)
+            for shard_id, sessions in enumerate(dealt):
+                for session in sessions:
+                    if not self._fits_statically(shard_id, session):
+                        raise ServingError(
+                            f"static deal pins session "
+                            f"{session.session_id} to shard {shard_id}, "
+                            f"which cannot host it")
+                    self._static_target[session.session_id] = shard_id
+        self._trace = ordered
+        self._trace_loaded = True
+
+    def run(self) -> int:
+        """Drive every shard epoch by epoch; returns the final fence."""
+        if not self._trace_loaded:
+            raise ServingError("submit() a trace before run()")
+        if self.shard_metrics is not None:
+            raise ServingError("scheduler already ran its trace")
+        self._start()
+        fence = 0
+        try:
+            while True:
+                fence += self.epoch_cycles
+                plans = self._deal(fence)
+                reports = self._exchange(fence, plans)
+                self._absorb(reports)
+                self._epochs += 1
+                if (self._cursor >= len(self._trace)
+                        and not self._deferred and not self._spills
+                        and all(s.pending == 0 and s.active == 0
+                                for s in self._states)
+                        and fence >= self._fault_horizon):
+                    break
+            self._finalize()
+        finally:
+            self._shutdown()
+        return fence
+
+    def serve(self, trace: list[TenantSession]) -> dict:
+        """Convenience: submit + run + return the aggregate summary."""
+        self.submit(trace)
+        self.run()
+        return self.summary()
+
+    def summary(self, frequency_hz: int | None = None) -> dict:
+        """The aggregate fleet digest (worker-count-invariant)."""
+        if self.shard_metrics is None:
+            raise ServingError("run() the trace before summary()")
+        offsets = [group[0] for group in self.groups]
+        cores = [sum(chip_cores) for chip_cores in self._chip_cores]
+        digest = merge_fleet_summaries(
+            self.shard_metrics, cores, offsets,
+            frequency_hz or self._frequency_hz)
+        digest["sharding"].update({
+            "chips_per_shard": [len(g) for g in self.groups],
+            "dealing": self.dealing,
+            "deferred_total": self.deferred_total,
+            "epoch_cycles": self.epoch_cycles,
+            "epochs": self._epochs,
+            "spills_committed": self.spills_committed,
+            "spills_rejected": self.spills_rejected,
+        })
+        return digest
+
+    def mapper_stats(self) -> dict:
+        """Fleet-wide mapper counters (per-shard stats summed)."""
+        if self._mapper_stats is None:
+            raise ServingError("run() the trace before mapper_stats()")
+        return dict(self._mapper_stats)
+
+    # -- the fence protocol ------------------------------------------------
+    def _deal(self, fence: int) -> dict[int, EpochPlan]:
+        """Resolve this fence's decisions in one fixed total order.
+
+        Validate-all-before-deploy: claims are tallied against the
+        reported free/health map; only decisions whose claims hold are
+        committed into plans, the rest defer (arrivals) or stay put
+        (spills). The order — ``(cycle, source shard, session id)``
+        with fresh arrivals and deferrals sourced at ``-1`` — depends
+        only on trace and reports, never on workers.
+        """
+        decisions: list[tuple[int, int, int, AdmitOrder, int | None]] = []
+        while (self._cursor < len(self._trace)
+               and self._trace[self._cursor].arrival_cycle < fence):
+            session = self._trace[self._cursor]
+            self._cursor += 1
+            decisions.append((session.arrival_cycle, -1,
+                              session.session_id, AdmitOrder(session), None))
+        for order in self._deferred:
+            decisions.append((order.session.arrival_cycle, -1,
+                              order.session.session_id, order, None))
+        self._deferred = []
+        last_fence = fence - self.epoch_cycles
+        for source, order in self._spills:
+            decisions.append((last_fence, source,
+                              order.session.session_id, order, source))
+        self._spills = []
+        decisions.sort(key=lambda d: (d[0], d[1], d[2]))
+
+        claims: dict[int, list[int]] = {}
+        admissions: dict[int, list[AdmitOrder]] = {}
+        withdrawals: dict[int, list[int]] = {}
+        for _, _, _, order, source in decisions:
+            target = self._choose_shard(order.session, claims,
+                                        exclude=source,
+                                        require_free=source is not None)
+            if target is None:
+                if source is None:
+                    self._deferred.append(order)
+                    self.deferred_total += 1
+                else:
+                    self.spills_rejected += 1  # stays at its source
+                continue
+            if source is not None:
+                withdrawals.setdefault(source, []).append(
+                    order.session.session_id)
+                self.spills_committed += 1
+            admissions.setdefault(target, []).append(order)
+        plans: dict[int, EpochPlan] = {}
+        for shard_id in range(self.shards):
+            if shard_id not in admissions and shard_id not in withdrawals:
+                continue
+            batch = sorted(
+                admissions.get(shard_id, ()),
+                key=lambda o: (o.session.arrival_cycle,
+                               o.session.session_id))
+            plans[shard_id] = EpochPlan(
+                admissions=tuple(batch),
+                withdrawals=tuple(sorted(withdrawals.get(shard_id, ()))))
+        return plans
+
+    def _choose_shard(self, session: TenantSession,
+                      claims: dict[int, list[int]],
+                      exclude: int | None, *,
+                      require_free: bool) -> int | None:
+        """Validate the session's claim; commit it on the best shard.
+
+        A shard is *eligible* when some healthy chip whose static shape
+        fits the request still has enough claim-adjusted free cores —
+        it can admit immediately. Ranking: most total claim-adjusted
+        free cores, then shortest queue, then lowest shard id. When no
+        shard is eligible and ``require_free`` is False (fresh
+        arrivals), the session falls back to the best statically
+        fitting healthy shard and waits in *its* queue — the slice
+        admits it mid-epoch on the first departure, which a
+        coordinator-side deferral could not. Spills set
+        ``require_free``: moving to another queue is never better than
+        staying put. ``static`` dealing bypasses all of it — the
+        pinned shard absorbs the session unconditionally.
+        """
+        if self.dealing == "static":
+            return self._static_target[session.session_id]
+        cores = session.core_count
+        best: tuple | None = None
+        best_shard = best_chip = None
+        fallback: tuple | None = None
+        fallback_shard = fallback_chip = None
+        for shard_id in range(self.shards):
+            if shard_id == exclude:
+                continue
+            state = self._states[shard_id]
+            shard_claims = claims.get(shard_id)
+            top_chip = None
+            top_free = 0
+            fit_chip = None
+            fit_free = 0
+            total_free = 0
+            for chip in range(len(state.free_cores)):
+                free = state.free_cores[chip]
+                if shard_claims is not None:
+                    free -= shard_claims[chip]
+                total_free += max(0, free)
+                if (not state.healthy[chip]
+                        or self._chip_cores[shard_id][chip] < cores
+                        or self._chip_capacity[shard_id][chip]
+                        < session.memory_bytes):
+                    continue
+                if fit_chip is None or free > fit_free:
+                    fit_chip, fit_free = chip, free
+                if free < cores:
+                    continue
+                if top_chip is None or free > top_free:
+                    top_chip, top_free = chip, free
+            rank = (-total_free, state.pending, shard_id)
+            if top_chip is not None and (best is None or rank < best):
+                best, best_shard, best_chip = rank, shard_id, top_chip
+            if fit_chip is not None and (fallback is None
+                                         or rank < fallback):
+                fallback, fallback_shard, fallback_chip = (
+                    rank, shard_id, fit_chip)
+        if best_shard is None and not require_free:
+            best_shard, best_chip = fallback_shard, fallback_chip
+        if best_shard is None:
+            return None
+        claims.setdefault(
+            best_shard, [0] * len(self._chip_cores[best_shard])
+        )[best_chip] += cores
+        return best_shard
+
+    def _absorb(self, reports: dict[int, dict]) -> None:
+        """Fold per-shard reports into the next fence's claim map."""
+        for shard_id in range(self.shards):
+            report = reports[shard_id]
+            state = self._states[shard_id]
+            state.free_cores = list(report["free_cores"])
+            state.healthy = list(report["healthy"])
+            state.pending = report["pending"]
+            state.active = report["active"]
+            for order in report["spills"]:
+                self._spills.append((shard_id, order))
+
+    def _fits_statically(self, shard_id: int,
+                         session: TenantSession) -> bool:
+        return any(
+            self._chip_cores[shard_id][chip] >= session.core_count
+            and self._chip_capacity[shard_id][chip] >= session.memory_bytes
+            for chip in range(len(self._chip_cores[shard_id])))
+
+    # -- slice / worker management -----------------------------------------
+    def _slice_kwargs(self, shard_id: int) -> dict:
+        spill = (None if self.dealing == "static"
+                 else self.spill_after_cycles)
+        return {
+            "shard_id": shard_id,
+            "configs": [self.configs[i] for i in self.groups[shard_id]],
+            "spill_after_cycles": spill,
+            "faults": self._shard_faults[shard_id],
+            **self._slice_options,
+        }
+
+    def _start(self) -> None:
+        if self.workers == 1:
+            self._slices = {
+                sid: ShardSlice(**self._slice_kwargs(sid))
+                for sid in range(self.shards)
+            }
+            return
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+        for worker in range(self.workers):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child, self._owned[worker],
+                      {sid: self._slice_kwargs(sid)
+                       for sid in self._owned[worker]},
+                      self._crash),
+                daemon=True,
+                name=f"shard-worker-{worker}")
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+
+    def _exchange(self, fence: int,
+                  plans: dict[int, EpochPlan]) -> dict[int, dict]:
+        if self.workers == 1:
+            return {sid: self._slices[sid].run_epoch(fence, plans.get(sid))
+                    for sid in range(self.shards)}
+        reports: dict[int, dict] = {}
+        try:
+            for worker, conn in enumerate(self._conns):
+                sub = {sid: plans[sid] for sid in self._owned[worker]
+                       if sid in plans}
+                conn.send(("epoch", fence, sub))
+            for conn in self._conns:
+                _, payload = conn.recv()
+                reports.update(payload)
+        except (EOFError, BrokenPipeError, ConnectionResetError,
+                OSError) as exc:
+            raise ServingError(
+                f"shard worker died mid-epoch at fence {fence}: "
+                f"{exc!r}") from exc
+        return reports
+
+    def _finalize(self) -> None:
+        if self.workers == 1:
+            states = {sid: self._slices[sid].collect()
+                      for sid in range(self.shards)}
+        else:
+            states = {}
+            try:
+                for conn in self._conns:
+                    conn.send(("collect",))
+                for conn in self._conns:
+                    _, payload = conn.recv()
+                    states.update(payload)
+            except (EOFError, BrokenPipeError, ConnectionResetError,
+                    OSError) as exc:
+                raise ServingError(
+                    f"shard worker died during collection: {exc!r}"
+                ) from exc
+        self.shard_metrics = [states[sid]["metrics"]
+                              for sid in range(self.shards)]
+        total: dict[str, int | float] = {}
+        for sid in range(self.shards):
+            for key, value in states[sid]["mapper"].items():
+                if key == "hit_rate":
+                    continue
+                total[key] = total.get(key, 0) + value
+        lookups = total.get("hits", 0) + total.get("misses", 0)
+        total["hit_rate"] = total["hits"] / lookups if lookups else 0.0
+        self._mapper_stats = total
+
+    def _shutdown(self) -> None:
+        self._slices = {}
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+            conn.close()
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=10)
+        self._conns = []
+        self._procs = []
