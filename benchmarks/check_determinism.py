@@ -47,6 +47,7 @@ BENCHES: tuple[tuple[str, str, tuple[str, ...]], ...] = (
     ("failover", "bench_failover.py", ("BENCH_failover.json",)),
     ("engine", "bench_engine.py", ("BENCH_engine.json",)),
     ("shard", "bench_shard.py", ("BENCH_shard.json",)),
+    ("recovery", "bench_recovery.py", ("BENCH_recovery.json",)),
 )
 
 

@@ -88,3 +88,17 @@ class CompilationError(ReproError):
 
 class ServingError(ReproError):
     """The serving layer was misconfigured (bad policy, bad trace...)."""
+
+
+class WorkerFailure(ServingError):
+    """A sharded-simulation worker process died (pipe EOF / broken pipe)."""
+
+
+class EpochTimeoutError(WorkerFailure):
+    """A sharded-simulation worker missed its epoch deadline (hung).
+
+    Raised by the coordinator's deadline-based ``conn.poll()`` watchdog
+    when a worker neither reports nor dies within
+    ``epoch_timeout_seconds``; the supervisor treats it exactly like a
+    worker death (kill, respawn from the last checkpoint, replay).
+    """

@@ -21,7 +21,11 @@ evacuation off failing chips. :mod:`repro.serving.shard` scales past
 one process: :class:`ShardedFleetScheduler` partitions the fleet into
 chip-group shards, each simulated by its own worker process, and
 coordinates them over deterministic epoch fences — aggregate results
-are byte-identical for any worker count.
+are byte-identical for any worker count. The coordinator supervises
+its workers: epoch-fence checkpoints, a watchdog deadline on fence
+reports, respawn-and-replay recovery for crashed or hung workers
+(injectable via :class:`CrashSchedule`), and graceful degradation to
+the in-process path when the respawn budget runs out.
 """
 
 from repro.serving.faults import (
@@ -74,11 +78,15 @@ from repro.serving.scheduler import (
     coerce_policy,
 )
 from repro.serving.shard import (
+    CRASH_KINDS,
     DEALING_MODES,
     AdmitOrder,
+    CrashEvent,
+    CrashSchedule,
     EpochPlan,
     ShardedFleetScheduler,
     ShardSlice,
+    generate_crash_schedule,
     partition_chips,
 )
 from repro.serving.slo import (
@@ -124,8 +132,11 @@ __all__ = [
     "BEST_EFFORT",
     "BestFitPlacement",
     "BestFitPolicy",
+    "CRASH_KINDS",
     "ClusterSample",
     "ClusterScheduler",
+    "CrashEvent",
+    "CrashSchedule",
     "DEALING_MODES",
     "DEFAULT_SLO_MIX",
     "DefragPolicy",
@@ -173,6 +184,7 @@ __all__ = [
     "deal_sessions",
     "effective_priority",
     "fragmentation_ratio",
+    "generate_crash_schedule",
     "generate_failure_schedule",
     "generate_fleet_trace",
     "generate_trace",

@@ -290,6 +290,13 @@ class ActiveFleetSession:
     #: Set when the session is elastically evicted (or fault-killed):
     #: the sleeping lifetime process must vanish instead of departing.
     preempted: bool = False
+    #: Absolute cycle the lifetime process's pending timeout fires at.
+    #: ``expected_depart`` can *recede* (an elastic grow-back shortens
+    #: the projection) but an already-scheduled sleep cannot be woken
+    #: early, so the in-flight wake target is behavioral state: a
+    #: restored run must resume sleeping toward the same cycle or it
+    #: departs the session earlier than the original would have.
+    wake_cycle: int = 0
 
     @property
     def cores(self) -> int:
@@ -529,7 +536,7 @@ class FleetScheduler:
         return self.metrics
 
     # -- checkpoint --------------------------------------------------------
-    def snapshot(self) -> dict:
+    def snapshot(self, *, detach: bool = True) -> dict:
         """Picklable checkpoint of the whole scheduler's logical state.
 
         Valid between ``run`` calls (the simulator parked at a cycle, no
@@ -538,8 +545,13 @@ class FleetScheduler:
         preemption history, active sessions, accumulated metrics, the
         fault schedule, and the arrivals not yet injected — everything
         :meth:`restore` needs to continue the run in a fresh process.
-        The dict is detached via a pickle round-trip, so it doubles as
-        the warm-restart wire format (and proves its own picklability).
+        By default the dict is detached via a pickle round-trip, so it
+        doubles as the warm-restart wire format (and proves its own
+        picklability). Callers that immediately ``pickle.dumps`` the
+        result themselves — epoch-fence checkpointing does, every fence
+        — pass ``detach=False`` to skip the redundant round-trip; the
+        returned dict then aliases live scheduler state and must be
+        serialized (or dropped) before the scheduler advances.
         """
         state = {
             "cycle": self.sim.now,
@@ -561,6 +573,8 @@ class FleetScheduler:
             "cost_tier": self.cost_model.name,
             "cost_state": self.cost_model.snapshot_state(),
         }
+        if not detach:
+            return state
         return pickle.loads(pickle.dumps(state))
 
     @classmethod
@@ -598,7 +612,7 @@ class FleetScheduler:
         for active in state["active"]:
             fleet._active[(active.chip_index, active.vmid)] = active
             fleet.sim.process(
-                fleet._session_lifetime(active),
+                fleet._session_lifetime(active, resume=True),
                 name=f"fleet-session-{active.session.session_id}")
         fleet._trace_loaded = state["trace_loaded"]
         remaining = list(state["remaining_trace"])
@@ -625,16 +639,28 @@ class FleetScheduler:
             self._admit_loop()
             self._sample()
 
-    def _session_lifetime(self, active: ActiveFleetSession):
+    def _session_lifetime(self, active: ActiveFleetSession, *,
+                          resume: bool = False):
         # Migrations and elastic resizes that happen during the wait
         # push ``expected_depart`` out; keep sleeping until it stops
         # receding. (A grow-back that would depart *earlier* cannot wake
         # the scheduled timeout — growth restores the service rate going
-        # forward, it never time-travels the current sleep.)
+        # forward, it never time-travels the current sleep.) Each sleep
+        # records its target in ``wake_cycle``; a process respawned by
+        # :meth:`restore` mid-sleep (``resume=True``) first finishes
+        # the interrupted sleep toward that exact cycle — waking there
+        # to re-read the projection, just as the original's pending
+        # timeout would have — rather than re-arming at the current
+        # ``expected_depart``, which may have receded since.
+        if resume and active.wake_cycle > self.sim.now:
+            yield self.sim.timeout(active.wake_cycle - self.sim.now)
+            if active.preempted:
+                return
         while True:
             remaining = active.expected_depart - self.sim.now
             if remaining <= 0:
                 break
+            active.wake_cycle = self.sim.now + remaining
             yield self.sim.timeout(remaining)
             if active.preempted:
                 return  # evicted mid-sleep; the requeued entry took over

@@ -391,7 +391,8 @@ class FleetMetrics(ServingMetrics):
 def merge_fleet_summaries(parts: "list[FleetMetrics]",
                           core_counts: "list[int]",
                           chip_offsets: "list[int]",
-                          frequency_hz: int) -> dict:
+                          frequency_hz: int,
+                          recovery: "dict | None" = None) -> dict:
     """Aggregate per-shard :class:`FleetMetrics` into one fleet digest.
 
     The sharded coordinator's summary: the shape mirrors
@@ -409,6 +410,13 @@ def merge_fleet_summaries(parts: "list[FleetMetrics]",
     not aligned across engines, so a fleet-instant queue length does
     not exist), and the time-weighted means weight each shard's own
     makespan-normalized series by its core share.
+
+    ``recovery``, when given, is attached verbatim as the digest's
+    ``recovery`` block — the coordinator's host-process supervision
+    counters (respawns, replayed epochs, degraded shards). It follows
+    the same only-when-active convention as the ``faults`` block:
+    callers pass ``None`` for crash-free runs so those digests keep
+    their historical byte layout.
     """
     if not (len(parts) == len(core_counts) == len(chip_offsets)):
         raise ValueError(
@@ -495,4 +503,6 @@ def merge_fleet_summaries(parts: "list[FleetMetrics]",
             "lost_service_cycles": sum(p.lost_service_cycles
                                        for p in parts),
         }
+    if recovery is not None:
+        digest["recovery"] = dict(recovery)
     return digest

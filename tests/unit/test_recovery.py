@@ -1,0 +1,380 @@
+"""Self-healing sharded simulation: crash injection and recovery.
+
+Covers the supervision layer of :mod:`repro.serving.shard`:
+:class:`CrashSchedule` validation and seeded generation, the
+checkpoint/restore round-trip of a :class:`ShardSlice`, and the
+recovery determinism contract — the crash matrix {crash epoch x
+worker count x {plain, faults, elastic}} asserting that every
+recovered summary byte-equals the crash-free ``workers=1`` oracle
+(modulo the ``recovery`` block, which only crashed runs grow), plus
+the hang/watchdog, budget-exhaustion/degradation, collect-crash and
+checkpoint-disabled variants of the same invariant.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import EpochTimeoutError, ServingError, WorkerFailure
+from repro.serving import (
+    CRASH_KINDS,
+    DEFAULT_SLO_MIX,
+    CrashEvent,
+    CrashSchedule,
+    ShardedFleetScheduler,
+    ShardSlice,
+    generate_crash_schedule,
+    generate_failure_schedule,
+    generate_fleet_trace,
+    merge_fleet_summaries,
+)
+from repro.serving.shard import partition_chips
+
+#: Crash-matrix shape: injected epochs x worker counts x variants.
+CRASH_EPOCHS = (0, 3)
+WORKER_COUNTS = (2, 4)
+VARIANTS = ("plain", "faults", "elastic")
+
+#: Small fences so even a 24-session trace crosses many epochs — the
+#: crash matrix needs epochs to exist before it can crash them.
+EPOCH_CYCLES = 2_000_000
+
+_FAULTS = generate_failure_schedule(3, chips=8, horizon_cycles=30_000_000,
+                                    failures=2,
+                                    mean_outage_cycles=8_000_000)
+_VARIANT_KWARGS = {
+    "plain": {},
+    "faults": {"faults": _FAULTS},
+    "elastic": {"elastic": "shrink_then_preempt"},
+}
+
+
+def fleet_trace(seed=11, sessions=24, chips=8, **kwargs):
+    kwargs.setdefault("arrival_process", "bursty")
+    kwargs.setdefault("slo_mix", DEFAULT_SLO_MIX)
+    return generate_fleet_trace(seed, sessions, chips=chips,
+                                max_cores=16, **kwargs)
+
+
+def run_sharded(trace, workers, variant="plain", crashes=None, **kwargs):
+    kwargs.setdefault("epoch_cycles", EPOCH_CYCLES)
+    fleet = ShardedFleetScheduler.homogeneous(
+        8, cores=16, shards=4, workers=workers, crashes=crashes,
+        respawn_backoff_seconds=0.0, **_VARIANT_KWARGS[variant], **kwargs)
+    return fleet.serve(list(trace))
+
+
+def canonical(summary):
+    return json.dumps(summary, sort_keys=True)
+
+
+_ORACLES: dict[str, dict] = {}
+
+
+def oracle(variant):
+    """Crash-free workers=1 digest per variant (computed once)."""
+    if variant not in _ORACLES:
+        _ORACLES[variant] = run_sharded(fleet_trace(), 1, variant)
+    return _ORACLES[variant]
+
+
+# -- crash schedule validation ----------------------------------------------
+
+class TestCrashSchedule:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ServingError, match="unknown crash kind"):
+            CrashEvent("segfault", shard=0)
+
+    def test_negative_shard_rejected(self):
+        with pytest.raises(ServingError, match="shard must be >= 0"):
+            CrashEvent("crash", shard=-1)
+
+    def test_hang_needs_positive_duration(self):
+        with pytest.raises(ServingError, match="positive hang_seconds"):
+            CrashEvent("hang", shard=0, epoch=1)
+
+    def test_restore_crash_needs_positive_count(self):
+        with pytest.raises(ServingError, match="count >= 1"):
+            CrashEvent("crash_on_restore", shard=0, count=0)
+
+    def test_events_normalized_to_epoch_order(self):
+        schedule = CrashSchedule((
+            CrashEvent("crash", shard=1, epoch=5),
+            CrashEvent("crash", shard=0, epoch=2),
+        ))
+        assert [e.epoch for e in schedule.events] == [2, 5]
+
+    def test_validate_rejects_out_of_range_shard(self):
+        schedule = CrashSchedule((CrashEvent("crash", shard=7),))
+        with pytest.raises(ServingError, match="only has 4 shards"):
+            schedule.validate(4)
+
+    def test_coordinator_validates_at_construction(self):
+        crashes = CrashSchedule((CrashEvent("crash", shard=9),))
+        with pytest.raises(ServingError, match="only has 4 shards"):
+            ShardedFleetScheduler.homogeneous(
+                8, cores=16, shards=4, workers=2, crashes=crashes)
+
+    def test_schedule_requires_worker_pool(self):
+        crashes = CrashSchedule((CrashEvent("crash", shard=0),))
+        with pytest.raises(ServingError, match="workers > 1"):
+            ShardedFleetScheduler.homogeneous(
+                8, cores=16, shards=4, workers=1, crashes=crashes)
+
+    def test_generated_schedule_is_seed_deterministic(self):
+        first = generate_crash_schedule(7, shards=4, epochs=20)
+        again = generate_crash_schedule(7, shards=4, epochs=20)
+        other = generate_crash_schedule(8, shards=4, epochs=20)
+        assert first == again
+        assert first != other
+        assert all(e.kind in CRASH_KINDS for e in first.events)
+        assert all(e.shard < 4 and e.epoch < 20 for e in first.events)
+
+    def test_generator_rejects_unknown_kind(self):
+        with pytest.raises(ServingError, match="unknown crash kind"):
+            generate_crash_schedule(7, shards=4, epochs=20,
+                                    kinds=("oom",))
+
+
+# -- supervision knob validation ---------------------------------------------
+
+class TestSupervisionKnobs:
+    def test_bad_checkpoint_cadence(self):
+        with pytest.raises(ServingError, match="checkpoint_every"):
+            ShardedFleetScheduler.homogeneous(4, cores=16,
+                                              checkpoint_every=0)
+
+    def test_bad_timeout(self):
+        with pytest.raises(ServingError, match="epoch_timeout_seconds"):
+            ShardedFleetScheduler.homogeneous(4, cores=16,
+                                              epoch_timeout_seconds=0)
+
+    def test_bad_budget(self):
+        with pytest.raises(ServingError, match="respawn_budget"):
+            ShardedFleetScheduler.homogeneous(4, cores=16,
+                                              respawn_budget=0)
+
+    def test_error_hierarchy(self):
+        # Supervisors catch WorkerFailure for both failure modes, and
+        # legacy callers catching ServingError still see both.
+        assert issubclass(EpochTimeoutError, WorkerFailure)
+        assert issubclass(WorkerFailure, ServingError)
+
+
+# -- slice checkpoint round-trip ---------------------------------------------
+
+class TestSliceCheckpoint:
+    def test_checkpoint_restores_mid_run_slice(self):
+        # Checkpoints are *fence* checkpoints: like the coordinator,
+        # only deal sessions whose arrival lies inside the epoch (an
+        # in-flight arrival injector is not slice state).
+        from repro.serving.shard import AdmitOrder, EpochPlan
+        configs = [c for c in
+                   ShardedFleetScheduler.homogeneous(2, cores=16).configs]
+        trace = fleet_trace(5, sessions=6, chips=2)
+        assert partition_chips(2, 1) == [(0, 1)]
+        by_epoch: dict[int, list[AdmitOrder]] = {}
+        for session in trace:
+            by_epoch.setdefault(session.arrival_cycle // EPOCH_CYCLES,
+                                []).append(AdmitOrder(session))
+        plans = {epoch: EpochPlan(admissions=tuple(orders))
+                 for epoch, orders in by_epoch.items()}
+        last = max(plans)
+
+        def drive(slice_, start_epoch=0, first_report=None):
+            reports = [] if first_report is None else [first_report]
+            for epoch in range(start_epoch, 200):
+                report = slice_.run_epoch((epoch + 1) * EPOCH_CYCLES,
+                                          plans.get(epoch))
+                reports.append(report)
+                if (epoch >= last and report["pending"] == 0
+                        and report["active"] == 0):
+                    return reports
+            raise AssertionError("slice never drained")
+
+        hz = configs[0].frequency_hz
+        whole = ShardSlice(0, list(configs))
+        reports_a = drive(whole)
+        direct = canonical(whole.collect()["metrics"].summary(hz))
+
+        # Same drive, but serialize/deserialize the slice at fence 1.
+        resumed = ShardSlice(0, list(configs))
+        first = resumed.run_epoch(EPOCH_CYCLES, plans.get(0))
+        revived = ShardSlice.from_checkpoint(
+            resumed.checkpoint(), shard_id=0, configs=list(configs))
+        reports_b = drive(revived, start_epoch=1, first_report=first)
+        assert reports_b == reports_a
+        assert canonical(
+            revived.collect()["metrics"].summary(hz)) == direct
+
+    def test_delta_checkpoints_ship_only_the_metrics_tail(self):
+        # The first checkpoint is always full (base None); subsequent
+        # delta checkpoints carry only the metrics history appended
+        # since, and must shrink versus re-shipping everything. Either
+        # way the live metrics object is untouched by the dump.
+        import pickle
+        configs = [c for c in
+                   ShardedFleetScheduler.homogeneous(2, cores=16).configs]
+        slice_ = ShardSlice(0, list(configs))
+        from repro.serving.shard import AdmitOrder, EpochPlan
+        trace = fleet_trace(5, sessions=6, chips=2)
+        plan = EpochPlan(admissions=tuple(
+            AdmitOrder(s) for s in trace
+            if s.arrival_cycle < EPOCH_CYCLES))
+        slice_.run_epoch(EPOCH_CYCLES, plan)
+        first = slice_.checkpoint(delta=True)
+        assert pickle.loads(first)["base"] is None
+        for epoch in range(1, 30):
+            report = slice_.run_epoch((epoch + 1) * EPOCH_CYCLES, None)
+            if report["pending"] == 0 and report["active"] == 0:
+                break
+        records = len(slice_.fleet.metrics.records)
+        full = slice_.checkpoint()
+        delta = slice_.checkpoint(delta=True)
+        assert len(delta) < len(full)
+        shipped = pickle.loads(delta)
+        assert shipped["base"] is not None
+        assert len(shipped["fleet"]["metrics"].records) < records
+        assert len(slice_.fleet.metrics.records) == records
+
+    def test_delta_blob_cannot_restore_alone(self):
+        configs = [c for c in
+                   ShardedFleetScheduler.homogeneous(2, cores=16).configs]
+        slice_ = ShardSlice(0, list(configs))
+        slice_.run_epoch(EPOCH_CYCLES, None)
+        slice_.checkpoint(delta=True)
+        slice_.run_epoch(2 * EPOCH_CYCLES, None)
+        delta = slice_.checkpoint(delta=True)
+        with pytest.raises(ServingError, match="delta checkpoint"):
+            ShardSlice.from_checkpoint(delta, shard_id=0,
+                                       configs=list(configs))
+
+
+# -- the recovery determinism contract ---------------------------------------
+
+class TestCrashMatrix:
+    """Recovered summaries byte-equal the crash-free oracle."""
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("crash_epoch", CRASH_EPOCHS)
+    def test_single_crash_recovers(self, crash_epoch, workers, variant):
+        crashes = CrashSchedule((
+            CrashEvent("crash", shard=1, epoch=crash_epoch),))
+        summary = run_sharded(fleet_trace(), workers, variant,
+                              crashes=crashes)
+        recovery = summary.pop("recovery")
+        assert recovery["respawns"] >= 1
+        assert recovery["degraded_shards"] == 0
+        assert canonical(summary) == canonical(oracle(variant))
+
+    def test_crash_at_every_epoch_matches_oracle(self):
+        epochs = oracle("plain")["sharding"]["epochs"]
+        crashes = CrashSchedule(tuple(
+            CrashEvent("crash", shard=0, epoch=epoch)
+            for epoch in range(epochs)))
+        summary = run_sharded(fleet_trace(), 2, crashes=crashes)
+        recovery = summary.pop("recovery")
+        assert recovery["respawns"] == epochs
+        assert recovery["replayed_epochs"] == epochs
+        assert canonical(summary) == canonical(oracle("plain"))
+
+    def test_hang_trips_watchdog_and_recovers(self):
+        crashes = CrashSchedule((
+            CrashEvent("hang", shard=1, epoch=2, hang_seconds=10.0),))
+        summary = run_sharded(fleet_trace(), 2, crashes=crashes,
+                              epoch_timeout_seconds=0.25)
+        recovery = summary.pop("recovery")
+        assert recovery["timeouts"] == 1
+        assert recovery["respawns"] >= 1
+        assert canonical(summary) == canonical(oracle("plain"))
+
+    def test_seeded_schedule_recovers(self):
+        epochs = oracle("plain")["sharding"]["epochs"]
+        crashes = generate_crash_schedule(
+            23, shards=4, epochs=epochs, events=3, kinds=("crash",))
+        summary = run_sharded(fleet_trace(), 2, crashes=crashes)
+        summary.pop("recovery")
+        assert canonical(summary) == canonical(oracle("plain"))
+
+    def test_recovery_without_checkpoints_replays_from_genesis(self):
+        crashes = CrashSchedule((CrashEvent("crash", shard=0, epoch=3),))
+        summary = run_sharded(fleet_trace(), 2, crashes=crashes,
+                              checkpoint_every=None)
+        recovery = summary.pop("recovery")
+        assert recovery["checkpoints"] == 0
+        assert recovery["checkpoint_bytes"] == 0
+        # Epochs 0..3 re-run from a fresh slice.
+        assert recovery["replayed_epochs"] == 4
+        assert canonical(summary) == canonical(oracle("plain"))
+
+    def test_sparse_checkpoint_cadence_recovers(self):
+        crashes = CrashSchedule((CrashEvent("crash", shard=1, epoch=7),))
+        summary = run_sharded(fleet_trace(), 2, crashes=crashes,
+                              checkpoint_every=5)
+        recovery = summary.pop("recovery")
+        # Last checkpoint at epoch 4 -> epochs 5, 6, 7 replayed.
+        assert recovery["replayed_epochs"] == 3
+        assert canonical(summary) == canonical(oracle("plain"))
+
+    def test_crash_free_multiworker_run_has_no_recovery_block(self):
+        summary = run_sharded(fleet_trace(), 2)
+        assert "recovery" not in summary
+        assert canonical(summary) == canonical(oracle("plain"))
+
+
+# -- graceful degradation ----------------------------------------------------
+
+class TestGracefulDegradation:
+    def test_budget_exhaustion_degrades_and_completes(self):
+        crashes = CrashSchedule((
+            CrashEvent("crash", shard=2, epoch=1),
+            CrashEvent("crash_on_restore", shard=2, count=10),
+        ))
+        summary = run_sharded(fleet_trace(), 2, crashes=crashes,
+                              respawn_budget=2)
+        recovery = summary.pop("recovery")
+        # Both shards of the dead worker fold in-process, and the
+        # block is honest about it.
+        assert recovery["degraded_shards"] == 2
+        assert recovery["respawns"] == 2
+        assert canonical(summary) == canonical(oracle("plain"))
+
+    def test_restore_crash_within_budget_retries_through(self):
+        crashes = CrashSchedule((
+            CrashEvent("crash", shard=2, epoch=1),
+            CrashEvent("crash_on_restore", shard=2, count=1),
+        ))
+        summary = run_sharded(fleet_trace(), 2, crashes=crashes,
+                              respawn_budget=3)
+        recovery = summary.pop("recovery")
+        # Attempt 1 dies during restore, attempt 2 sticks.
+        assert recovery["respawns"] == 2
+        assert recovery["degraded_shards"] == 0
+        assert canonical(summary) == canonical(oracle("plain"))
+
+    def test_collect_crash_folds_at_finalize(self):
+        crashes = CrashSchedule((CrashEvent("crash_on_collect", shard=3),))
+        summary = run_sharded(fleet_trace(), 2, crashes=crashes)
+        recovery = summary.pop("recovery")
+        assert recovery["degraded_shards"] == 2
+        assert canonical(summary) == canonical(oracle("plain"))
+
+
+# -- recovery block merge ----------------------------------------------------
+
+class TestRecoveryMerge:
+    def test_merge_attaches_recovery_block_verbatim(self):
+        fleet = ShardedFleetScheduler.homogeneous(
+            4, cores=16, shards=2, workers=1, epoch_cycles=EPOCH_CYCLES)
+        fleet.serve(fleet_trace(3, sessions=4, chips=4))
+        block = {"respawns": 2, "timeouts": 1, "replayed_epochs": 2,
+                 "checkpoints": 4, "checkpoint_bytes": 123,
+                 "degraded_shards": 0}
+        merged = merge_fleet_summaries(
+            fleet.shard_metrics, [16, 16], [0, 2], 940_000_000,
+            recovery=block)
+        assert merged["recovery"] == block
+        plain = merge_fleet_summaries(
+            fleet.shard_metrics, [16, 16], [0, 2], 940_000_000)
+        assert "recovery" not in plain

@@ -4,7 +4,8 @@ Covers :mod:`repro.serving.shard`: the chip partition and trace deal,
 fault-schedule sharding, the epoch-fence coordinator's determinism
 contract (sharded-vs-single-process equivalence across seeds, worker
 counts and fault/elastic variants), the deferral and spill paths, and
-the worker-crash failure mode (clean :class:`ServingError`, no hang).
+the worker-crash recovery mode (supervised respawn, summary equal to
+the oracle — the full crash matrix lives in ``test_recovery.py``).
 """
 
 import json
@@ -15,6 +16,8 @@ from repro.errors import ServingError
 from repro.serving import (
     DEFAULT_SLO_MIX,
     AdmitOrder,
+    CrashEvent,
+    CrashSchedule,
     FailureEvent,
     FailureSchedule,
     FleetScheduler,
@@ -162,10 +165,10 @@ class TestCoordinatorValidation:
         with pytest.raises(ServingError, match="unknown admission policy"):
             ShardedFleetScheduler.homogeneous(4, cores=16, policy="lifo")
 
-    def test_crash_hook_requires_workers(self):
+    def test_crash_schedule_requires_workers(self):
+        crashes = CrashSchedule((CrashEvent("crash", shard=0),))
         with pytest.raises(ServingError, match="workers > 1"):
-            ShardedFleetScheduler.homogeneous(4, cores=16,
-                                              _worker_crash=(0, 0))
+            ShardedFleetScheduler.homogeneous(4, cores=16, crashes=crashes)
 
     def test_workers_clamped_to_shards(self):
         fleet = ShardedFleetScheduler.homogeneous(4, cores=16, shards=2,
@@ -304,13 +307,16 @@ class TestDeferralAndSpills:
 # -- worker failure ----------------------------------------------------------
 
 class TestWorkerCrash:
-    def test_crash_mid_epoch_raises_cleanly(self):
+    def test_crash_mid_epoch_recovers_to_oracle(self):
         trace = fleet_trace(11)
+        oracle = sharded_summary(list(trace), workers=1)
+        crashes = CrashSchedule((CrashEvent("crash", shard=1, epoch=1),))
         fleet = ShardedFleetScheduler.homogeneous(
-            8, cores=16, shards=4, workers=2, _worker_crash=(1, 1))
-        fleet.submit(trace)
-        with pytest.raises(ServingError, match="worker died mid-epoch"):
-            fleet.run()
+            8, cores=16, shards=4, workers=2, crashes=crashes,
+            respawn_backoff_seconds=0.0)
+        summary = fleet.serve(trace)
+        recovery = summary.pop("recovery")
+        assert recovery["respawns"] == 1
+        assert canonical(summary) == canonical(oracle)
         # The pool is torn down — no orphaned processes, no hang.
-        assert all(not proc.is_alive() for proc in fleet._procs)
-        assert fleet._procs == []
+        assert fleet._pool == {}
