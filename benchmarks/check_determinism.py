@@ -48,6 +48,7 @@ BENCHES: tuple[tuple[str, str, tuple[str, ...]], ...] = (
     ("engine", "bench_engine.py", ("BENCH_engine.json",)),
     ("shard", "bench_shard.py", ("BENCH_shard.json",)),
     ("recovery", "bench_recovery.py", ("BENCH_recovery.json",)),
+    ("service", "bench_service.py", ("BENCH_service.json",)),
 )
 
 

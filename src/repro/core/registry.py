@@ -55,5 +55,38 @@ class Registry(Generic[ItemT]):
                 f"unknown {self.kind} {name!r}; choose from {self.names()}"
             ) from None
 
+    def coerce(self, value, *, instance_of: type | tuple | None = None,
+               allow_none: bool = False, factory: bool = False):
+        """The one shared coerce convention for pluggable families.
+
+        Names resolve through the registry (unknown names raise the
+        family's error naming the value and the valid choices); with
+        ``factory=True`` the resolved item is *called* to produce a
+        fresh instance (families that register classes, like cost-model
+        tiers). Instances must satisfy ``instance_of``; classes are
+        always rejected — a runtime-checkable Protocol isinstance passes
+        for a *class* too (its class attributes satisfy the hasattr
+        probes), so duck-typing would otherwise let ``FCFSPolicy`` slip
+        in where ``FCFSPolicy()`` was meant. ``allow_none`` passes
+        ``None`` through for optional families.
+        """
+        if value is None and allow_none:
+            return None
+        if isinstance(value, str):
+            item = self.resolve(value)
+            return item() if factory else item
+        if (instance_of is not None and not isinstance(value, type)
+                and isinstance(value, instance_of)):
+            return value
+        accepted = f"{self.kind} must be a registered name"
+        if instance_of is not None:
+            wanted = (instance_of[0] if isinstance(instance_of, tuple)
+                      else instance_of)
+            accepted += f" or a {wanted.__name__} instance"
+        if allow_none:
+            accepted += " or None"
+        raise self._resolve_error(
+            f"{accepted}; got {value!r}; choose from {self.names()}")
+
     def names(self) -> tuple[str, ...]:
         return tuple(sorted(self._items))

@@ -161,18 +161,12 @@ def available_cost_models() -> tuple[str, ...]:
 def coerce_cost_model(model: "CostModel | str") -> CostModel:
     """Resolve a tier name to a fresh instance, or validate an instance.
 
-    Unknown names raise :class:`~repro.errors.ServingError` naming the
-    offending value and listing the registered tiers (the registry's
-    message); non-``CostModel`` objects — including tier *classes*, which
-    would otherwise duck-type — are rejected the same way
-    ``coerce_policy`` rejects policy classes.
+    Unified on :meth:`repro.core.registry.Registry.coerce` (with
+    ``factory=True``: this family registers tier *classes*, so a
+    resolved name is instantiated). Unknown names raise
+    :class:`~repro.errors.ServingError` naming the offending value and
+    the registered tiers; non-``CostModel`` objects — including tier
+    classes, which would otherwise duck-type — are rejected the same
+    way ``coerce_policy`` rejects policy classes.
     """
-    if isinstance(model, str):
-        return resolve_cost_model(model)()
-    if isinstance(model, type) or not isinstance(model, CostModel):
-        raise ServingError(
-            f"cost model must be a registered tier name or a CostModel "
-            f"instance; got {model!r}; registered tiers: "
-            f"{available_cost_models()}"
-        )
-    return model
+    return _TIERS.coerce(model, instance_of=CostModel, factory=True)

@@ -28,6 +28,7 @@ reports, respawn-and-replay recovery for crashed or hung workers
 the in-process path when the respawn budget runs out.
 """
 
+from repro.serving.config import CONFIG_KEYS, ServingConfig
 from repro.serving.faults import (
     EVACUATION_POLICIES,
     FAILURE_KINDS,
@@ -46,6 +47,7 @@ from repro.serving.fleet import (
     PlacementPolicy,
     PowerOfTwoPlacement,
     available_placements,
+    coerce_placement,
     register_placement,
     resolve_placement,
     unregister_placement,
@@ -57,10 +59,21 @@ from repro.serving.metrics import (
     ServingMetrics,
     SessionRecord,
     SLOMetrics,
+    canonical_json,
     fragmentation_ratio,
     merge_fleet_summaries,
     percentile,
+    summary_wire,
 )
+from repro.serving.protocol import (
+    OPS,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    session_from_wire,
+    session_to_wire,
+)
+from repro.serving.service import MODES, ControlPlane, ServiceClient
 from repro.serving.policies import (
     AdmissionPolicy,
     BestFitPolicy,
@@ -120,6 +133,7 @@ from repro.serving.workload import (
     MODEL_BUILDERS,
     SHAPE_MIX,
     TenantSession,
+    TraceSpec,
     deal_sessions,
     generate_fleet_trace,
     generate_trace,
@@ -132,9 +146,11 @@ __all__ = [
     "BEST_EFFORT",
     "BestFitPlacement",
     "BestFitPolicy",
+    "CONFIG_KEYS",
     "CRASH_KINDS",
     "ClusterSample",
     "ClusterScheduler",
+    "ControlPlane",
     "CrashEvent",
     "CrashSchedule",
     "DEALING_MODES",
@@ -157,16 +173,21 @@ __all__ = [
     "GOLD",
     "LeastLoadedPlacement",
     "MODEL_BUILDERS",
+    "MODES",
+    "OPS",
     "PendingSession",
     "PlacementPolicy",
     "PowerOfTwoPlacement",
     "PreemptPolicy",
     "PriorityPolicy",
+    "ProtocolError",
     "SHAPE_MIX",
     "SILVER",
     "SLOClass",
     "SLOMetrics",
+    "ServiceClient",
     "ServiceTimeEstimator",
+    "ServingConfig",
     "ServingMetrics",
     "SessionRecord",
     "ShardSlice",
@@ -174,14 +195,19 @@ __all__ = [
     "ShrinkPolicy",
     "ShrinkThenPreemptPolicy",
     "TenantSession",
+    "TraceSpec",
     "available_elastics",
     "available_placements",
     "available_policies",
     "available_slos",
+    "canonical_json",
     "coerce_elastic",
     "coerce_evacuation",
+    "coerce_placement",
     "coerce_policy",
     "deal_sessions",
+    "decode_message",
+    "encode_message",
     "effective_priority",
     "fragmentation_ratio",
     "generate_crash_schedule",
@@ -200,8 +226,11 @@ __all__ = [
     "resolve_placement",
     "resolve_policy",
     "resolve_slo",
+    "session_from_wire",
     "session_slo",
+    "session_to_wire",
     "shrink_shape",
+    "summary_wire",
     "unregister_elastic",
     "unregister_placement",
     "unregister_policy",

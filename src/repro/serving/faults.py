@@ -48,6 +48,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, replace
 
+from repro.core.registry import Registry
 from repro.errors import ServingError
 
 #: Failure kinds the injector understands.
@@ -57,13 +58,37 @@ FAILURE_KINDS = ("chip", "link", "hbm")
 EVACUATION_POLICIES = ("evacuate", "shrink_to_fit", "kill_requeue")
 
 
+class _EvacuationName(str):
+    """An evacuation-policy name that can live in a :class:`Registry`.
+
+    The policy *is* its name (the fleet scheduler branches on the
+    string), so the registered item is a ``str`` subclass whose
+    ``name`` is itself — everything downstream (snapshots, equality
+    checks, ``evacuation == "kill_requeue"``) keeps seeing a plain
+    string while the coerce path shares the registry convention.
+    """
+
+    __slots__ = ()
+
+    @property
+    def name(self) -> str:
+        return str(self)
+
+
+_EVACUATIONS: Registry[_EvacuationName] = Registry("evacuation policy",
+                                                   ServingError)
+for _name in EVACUATION_POLICIES:
+    _EVACUATIONS.register(_EvacuationName(_name))
+
+
 def coerce_evacuation(policy: str) -> str:
-    """Validate an evacuation-policy name (fail fast, kerf-style)."""
-    if policy not in EVACUATION_POLICIES:
-        raise ServingError(
-            f"unknown evacuation policy {policy!r}; "
-            f"known: {EVACUATION_POLICIES}")
-    return policy
+    """Validate an evacuation-policy name (fail fast, kerf-style).
+
+    Unified on :meth:`repro.core.registry.Registry.coerce`: unknown
+    names raise :class:`~repro.errors.ServingError` naming the value
+    and the valid choices, like the other coerce helpers.
+    """
+    return _EVACUATIONS.coerce(policy)
 
 
 @dataclass(frozen=True)

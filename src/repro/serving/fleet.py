@@ -226,6 +226,17 @@ def available_placements() -> tuple[str, ...]:
     return _PLACEMENTS.names()
 
 
+def coerce_placement(placement: "PlacementPolicy | str") -> PlacementPolicy:
+    """Resolve a placement name, or validate an instance.
+
+    Unified on :meth:`repro.core.registry.Registry.coerce`: unknown
+    names and non-:class:`PlacementPolicy` objects raise
+    :class:`~repro.errors.ServingError` naming the offending value and
+    the registered choices, like the other coerce helpers.
+    """
+    return _PLACEMENTS.coerce(placement, instance_of=PlacementPolicy)
+
+
 for _builtin in (LeastLoadedPlacement(), BestFitPlacement(),
                  PowerOfTwoPlacement()):
     register_placement(_builtin)
@@ -316,6 +327,20 @@ class ActiveFleetSession:
                                                         self.cores))
 
 
+#: Scheduler-knob defaults, used to tell "explicitly passed" from
+#: "left at default" when merging kwargs over a ``config=``.
+_FLEET_DEFAULTS: dict = {
+    "policy": "fcfs",
+    "placement": "least_loaded",
+    "strategy": None,
+    "defrag": None,
+    "cost_model": "analytic",
+    "elastic": None,
+    "faults": None,
+    "evacuation": "shrink_to_fit",
+}
+
+
 class FleetScheduler:
     """Serves one tenant trace across N chips on a shared clock."""
 
@@ -328,7 +353,28 @@ class FleetScheduler:
                  cost_model: "CostModel | str" = "analytic",
                  elastic: "ElasticPolicy | str | None" = None,
                  faults: FailureSchedule | None = None,
-                 evacuation: str = "shrink_to_fit") -> None:
+                 evacuation: str = "shrink_to_fit",
+                 config=None) -> None:
+        if config is not None:
+            # A ServingConfig provides the baseline; any kwarg the
+            # caller explicitly moved off its default wins over it, so
+            # every pre-existing construction path is untouched.
+            merged = dict(config.fleet_kwargs())
+            passed = {"policy": policy, "placement": placement,
+                      "strategy": strategy, "defrag": defrag,
+                      "cost_model": cost_model, "elastic": elastic,
+                      "faults": faults, "evacuation": evacuation}
+            for key, value in passed.items():
+                if value != _FLEET_DEFAULTS[key]:
+                    merged[key] = value
+            policy = merged["policy"]
+            placement = merged["placement"]
+            strategy = merged["strategy"]
+            defrag = merged["defrag"]
+            cost_model = merged["cost_model"]
+            elastic = merged["elastic"]
+            faults = merged["faults"]
+            evacuation = merged["evacuation"]
         if not configs:
             raise ServingError("fleet needs at least one chip config")
         self.sim = sim or Simulator()
@@ -337,8 +383,7 @@ class FleetScheduler:
             chip = Chip(config, sim=self.sim)
             self.chips.append(FleetChip(index, chip, Hypervisor(chip)))
         self.policy = coerce_policy(policy)
-        self.placement = (resolve_placement(placement)
-                          if isinstance(placement, str) else placement)
+        self.placement = coerce_placement(placement)
         if strategy is not None:
             resolve_strategy(strategy)  # fail fast, like the hypervisor
         self.strategy = strategy
@@ -584,6 +629,9 @@ class FleetScheduler:
         ``kwargs`` must name the same policy/placement/cost-model
         configuration the checkpointed scheduler ran with (policies are
         stateless between decisions, so they live outside the snapshot).
+        Passing ``config=ServingConfig(...)`` is the declarative way to
+        do that — the control plane checkpoints ``config.to_dict()``
+        next to the state and hands both back here on warm restart.
         Buddy-allocator addresses are re-assigned on restore (logical
         state round-trips; physical addresses may differ — see
         ``Hypervisor.snapshot_state``).

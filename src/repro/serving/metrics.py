@@ -9,10 +9,34 @@ rather than interpolation.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field, replace
 
 from repro.arch.topology import Topology
 from repro.serving.slo import resolve_slo
+
+
+def canonical_json(payload) -> str:
+    """The one canonical JSON spelling of a metrics payload.
+
+    Sorted keys, minimal separators, no trailing newline — the byte
+    form the control plane's wire protocol, the service benchmark's
+    batch-vs-service equality check and the warm-restart oracle all
+    compare. Two payloads are "the same result" iff their
+    ``canonical_json`` strings are equal.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def summary_wire(summary: dict) -> dict:
+    """A summary dict projected onto plain JSON types.
+
+    ``summary()`` dicts hold tuples (per-class rows, percentiles);
+    round-tripping through :func:`canonical_json` normalizes them to
+    lists, so a summary computed in-process compares equal to the same
+    summary decoded off the wire.
+    """
+    return json.loads(canonical_json(summary))
 
 
 def percentile(values: list[int | float], pct: float) -> float:

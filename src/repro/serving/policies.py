@@ -134,6 +134,18 @@ def resolve_policy(name: str) -> AdmissionPolicy:
     return _REGISTRY.resolve(name)
 
 
+def coerce_policy(policy: "AdmissionPolicy | str") -> AdmissionPolicy:
+    """Resolve a policy name, or validate an instance.
+
+    One of the four coerce helpers unified on
+    :meth:`repro.core.registry.Registry.coerce`: unknown names and
+    non-:class:`AdmissionPolicy` values (including policy *classes*)
+    raise :class:`~repro.errors.ServingError` naming the offending
+    value and the registered choices.
+    """
+    return _REGISTRY.coerce(policy, instance_of=AdmissionPolicy)
+
+
 def available_policies() -> tuple[str, ...]:
     return _REGISTRY.names()
 

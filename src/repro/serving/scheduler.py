@@ -38,7 +38,7 @@ from repro.serving.metrics import (
     SessionRecord,
     fragmentation_ratio,
 )
-from repro.serving.policies import AdmissionPolicy, resolve_policy
+from repro.serving.policies import AdmissionPolicy, coerce_policy  # noqa: F401  (re-export)
 from repro.serving.slo import (
     ElasticAction,
     ElasticPolicy,
@@ -170,30 +170,18 @@ def requeue_in_arrival_order(pending: "list[PendingSession]",
     return requeued
 
 
-def coerce_policy(policy: "AdmissionPolicy | str") -> AdmissionPolicy:
-    """Resolve a policy name, or validate an instance.
-
-    Names go through the registry (fail fast on unknown names); instances
-    must actually implement :class:`AdmissionPolicy` — passing, say, a
-    policy *class* or a bare string-less object raises
-    :class:`~repro.errors.ServingError` naming the offending value instead
-    of exploding later inside the admit loop.
-    """
-    if isinstance(policy, str):
-        return resolve_policy(policy)
-    # A protocol isinstance check passes for a policy *class* too (its
-    # class attributes satisfy hasattr), so rule classes out explicitly.
-    if isinstance(policy, type) or not isinstance(policy, AdmissionPolicy):
-        raise ServingError(
-            f"admission policy must be a registered name or an "
-            f"AdmissionPolicy instance (name + select); got {policy!r}"
-        )
-    return policy
-
-
 #: Backward-compatible alias: the serving layer's original memoized
 #: estimator is now the cost engine's ``analytic`` tier.
 ServiceTimeEstimator = AnalyticCostModel
+
+#: Scheduler-knob defaults, used to tell "explicitly passed" from
+#: "left at default" when merging kwargs over a ``config=``.
+_CLUSTER_DEFAULTS: dict = {
+    "policy": "fcfs",
+    "strategy": None,
+    "cost_model": "analytic",
+    "elastic": None,
+}
 
 
 class ClusterScheduler:
@@ -204,7 +192,21 @@ class ClusterScheduler:
                  policy: AdmissionPolicy | str = "fcfs",
                  strategy: str | None = None,
                  cost_model: "CostModel | str" = "analytic",
-                 elastic: "ElasticPolicy | str | None" = None) -> None:
+                 elastic: "ElasticPolicy | str | None" = None,
+                 config=None) -> None:
+        if config is not None:
+            # A ServingConfig baseline (single-chip subset); explicitly
+            # moved kwargs win, like FleetScheduler(config=...).
+            merged = dict(config.cluster_kwargs())
+            passed = {"policy": policy, "strategy": strategy,
+                      "cost_model": cost_model, "elastic": elastic}
+            for key, value in passed.items():
+                if value != _CLUSTER_DEFAULTS[key]:
+                    merged[key] = value
+            policy = merged["policy"]
+            strategy = merged["strategy"]
+            cost_model = merged["cost_model"]
+            elastic = merged["elastic"]
         self.chip = chip
         self.sim = chip.sim
         self.hypervisor = hypervisor or Hypervisor(chip)

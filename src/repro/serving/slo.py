@@ -364,16 +364,9 @@ for _builtin_policy in (ShrinkPolicy(), PreemptPolicy(),
 def coerce_elastic(policy: "ElasticPolicy | str | None") -> ElasticPolicy | None:
     """Resolve an elastic-policy name, validate an instance, pass None.
 
-    Mirrors :func:`~repro.serving.scheduler.coerce_policy`: classes and
-    arbitrary objects are rejected naming the offending value.
+    Unified on :meth:`repro.core.registry.Registry.coerce` with the
+    other coerce helpers: classes and arbitrary objects are rejected
+    naming the offending value and the registered choices.
     """
-    if policy is None:
-        return None
-    if isinstance(policy, str):
-        return resolve_elastic(policy)
-    if isinstance(policy, type) or not isinstance(policy, ElasticPolicy):
-        raise ServingError(
-            f"elastic policy must be a registered name, an ElasticPolicy "
-            f"instance (name + plan) or None; got {policy!r}"
-        )
-    return policy
+    return _ELASTICS.coerce(policy, instance_of=ElasticPolicy,
+                            allow_none=True)

@@ -320,6 +320,64 @@ class Simulator:
             del buckets[cycle]
         return self.now
 
+    # -- cooperative stepping ----------------------------------------------
+    def peek(self) -> int | None:
+        """The next occupied cycle, or ``None`` when the queue is empty.
+
+        Never advances the clock; the cooperative-driver companion to
+        :meth:`step` (an asyncio control plane peeks to decide how long
+        to sleep before dispatching the next bucket).
+        """
+        return self._cycle_heap[0] if self._cycle_heap else None
+
+    def step(self) -> int | None:
+        """Dispatch exactly one bucket (one occupied cycle); return its
+        cycle, or ``None`` when the queue is empty.
+
+        The sweep is the same code path as :meth:`_drain`'s inner loop —
+        events appended to the live bucket mid-sweep are drained by the
+        same sweep — so ``while sim.step() is not None: ...`` dispatches
+        the exact event order ``run()`` does. This is the yield point a
+        cooperative driver needs: between buckets the queue is parked in
+        a snapshot-valid state and control can return to an event loop.
+        """
+        if not self._cycle_heap:
+            return None
+        buckets = self._buckets
+        cycle = heappop(self._cycle_heap)
+        self.now = cycle
+        bucket = buckets[cycle]
+        for event in bucket:
+            event._dispatched = True
+            callback = event._callback
+            if callback is not None:
+                callback(event)
+                extra = event._extra
+                if extra is not None:
+                    for cb in extra:
+                        cb(event)
+        del buckets[cycle]
+        return cycle
+
+    def finish_processes(self) -> None:
+        """Deadlock check + process-list reset after a drained queue.
+
+        The tail of :meth:`run_until_processes_done`, callable on its
+        own by drivers that advanced the clock through :meth:`step` or
+        :meth:`run`: raises :class:`SimulationError` naming any process
+        still waiting, otherwise clears the (now all finished) process
+        list so long-lived simulators don't scan it forever.
+        """
+        stuck = [p.name for p in self._processes if p.alive]
+        if stuck:
+            raise SimulationError(
+                f"deadlock at cycle {self.now}: processes still waiting: {stuck}"
+            )
+        # Every process finished: drop them so long-lived simulators (a
+        # serving loop spawns one process per session) don't scan an
+        # ever-growing list on the next call.
+        self._processes.clear()
+
     def run(self, until: int | None = None) -> int:
         """Drive the loop; returns the final cycle.
 
@@ -345,15 +403,7 @@ class Simulator:
         horizon).
         """
         self._drain(limit)
-        stuck = [p.name for p in self._processes if p.alive]
-        if stuck:
-            raise SimulationError(
-                f"deadlock at cycle {self.now}: processes still waiting: {stuck}"
-            )
-        # Every process finished: drop them so long-lived simulators (a
-        # serving loop spawns one process per session) don't scan an
-        # ever-growing list on the next call.
-        self._processes.clear()
+        self.finish_processes()
         return self.now
 
     def all_of(self, events: list[Event], name: str = "all_of") -> Event:
